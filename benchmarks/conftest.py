@@ -1,0 +1,51 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+and prints the measured series next to the paper's reported values
+(EXPERIMENTS.md records the comparison). Expensive shared artifacts (the
+IDCT flow, characterizations) are session-scoped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.cells import default_library
+from repro.core import AgingApproximationLibrary, remove_guardband
+from repro.rtl import idct_microarchitecture
+
+
+@pytest.fixture(scope="session")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def approx_store():
+    """Session-wide store of characterizations (filled on demand)."""
+    return AgingApproximationLibrary()
+
+
+@pytest.fixture(scope="session")
+def idct_flow(lib, approx_store):
+    """The Section-V flow applied to the 32-bit IDCT (Figs. 8a-8c)."""
+    from repro.aging import balance_case
+    micro = idct_microarchitecture(width=32)
+    report = remove_guardband(
+        micro, lib, worst_case(10),
+        report_scenarios=[worst_case(1), balance_case(10)],
+        approx_library=approx_store)
+    return micro, report
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a results table to the real terminal (bypasses capture)."""
+    def emit(title, lines):
+        with capsys.disabled():
+            print()
+            print("  " + title)
+            print("  " + "-" * max(8, len(title)))
+            for line in lines:
+                print("  " + line)
+    return emit

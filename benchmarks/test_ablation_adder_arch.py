@@ -1,0 +1,78 @@
+"""Ablation — adder architecture vs the two phenomena the paper couples.
+
+The paper's adder both (a) suffers visible timing-error rates when its
+guardband is removed and (b) trades precision for delay smoothly enough
+that truncation can re-close timing. Generated netlists decouple these:
+
+* Kogge-Stone (log depth, many simultaneously-critical paths): errs
+  readily under aging, but truncation barely shortens it;
+* group carry-lookahead (graded depth): truncation-responsive, but its
+  long carry chains are almost never dynamically sensitized;
+* ripple-carry: linear delay (most truncation-responsive) and similarly
+  error-quiet.
+
+This bench quantifies that trade — the reason the reproduction uses the
+prefix variants for the motivational study and the lookahead variants
+for the characterization flow (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.aging import worst_case
+from repro.approx import TimedComponentModel
+from repro.core import characterize
+from repro.rtl import (CarryLookaheadAdder, CarrySelectAdder,
+                       CarrySkipAdder, KoggeStoneAdder, RippleCarryAdder)
+
+VECTORS = 8000
+ARCHS = [("kogge-stone", KoggeStoneAdder),
+         ("carry-lookahead", CarryLookaheadAdder),
+         ("carry-select", CarrySelectAdder),
+         ("carry-skip", CarrySkipAdder),
+         ("ripple-carry", RippleCarryAdder)]
+
+
+def study_architecture(cls, lib):
+    component = cls(32)
+    entry = characterize(component, lib, scenarios=[worst_case(10)],
+                         precisions=range(32, 21, -1))
+    model = TimedComponentModel(component, lib, scenario=worst_case(10))
+    operands = component.random_operands(VECTORS, rng=9)
+    error_rate = model.error_statistics(*operands)["error_rate"]
+    k = entry.required_precision("10y_worst")
+    fresh = entry.fresh_delay_ps()
+    slope = (fresh - entry.fresh_ps[22]) / fresh / 10  # per bit
+    return {"fresh_ps": fresh, "error_rate": error_rate, "k": k,
+            "delay_per_bit": slope}
+
+
+def test_ablation_adder_architectures(benchmark, lib, show):
+    def run_all():
+        return {name: study_architecture(cls, lib)
+                for name, cls in ARCHS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = ["architecture      fresh     err@10yWC   delay/bit   K(10y)"]
+    for name, r in results.items():
+        rows.append("%-16s %6.1f ps %9.1f%% %10.2f%% %8s"
+                    % (name, r["fresh_ps"], 100 * r["error_rate"],
+                       100 * r["delay_per_bit"], r["k"]))
+    show("Ablation / adder architecture", rows)
+
+    ks, cla, rca = (results["kogge-stone"], results["carry-lookahead"],
+                    results["ripple-carry"])
+    # Speed ordering.
+    assert ks["fresh_ps"] < cla["fresh_ps"] < rca["fresh_ps"]
+    # The prefix adder is the error-prone one...
+    assert ks["error_rate"] > cla["error_rate"]
+    assert ks["error_rate"] > 0.005
+    # ...and the least truncation-responsive one.
+    assert ks["delay_per_bit"] < cla["delay_per_bit"]
+    assert cla["delay_per_bit"] <= rca["delay_per_bit"] + 0.01
+    # Lookahead/ripple can fully convert the guardband; prefix cannot
+    # within the sweep.
+    assert cla["k"] is not None and rca["k"] is not None
+    benchmark.extra_info.update(
+        {name: {"err": r["error_rate"], "k": r["k"]}
+         for name, r in results.items()})

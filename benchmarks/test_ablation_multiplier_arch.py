@@ -1,0 +1,70 @@
+"""Ablation — multiplier architecture.
+
+Same decoupling study as the adder ablation, for the three multiplier
+families: Wallace/Baugh-Wooley (with CLA or Kogge-Stone final adder),
+radix-4 Booth, and the linear carry-save array. Width 16 keeps the
+sweep quick; the trends match the 32-bit components used in the figure
+benches.
+"""
+
+import pytest
+
+from repro.aging import worst_case
+from repro.approx import TimedComponentModel
+from repro.core import characterize
+from repro.rtl import ArrayMultiplier, BoothMultiplier, WallaceMultiplier
+
+WIDTH = 16
+VECTORS = 5000
+ARCHS = [
+    ("wallace-cla", lambda: WallaceMultiplier(WIDTH, final_adder="cla")),
+    ("wallace-ks", lambda: WallaceMultiplier(WIDTH, final_adder="ks")),
+    ("booth-cla", lambda: BoothMultiplier(WIDTH, final_adder="cla")),
+    ("array", lambda: ArrayMultiplier(WIDTH)),
+]
+
+
+def study(factory, lib):
+    component = factory()
+    entry = characterize(component, lib, scenarios=[worst_case(10)],
+                         precisions=range(WIDTH, WIDTH - 7, -1))
+    model = TimedComponentModel(component, lib, scenario=worst_case(10))
+    operands = component.random_operands(VECTORS, rng=33)
+    return {
+        "fresh_ps": entry.fresh_delay_ps(),
+        "gates": entry.gates[WIDTH],
+        "error_rate": model.error_statistics(*operands)["error_rate"],
+        "k": entry.required_precision("10y_worst"),
+        "delay_per_bit": (entry.fresh_delay_ps()
+                          - entry.fresh_ps[WIDTH - 6])
+        / entry.fresh_delay_ps() / 6,
+    }
+
+
+def test_ablation_multiplier_architectures(benchmark, lib, show):
+    results = benchmark.pedantic(
+        lambda: {name: study(make, lib) for name, make in ARCHS},
+        rounds=1, iterations=1)
+
+    rows = ["architecture   fresh      gates  err@10yWC  delay/bit  K(10y)"]
+    for name, r in results.items():
+        rows.append("%-13s %6.1f ps %6d %9.1f%% %9.2f%% %7s"
+                    % (name, r["fresh_ps"], r["gates"],
+                       100 * r["error_rate"], 100 * r["delay_per_bit"],
+                       r["k"]))
+    show("Ablation / multiplier architecture (width %d)" % WIDTH, rows)
+
+    # Booth really does halve the partial products -> fewer gates than
+    # the Baugh-Wooley array at the same width.
+    assert results["booth-cla"]["gates"] < results["array"]["gates"]
+    # The KS-final variant is the error-prone one (prefix tail), the
+    # CLA-final variant the truncation-responsive one.
+    assert results["wallace-ks"]["error_rate"] >= \
+        results["wallace-cla"]["error_rate"]
+    assert results["wallace-cla"]["delay_per_bit"] > 0.005
+    # The slow array is immune at this clock (huge guardband already).
+    assert results["array"]["fresh_ps"] > \
+        2 * results["wallace-ks"]["fresh_ps"]
+    benchmark.extra_info.update(
+        {name: {"err": round(100 * r["error_rate"], 2), "k": r["k"]}
+         for name, r in results.items()})

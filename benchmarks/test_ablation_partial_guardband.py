@@ -1,0 +1,73 @@
+"""Ablation — partial guardbands: the designer's when/where/how-much knob.
+
+The paper argues the characterization library lets designers choose any
+point between "full guardband, full precision" and "no guardband, full
+truncation". This bench sweeps that frontier for the IDCT multiplier:
+for each retained guardband fraction, look up the precision that covers
+the *rest* of the aging, and report the resulting frequency and quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.approx import ComponentArithmetic
+from repro.core import characterize
+from repro.media import TransformCodec, make_image
+from repro.quality import psnr_db
+from repro.rtl import Multiplier
+
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_ablation_partial_guardband(benchmark, lib, show, approx_store):
+    component = Multiplier(32)
+    entry = approx_store.get(component)
+    if entry is None or "10y_worst" not in entry.scenario_labels:
+        entry = approx_store.add(characterize(
+            component, lib, scenarios=[worst_case(10)],
+            precisions=range(32, 21, -1)))
+
+    image = make_image("akiyo", 64)
+    fresh_quality = psnr_db(image, TransformCodec().roundtrip(image))
+
+    def sweep():
+        frontier = []
+        full_gb = entry.guardband_ps("10y_worst")
+        for fraction in FRACTIONS:
+            clock = entry.fresh_delay_ps() + fraction * full_gb
+            k = entry.required_precision("10y_worst", target_ps=clock)
+            quality = fresh_quality
+            if k is not None and k < 32:
+                arithmetic = ComponentArithmetic(
+                    mul_component=component.with_precision(k))
+                quality = psnr_db(image, TransformCodec(
+                    decode_arithmetic=arithmetic).roundtrip(image))
+            frontier.append((fraction, clock, k, quality))
+        return frontier
+
+    frontier = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = ["guardband   clock        K     PSNR    frequency vs full-GB"]
+    full_clock = frontier[-1][1]
+    for fraction, clock, k, quality in frontier:
+        rows.append("%6.0f%%   %7.1f ps  %4s  %5.1f dB  %+5.1f%%"
+                    % (100 * fraction, clock, k, quality,
+                       100 * (full_clock / clock - 1)))
+    show("Ablation / partial guardband frontier (IDCT multiplier, "
+         "10y WC)", rows)
+
+    # Monotone frontier: more guardband -> higher precision -> higher
+    # (or equal) quality, but a slower clock.
+    precisions = [k for __, __, k, __ in frontier]
+    qualities = [q for __, __, __, q in frontier]
+    clocks = [c for __, c, __, __ in frontier]
+    assert all(a <= b for a, b in zip(precisions, precisions[1:]))
+    assert all(a <= b + 0.5 for a, b in zip(qualities, qualities[1:]))
+    assert all(a < b for a, b in zip(clocks, clocks[1:]))
+    # End points: no guardband still yields acceptable quality; full
+    # guardband needs no approximation at all.
+    assert qualities[0] > 30.0
+    assert precisions[-1] == 32
+    benchmark.extra_info["frontier"] = [
+        (f, round(c, 1), k, round(q, 1)) for f, c, k, q in frontier]

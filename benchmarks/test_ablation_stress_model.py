@@ -1,0 +1,52 @@
+"""Ablation — stress-annotation granularity.
+
+How much precision does each stress model cost? Worst-case (S=100%
+everywhere) guarantees error-free lifetime but demands the deepest cut;
+balanced (S=50%) and actual-case (per-gate, from simulated activity)
+annotations recover precision at the price of losing the guarantee
+(the paper's Section IV discussion).
+"""
+
+import pytest
+
+from repro.aging import balance_case, worst_case
+from repro.core import ActualCaseSpec, characterize
+from repro.rtl import Multiplier
+
+PRECISIONS = range(32, 21, -1)
+
+
+def test_ablation_stress_granularity(benchmark, lib, show):
+    component = Multiplier(32)
+    operands = component.random_operands(3000, rng=77)
+    scenarios = [worst_case(10), balance_case(10),
+                 ActualCaseSpec(10, "actual_nd", tuple(operands))]
+
+    entry = benchmark.pedantic(
+        characterize, args=(component, lib),
+        kwargs={"scenarios": scenarios, "precisions": PRECISIONS},
+        rounds=1, iterations=1)
+
+    labels = ["10y_worst", "10y_balance", "10y_actual_nd"]
+    rows = ["stress model     aged CP @32b   guardband   K(10y)  kept bits"]
+    ks = {}
+    for label in labels:
+        ks[label] = entry.required_precision(label)
+        rows.append("%-15s %9.1f ps %9.1f ps %7s %8s"
+                    % (label, entry.aged_ps[(32, label)],
+                       entry.guardband_ps(label), ks[label],
+                       "-" if ks[label] is None else str(ks[label])))
+    rows.append("fresh constraint: %.1f ps" % entry.fresh_delay_ps())
+    rows.append("note: only worst-case guarantees zero timing errors "
+                "for the whole lifetime")
+    show("Ablation / stress-annotation granularity (32-bit multiplier)",
+         rows)
+
+    # Conservatism ordering: worst >= balance/actual in demanded cut.
+    assert entry.aged_ps[(32, "10y_worst")] >= \
+        entry.aged_ps[(32, "10y_balance")]
+    assert entry.aged_ps[(32, "10y_worst")] >= \
+        entry.aged_ps[(32, "10y_actual_nd")]
+    assert ks["10y_worst"] <= ks["10y_balance"]
+    assert ks["10y_worst"] <= ks["10y_actual_nd"]
+    benchmark.extra_info["K"] = ks

@@ -1,0 +1,48 @@
+"""Extension — robustness of the chosen precision to BTI uncertainty.
+
+Aging-model parameters carry real-world uncertainty that the paper's
+single calibrated library cannot express. This extension sweeps scale
+factors on the ΔVth prefactor and asks: does the flow's precision choice
+survive a mis-calibrated model, and what would insurance cost?
+"""
+
+import pytest
+
+from repro.aging import worst_case
+from repro.core import precision_sensitivity
+from repro.rtl import Multiplier
+
+FACTORS = (0.6, 0.8, 1.0, 1.2, 1.4, 1.8)
+WIDTH = 16
+
+
+def test_ext_model_sensitivity(benchmark, lib, show):
+    component = Multiplier(WIDTH)
+
+    report = benchmark.pedantic(
+        precision_sensitivity,
+        args=(component, lib, worst_case(10)),
+        kwargs={"factors": FACTORS,
+                "precisions": range(WIDTH, WIDTH - 9, -1)},
+        rounds=1, iterations=1)
+
+    rows = ["dVth scale   K(10y)   extra bits vs nominal"]
+    for factor in sorted(report.k_by_factor):
+        k = report.k_by_factor[factor]
+        extra = ("-" if k is None or report.nominal_k is None
+                 else str(report.nominal_k - k))
+        rows.append("%9.1fx %7s %10s"
+                    % (factor, "-" if k is None else k, extra))
+    tol = report.tolerated_overshoot()
+    rows.append("nominal K=%s survives model underestimates up to "
+                "x%.1f dVth" % (report.nominal_k, tol))
+    show("Extension / K sensitivity to BTI-model uncertainty "
+         "(16-bit multiplier, 10y WC)", rows)
+
+    assert report.monotone()
+    assert report.nominal_k is not None
+    assert tol >= 1.0
+    # A mildly optimistic model (x0.8) never demands more truncation.
+    assert report.k_by_factor[0.8] >= report.nominal_k
+    benchmark.extra_info["k_by_factor"] = {
+        str(f): k for f, k in report.k_by_factor.items()}

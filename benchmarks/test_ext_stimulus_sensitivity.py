@@ -1,0 +1,65 @@
+"""Extension — how stimulus-dependent is actual-case characterization?
+
+The paper validates normal-vs-IDCT stimuli (Fig. 5) and concludes that
+artificial inputs suffice. This extension widens the sweep to seven
+stimulus classes with deliberately extreme signal statistics (sparse,
+bursty, single-bit patterns, ...) and measures the actual-case aged
+delay and required precision each induces on the 16-bit multiplier —
+mapping the boundary of the paper's sufficiency claim.
+"""
+
+import pytest
+
+from repro.aging import AgingScenario, worst_case
+from repro.core import ActualCaseSpec, characterize
+from repro.rtl import Multiplier
+from repro.sim import STIMULUS_NAMES, make_stimulus
+
+WIDTH = 16
+VECTORS = 2000
+PRECISIONS = range(WIDTH, WIDTH - 8, -1)
+
+
+def test_ext_stimulus_sensitivity(benchmark, lib, show):
+    component = Multiplier(WIDTH)
+
+    def sweep():
+        specs = [ActualCaseSpec(10, "actual_%s" % name,
+                                tuple(make_stimulus(name, WIDTH, VECTORS,
+                                                    seed=9)))
+                 for name in STIMULUS_NAMES]
+        entry = characterize(component, lib,
+                             scenarios=[worst_case(10)] + specs,
+                             precisions=PRECISIONS)
+        return entry
+
+    entry = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = ["stimulus           aged CP @16b   K(10y)"]
+    ks = {}
+    for name in STIMULUS_NAMES:
+        label = "10y_actual_%s" % name
+        ks[name] = entry.required_precision(label)
+        rows.append("%-18s %9.1f ps %7s"
+                    % (name, entry.aged_ps[(WIDTH, label)], ks[name]))
+    k_worst = entry.required_precision("10y_worst")
+    rows.append("%-18s %9.1f ps %7s   (the guarantee)"
+                % ("worst-case bound", entry.aged_ps[(WIDTH, "10y_worst")],
+                   k_worst))
+    spread = max(k for k in ks.values() if k is not None) \
+        - min(k for k in ks.values() if k is not None)
+    rows.append("spread across stimulus classes: %d bit(s)" % spread)
+    show("Extension / stimulus sensitivity of actual-case K "
+         "(16-bit multiplier)", rows)
+
+    # No stimulus demands more truncation than the worst-case bound.
+    for name, k in ks.items():
+        assert k is not None, name
+        assert k >= k_worst, name
+    # The paper's claim holds for data-like stimuli (normal vs uniform
+    # within a bit)...
+    assert abs(ks["normal"] - ks["uniform"]) <= 1
+    # ...and the extreme classes stay within a couple of bits of them —
+    # actual-case characterization is robust, as the paper argues.
+    assert spread <= 3
+    benchmark.extra_info["K"] = ks

@@ -1,0 +1,64 @@
+"""Extension — temperature sensitivity of the required precision.
+
+BTI is thermally activated, so the guardband (and hence the precision a
+guardband-free design must give up) depends on the junction temperature
+the lifetime is served at. The paper characterizes at a single corner;
+this extension sweeps the Arrhenius axis — the released degradation
+libraries [9] ship exactly such per-temperature corners.
+"""
+
+import pytest
+
+from repro.aging import DEFAULT_BTI, worst_case
+from repro.core import characterize
+from repro.rtl import Multiplier
+
+TEMPERATURES_K = (298.0, 330.0, 358.0, 398.0)
+WIDTH = 16
+
+
+def test_ext_temperature_sweep(benchmark, lib, show):
+    component = Multiplier(WIDTH)
+
+    def sweep():
+        results = {}
+        for temperature in TEMPERATURES_K:
+            bti = DEFAULT_BTI.at_temperature(temperature)
+            entry = characterize(component, lib,
+                                 scenarios=[worst_case(10)],
+                                 precisions=range(WIDTH, WIDTH - 8, -1),
+                                 bti=bti)
+            results[temperature] = {
+                "dvth_mv": 1e3 * bti.delta_vth(1.0, 10.0),
+                "guardband_ps": entry.guardband_ps("10y_worst"),
+                "k": entry.required_precision("10y_worst"),
+            }
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = ["temp      dVth@10y   guardband   K(10y)  dropped bits"]
+    for temperature, r in results.items():
+        k_text = "-" if r["k"] is None else str(r["k"])
+        drop = "-" if r["k"] is None else str(WIDTH - r["k"])
+        rows.append("%5.0f K  %7.1f mV %8.1f ps %7s %9s"
+                    % (temperature, r["dvth_mv"], r["guardband_ps"],
+                       k_text, drop))
+    rows.append("hotter parts age faster (Arrhenius) -> deeper precision "
+                "cuts for the same lifetime")
+    show("Extension / temperature sensitivity (16-bit multiplier, "
+         "10y WC)", rows)
+
+    shifts = [r["dvth_mv"] for r in results.values()]
+    guardbands = [r["guardband_ps"] for r in results.values()]
+    assert shifts == sorted(shifts)
+    assert guardbands == sorted(guardbands)
+    ks = [r["k"] for r in results.values() if r["k"] is not None]
+    assert ks == sorted(ks, reverse=True)     # hotter -> smaller K
+    # The coolest corner needs a strictly shallower cut than the hottest.
+    coolest = results[TEMPERATURES_K[0]]["k"]
+    hottest = results[TEMPERATURES_K[-1]]["k"]
+    if coolest is not None and hottest is not None:
+        assert coolest >= hottest
+    benchmark.extra_info.update(
+        {"%gK" % t: r["k"] for t, r in results.items()})

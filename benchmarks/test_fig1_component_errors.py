@@ -1,0 +1,67 @@
+"""Fig. 1 — aging-induced error rates of 32-bit adder and multiplier.
+
+Paper's series (percentage of erroneous outputs under normal-distribution
+stimuli, clocked at the fresh f_max):
+
+    adder:      balance 1y ~13%, 10y ~20% | worst 1y ~20%, 10y ~28%
+    multiplier: balance 1y ~2%,  10y ~4%  | worst 1y ~4%,  10y ~8%
+
+We reproduce the *shape*: zero errors when fresh, error rates growing
+with lifetime and with stress (worst > balance). The adder is the
+carry-select architecture — like the paper's synthesized adder it both
+errs under aging *and* responds to truncation (see the adder ablation);
+the multiplier uses the prefix-final-adder variant whose near-critical
+path population drives the motivational hazard.
+"""
+
+import pytest
+
+from repro.aging import balance_case, worst_case
+from repro.approx import TimedComponentModel
+from repro.rtl import CarrySelectAdder, WallaceMultiplier
+
+VECTORS = 20000
+SCENARIOS = [("fresh", None),
+             ("1y_balance", balance_case(1)),
+             ("10y_balance", balance_case(10)),
+             ("1y_worst", worst_case(1)),
+             ("10y_worst", worst_case(10))]
+
+
+def measure_component(component, lib, operands):
+    rates = {}
+    for label, scenario in SCENARIOS:
+        model = TimedComponentModel(component, lib, scenario=scenario)
+        rates[label] = model.error_statistics(*operands)["error_rate"]
+    return rates
+
+
+@pytest.mark.parametrize("component_cls,paper_series", [
+    (CarrySelectAdder, "paper adder: bal 13%/20%, worst 20%/28%"),
+    (WallaceMultiplier, "paper mult:  bal  2%/ 4%, worst  4%/ 8%"),
+])
+def test_fig1_error_rates(benchmark, lib, show, component_cls,
+                          paper_series):
+    if component_cls is WallaceMultiplier:
+        component = WallaceMultiplier(32, final_adder="ks")
+        vectors = VECTORS // 2
+    else:
+        component = component_cls(32)
+        vectors = VECTORS
+    operands = component.random_operands(vectors, rng=2017)
+
+    rates = benchmark.pedantic(measure_component,
+                               args=(component, lib, operands),
+                               rounds=1, iterations=1)
+
+    show("Fig. 1 / %s (%d vectors)" % (component.name, vectors),
+         ["%-12s error rate %6.2f%%" % (label, 100 * rate)
+          for label, rate in rates.items()] + [paper_series])
+
+    # Shape assertions: clean when fresh; grows with lifetime and stress.
+    assert rates["fresh"] == 0.0
+    assert rates["10y_worst"] > 0.0
+    assert rates["10y_worst"] >= rates["1y_worst"]
+    assert rates["10y_balance"] >= rates["1y_balance"]
+    assert rates["10y_worst"] >= rates["10y_balance"]
+    benchmark.extra_info.update({k: 100 * v for k, v in rates.items()})

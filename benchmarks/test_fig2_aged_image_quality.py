@@ -1,0 +1,70 @@
+"""Fig. 2 — image quality through an aged, guardband-free DCT-IDCT chain.
+
+Paper's series (balance stress, chain clocked at fresh f_max):
+
+    0 years: PSNR 45 dB | 1 year: 18.5 dB | 10 years: 8.4 dB
+    probability of error at the IDCT output: 15% (1y) -> 100% (10y)
+
+The chain is simulated gate-level: every multiply runs through the aged
+multiplier netlist with data-dependent settle times, i.e. the exact
+expensive analysis the paper's pre-characterization later replaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aging import balance_case
+from repro.approx import GateLevelArithmetic, TimedComponentModel
+from repro.media import TransformCodec, make_image
+from repro.quality import psnr_db
+from repro.rtl import WallaceMultiplier
+
+IMAGE = "akiyo"
+SIZE = 64
+
+
+def aged_roundtrip(lib, image, scenario):
+    mult = WallaceMultiplier(32, final_adder="ks")
+    model = TimedComponentModel(mult, lib, scenario=scenario)
+    arithmetic = GateLevelArithmetic(mul_model=model)
+    codec = TransformCodec(encode_arithmetic=arithmetic,
+                           decode_arithmetic=arithmetic)
+    return codec.roundtrip(image)
+
+
+def test_fig2_aged_chain_quality(benchmark, lib, show):
+    image = make_image(IMAGE, SIZE)
+    reference = TransformCodec().roundtrip(image)
+
+    def run_all():
+        results = {"0y": reference}
+        for years in (1, 10):
+            results["%dy_balance" % years] = aged_roundtrip(
+                lib, image, balance_case(years))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    quality = {}
+    for label, recon in results.items():
+        quality[label] = psnr_db(image, recon)
+        err = float((recon != reference).mean())
+        rows.append("%-12s PSNR %5.1f dB   pixel error probability %5.1f%%"
+                    % (label, quality[label], 100 * err))
+    show("Fig. 2 / aged DCT-IDCT chain on '%s' (%dx%d)"
+         % (IMAGE, SIZE, SIZE),
+         rows + ["paper: 45 dB -> 18.5 dB (1y) -> 8.4 dB (10y)"])
+
+    # Shape: fresh is fine; aging collapses quality to a useless image.
+    # (At 10 years both PSNRs sit on the noise floor, so the 1y-vs-10y
+    # ordering is asserted on the pixel error probability instead.)
+    assert quality["0y"] > 40.0
+    assert quality["1y_balance"] < quality["0y"] - 15.0
+    assert quality["10y_balance"] <= quality["1y_balance"] + 1.0
+    assert quality["10y_balance"] < 15.0
+    err_1y = float((results["1y_balance"] != reference).mean())
+    err_10y = float((results["10y_balance"] != reference).mean())
+    assert err_10y >= err_1y
+    benchmark.extra_info.update({k: round(v, 2)
+                                 for k, v in quality.items()})

@@ -1,0 +1,46 @@
+"""Fig. 9 — example images after 10 years of worst-case aging.
+
+Paper's series: salesman 36 dB, mobile 28 dB, foreman 30 dB,
+grandmother 34 dB — all still visually good despite a decade of
+guardband-free operation; 'mobile' (dense texture) is the weakest.
+"""
+
+import pytest
+
+from repro.approx import ComponentArithmetic
+from repro.media import TransformCodec, make_image
+from repro.quality import psnr_db
+from repro.rtl import Multiplier
+
+PAPER_VALUES = {"salesman": 36, "mobile": 28, "foreman": 30, "grand": 34}
+SIZE = 64
+
+
+def test_fig9_example_images(benchmark, lib, show, idct_flow):
+    __, report = idct_flow
+    precision = report.outcome.decisions["mult"].chosen_precision
+    arithmetic = ComponentArithmetic(
+        mul_component=Multiplier(32, precision=precision))
+    codec = TransformCodec(decode_arithmetic=arithmetic)
+
+    def decode_examples():
+        return {name: psnr_db(make_image(name, SIZE),
+                              codec.roundtrip(make_image(name, SIZE)))
+                for name in PAPER_VALUES}
+
+    quality = benchmark.pedantic(decode_examples, rounds=1, iterations=1)
+
+    rows = ["image        measured   paper"]
+    for name, value in quality.items():
+        rows.append("%-10s %7.1f dB %5d dB"
+                    % (name, value, PAPER_VALUES[name]))
+    show("Fig. 9 / example images @ 10y worst-case approximations", rows)
+
+    # All four images stay usable (paper: 28-36 dB).
+    for name, value in quality.items():
+        assert value > 25.0, name
+    # The texture-heavy images are the weakest, as in the paper.
+    assert min(quality, key=quality.get) in ("mobile", "foreman",
+                                             "salesman")
+    benchmark.extra_info.update({k: round(v, 2)
+                                 for k, v in quality.items()})

@@ -1,0 +1,64 @@
+"""Section IV/VI text numbers — guardband narrowing per truncated bit.
+
+Paper's quotes:
+  * adder: "reducing the precision by merely 2 bits allows us to narrow
+    the required guardband by 31%"; 1y needs ~6-8 dropped bits, 10y ~8-10.
+  * multiplier/MAC: "reducing the precision by only 1 bit results in
+    narrowing the guardband by 29% and 80% respectively, after 10 years".
+
+This bench tabulates narrowing-per-bit for all three components and
+checks the qualitative ordering the paper reports: the prefix-heavy
+adder needs deeper cuts than the multiplier-style components per percent
+of guardband removed.
+"""
+
+import pytest
+
+from repro.aging import worst_case
+from repro.core import characterize
+from repro.rtl import Adder, Multiplier, MultiplyAccumulate
+
+
+def test_guardband_narrowing_table(benchmark, lib, show, approx_store):
+    components = [Adder(32), Multiplier(32), MultiplyAccumulate(32)]
+
+    def characterize_all():
+        entries = {}
+        for component in components:
+            cached = approx_store.get(component)
+            if cached is None or "10y_worst" not in cached.scenario_labels:
+                cached = approx_store.add(characterize(
+                    component, lib,
+                    scenarios=[worst_case(1), worst_case(10)],
+                    precisions=range(32, 21, -1)))
+            entries[component.family] = cached
+        return entries
+
+    entries = benchmark.pedantic(characterize_all, rounds=1, iterations=1)
+
+    rows = ["component    1-bit    2-bit    4-bit    K(1y)  K(10y)"]
+    for family, entry in entries.items():
+        rows.append("%-11s %5.0f%%  %6.0f%%  %6.0f%%  %6s %6s"
+                    % (family,
+                       100 * entry.guardband_narrowing("10y_worst", 31),
+                       100 * entry.guardband_narrowing("10y_worst", 30),
+                       100 * entry.guardband_narrowing("10y_worst", 28),
+                       entry.required_precision("1y_worst"),
+                       entry.required_precision("10y_worst")))
+    rows.append("paper: adder 2 bits -> 31%; mult 1 bit -> 29%, "
+                "2 bits -> 79%; MAC 1 bit -> 80%")
+    show("Guardband narrowing per truncated bit (10y worst case)", rows)
+
+    for family, entry in entries.items():
+        # A 4-bit reduction always removes a large share of the guardband.
+        assert entry.guardband_narrowing("10y_worst", 28) > 0.3, family
+        # And the full sweep can remove it entirely.
+        assert entry.required_precision("10y_worst") is not None, family
+    # Different components trade precision for guardband at different
+    # rates (paper Section IV: "the impact of aging can be quite
+    # different from one RTL component to another").
+    one_bit = {f: e.guardband_narrowing("10y_worst", 31)
+               for f, e in entries.items()}
+    assert max(one_bit.values()) - min(one_bit.values()) > 0.10
+    benchmark.extra_info["K_10y"] = {
+        f: e.required_precision("10y_worst") for f, e in entries.items()}

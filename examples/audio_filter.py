@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""FIR audio-filter case study: the flow generalizes beyond the IDCT.
+
+The paper's method is application-agnostic — any error-tolerant datapath
+built from precision-scalable components can trade its aging guardband
+for approximation. This example applies the identical Section-V flow to
+a 16-tap low-pass FIR filter and reports the signal-to-noise cost across
+five synthetic audio-style signals.
+
+Run:  python examples/audio_filter.py
+"""
+
+import numpy as np
+
+from repro import Multiplier, default_library, worst_case
+from repro.approx import ComponentArithmetic
+from repro.core import remove_guardband
+from repro.media import SIGNAL_NAMES, make_signal
+from repro.quality import snr_db
+from repro.rtl import FixedPointFIR, fir_microarchitecture, lowpass_taps
+
+SAMPLES = 4096
+TAPS = 16
+
+
+def main():
+    lib = default_library()
+    micro = fir_microarchitecture(width=32, taps=TAPS)
+
+    print("applying the guardband-removal flow to a %d-tap FIR..." % TAPS)
+    report = remove_guardband(micro, lib, worst_case(10))
+    decision = report.outcome.decisions["mult"]
+    print("  constraint: %.1f ps (fresh f_max)" % report.constraint_ps)
+    print("  tap multiplier: %d -> %d bits (slack %+.1f -> %+.1f ps)"
+          % (decision.original_precision, decision.chosen_precision,
+             decision.slack_before_ps, decision.slack_after_ps))
+    print("  validated guardband-free for 10 years: %s"
+          % report.meets_constraint)
+
+    taps = lowpass_taps(TAPS)
+    exact = FixedPointFIR(taps)
+    approx = FixedPointFIR(taps, arithmetic=ComponentArithmetic(
+        mul_component=Multiplier(32,
+                                 precision=decision.chosen_precision)))
+
+    print("\nfiltering fidelity (approximate vs exact filter output):")
+    print("  signal     SNR")
+    snrs = []
+    for name in SIGNAL_NAMES:
+        signal = make_signal(name, SAMPLES)
+        value = snr_db(exact.filter(signal), approx.filter(signal))
+        snrs.append(value)
+        print("  %-9s %6.1f dB" % (name, value))
+    print("  average   %6.1f dB" % np.mean(snrs))
+    print("\nSame flow, different application: the multiplier gives up "
+          "the same LSBs,\nand the filter stays timing-clean at its "
+          "original clock for its whole life.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Graceful degradation over a design's lifetime (the paper's vision).
+
+The paper closes with: "By applying approximations adaptively we can
+envision future systems that gradually degrade in quality as they age."
+This example makes that concrete: for every year of a 20-year life, look
+up the smallest precision reduction that keeps the (aging) IDCT
+multiplier at the fresh clock, then show the image quality delivered at
+that point of life. Quality steps down a bit at a time instead of the
+circuit failing.
+
+Run:  python examples/graceful_degradation.py
+"""
+
+import numpy as np
+
+from repro import Multiplier, default_library, worst_case
+from repro.approx import ComponentArithmetic
+from repro.core import characterize
+from repro.media import TransformCodec, make_image
+from repro.quality import psnr_db
+
+WIDTH = 32
+YEARS = (0.5, 1, 2, 3, 5, 7, 10, 15, 20)
+
+
+def main():
+    lib = default_library()
+    mult = Multiplier(WIDTH)
+    print("characterizing %d-bit multiplier for %d lifetimes..."
+          % (WIDTH, len(YEARS)))
+    entry = characterize(mult, lib,
+                         scenarios=[worst_case(y) for y in YEARS],
+                         precisions=range(WIDTH, WIDTH - 13, -1))
+
+    image = make_image("mother", 64)
+    fresh_quality = psnr_db(image, TransformCodec().roundtrip(image))
+    print("\nfresh chain quality: %.1f dB" % fresh_quality)
+    print("\n  age     K (bits)  dropped   PSNR     quality")
+    print("  ----    --------  -------   ------   -------")
+    previous_k = None
+    for years in YEARS:
+        label = worst_case(years).label
+        k = entry.required_precision(label)
+        if k is None:
+            print("  %4gy   truncation alone no longer suffices" % years)
+            continue
+        arithmetic = ComponentArithmetic(
+            mul_component=mult.with_precision(k))
+        quality = psnr_db(image, TransformCodec(
+            decode_arithmetic=arithmetic).roundtrip(image))
+        step = "" if k == previous_k else "  <- adapt precision"
+        previous_k = k
+        bar = "#" * int(np.clip((quality - 20) / 2, 0, 18))
+        print("  %4gy   %8d  %7d   %5.1f dB %-18s%s"
+              % (years, k, WIDTH - k, quality, bar, step))
+
+    print("\nEvery row is timing-error free at the original clock: the")
+    print("guardband never existed, and quality steps down gradually as")
+    print("the precision adapts to the accumulated aging.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: convert an adder's aging guardband into a precision cut.
+
+The five-minute tour of the library:
+
+1. build a cell library and an RTL component,
+2. synthesize it and see how BTI aging slows it down,
+3. characterize the precision <-> aged-delay trade (Section IV of the
+   paper),
+4. read off the precision K that lets the *aged* component keep the
+   *fresh* clock — the guardband is gone, replaced by a bounded,
+   deterministic approximation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (Adder, characterize, critical_path_delay,
+                   default_library, synthesize_netlist, worst_case)
+
+WIDTH = 16
+LIFETIMES = (1, 10)
+
+
+def main():
+    lib = default_library()
+    adder = Adder(WIDTH)
+
+    # -- step 1: what does aging cost? ---------------------------------
+    netlist = synthesize_netlist(adder, lib)
+    fresh = critical_path_delay(netlist, lib)
+    print("%d-bit adder, synthesized: %d gates, %.1f ps fresh"
+          % (WIDTH, netlist.num_gates, fresh))
+    for years in LIFETIMES:
+        aged = critical_path_delay(netlist, lib,
+                                   scenario=worst_case(years))
+        print("  after %2d years of worst-case stress: %.1f ps "
+              "(guardband %.1f ps = %.1f%%)"
+              % (years, aged, aged - fresh, 100 * (aged / fresh - 1)))
+
+    # -- step 2: characterize precision vs aged delay -------------------
+    scenarios = [worst_case(y) for y in LIFETIMES]
+    entry = characterize(adder, lib, scenarios=scenarios,
+                         precisions=range(WIDTH, WIDTH - 9, -1))
+    print("\nprecision sweep (delays in ps):")
+    print("  prec   fresh   1y(WC)  10y(WC)  gates")
+    for p in entry.precisions:
+        print("  %4d  %6.1f  %6.1f  %7.1f  %5d"
+              % (p, entry.fresh_ps[p], entry.aged_ps[(p, "1y_worst")],
+                 entry.aged_ps[(p, "10y_worst")], entry.gates[p]))
+
+    # -- step 3: the paper's Eq. 2 lookup --------------------------------
+    print("\nrequired precision K (aged delay <= fresh full-precision "
+          "constraint of %.1f ps):" % entry.fresh_delay_ps())
+    for years in LIFETIMES:
+        label = "%dy_worst" % years
+        k = entry.required_precision(label)
+        if k is None:
+            print("  %2d years: not compensable by truncation alone" % years)
+            continue
+        print("  %2d years: keep %d of %d bits (drop %d) -> "
+              "max |error| <= %d, guardband removed"
+              % (years, k, WIDTH, WIDTH - k,
+                 adder.with_precision(k).max_error_bound()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Present so that ``pip install -e .`` works on environments without the
+``wheel`` package (offline PEP-517 editable installs need it). All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

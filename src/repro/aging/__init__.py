@@ -1,0 +1,19 @@
+"""BTI aging models, stress annotations and aged-delay computation."""
+
+from .bti import BTIModel, DEFAULT_BTI, SECONDS_PER_YEAR
+from .stress import (ActualStress, UniformStress, WORST, BALANCE, NONE,
+                     stress_histogram)
+from .scenario import (AgingScenario, fresh, worst_case, balance_case,
+                       actual_case, FRESH, ONE_YEAR_WORST, TEN_YEARS_WORST,
+                       ONE_YEAR_BALANCE, TEN_YEARS_BALANCE)
+from .delay import gate_delays, gate_delay_multiplier, guardband_ps
+
+__all__ = [
+    "BTIModel", "DEFAULT_BTI", "SECONDS_PER_YEAR",
+    "ActualStress", "UniformStress", "WORST", "BALANCE", "NONE",
+    "stress_histogram",
+    "AgingScenario", "fresh", "worst_case", "balance_case", "actual_case",
+    "FRESH", "ONE_YEAR_WORST", "TEN_YEARS_WORST", "ONE_YEAR_BALANCE",
+    "TEN_YEARS_BALANCE",
+    "gate_delays", "gate_delay_multiplier", "guardband_ps",
+]

@@ -1,0 +1,92 @@
+"""Aged gate-delay computation (Eq. 1 of the paper).
+
+Bridges the BTI model, a stress annotation and a cell library into the
+per-gate delays consumed by static timing analysis and the timed
+gate-level simulator.
+"""
+
+from .bti import DEFAULT_BTI
+
+
+class _AnyGate:
+    """Stand-in gate for querying a uniform stress annotation."""
+
+    uid = -1
+
+
+def gate_delay_multiplier(cell, scenario, bti=DEFAULT_BTI, degradation=None):
+    """Delay multiplier (>= 1) of a *cell* instance under *scenario*.
+
+    When a degradation-aware library is supplied, the multiplier is
+    looked up (bilinear interpolation) from its 11x11 stress grid —
+    mirroring the paper's use of the released degradation-aware cell
+    library [4],[9]. Otherwise the closed-form BTI model is evaluated.
+    Both paths agree to within the table's interpolation error.
+
+    Only meaningful for uniform stress annotations; per-gate annotations
+    need :func:`gate_delays`.
+    """
+    if scenario is None or scenario.is_fresh:
+        return 1.0
+    sp, sn = scenario.stress.gate_stress(_AnyGate)
+    if degradation is not None:
+        return degradation.multiplier(cell.name, sp, sn, scenario.years)
+    return bti.cell_multiplier(sp, sn, scenario.years, wp=cell.wp, wn=cell.wn)
+
+
+def gate_delays(netlist, library, scenario=None, bti=DEFAULT_BTI,
+                degradation=None):
+    """Per-gate aged delays in ps.
+
+    Parameters
+    ----------
+    netlist:
+        The design under analysis.
+    library:
+        :class:`~repro.cells.library.CellLibrary` resolving cell names.
+    scenario:
+        :class:`~repro.aging.scenario.AgingScenario`; fresh when omitted.
+    bti:
+        BTI model used for closed-form multipliers.
+    degradation:
+        Optional :class:`~repro.cells.degradation.DegradationAwareLibrary`
+        to look multipliers up from tabulated stress grids instead of the
+        closed form.
+
+    Returns
+    -------
+    dict
+        Map gate uid -> delay in ps (fresh delay x aging multiplier).
+    """
+    loads = netlist.load_caps(library, wire_cap_ff=library.wire_cap_ff)
+    delays = {}
+    fresh = scenario is None or scenario.is_fresh
+    for gate in netlist.gates:
+        cell = library[gate.cell]
+        delay = cell.delay_ps(loads[gate.uid])
+        if not fresh:
+            sp, sn = scenario.gate_stress(gate)
+            if degradation is not None:
+                mult = degradation.multiplier(gate.cell, sp, sn,
+                                              scenario.years)
+            else:
+                mult = bti.cell_multiplier(sp, sn, scenario.years,
+                                           wp=cell.wp, wn=cell.wn)
+            delay *= mult
+        delays[gate.uid] = delay
+    return delays
+
+
+def guardband_ps(netlist, library, scenario, bti=DEFAULT_BTI,
+                 degradation=None):
+    """Critical-path guardband ``t_GB`` in ps required by *scenario*.
+
+    ``t_GB = t_CP(aging) - t_CP(noAging)`` — the extra clock period a
+    conventional design must reserve (Eq. 1).
+    """
+    from ..sta.sta import critical_path_delay
+
+    fresh = critical_path_delay(netlist, library)
+    aged = critical_path_delay(netlist, library, scenario=scenario,
+                               bti=bti, degradation=degradation)
+    return aged - fresh

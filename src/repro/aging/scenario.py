@@ -1,0 +1,77 @@
+"""Aging scenarios: a lifetime plus a stress annotation.
+
+An :class:`AgingScenario` is the unit of "aging condition" used across
+the whole flow: STA, characterization tables and the microarchitecture
+flow are all keyed by scenarios such as *10 years, worst-case stress* or
+*10 years, actual-case stress under IDCT inputs*.
+"""
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .stress import ActualStress, UniformStress, WORST, BALANCE, NONE
+
+
+@dataclass(frozen=True)
+class AgingScenario:
+    """One point in (lifetime, stress) space.
+
+    Attributes
+    ----------
+    years:
+        Operational lifetime in years. 0 means fresh silicon.
+    stress:
+        A stress annotation (:data:`~repro.aging.stress.WORST`,
+        :data:`~repro.aging.stress.BALANCE` or an
+        :class:`~repro.aging.stress.ActualStress`).
+    """
+
+    years: float
+    stress: Union[UniformStress, ActualStress] = WORST
+
+    @property
+    def label(self):
+        """Stable human-readable key, e.g. ``"10y_worst"`` or ``"fresh"``."""
+        if self.years == 0:
+            return "fresh"
+        years = ("%g" % self.years)
+        return "%sy_%s" % (years, self.stress.label)
+
+    @property
+    def is_fresh(self):
+        return self.years == 0
+
+    def gate_stress(self, gate):
+        """Per-gate ``(s_pmos, s_nmos)`` under this scenario."""
+        return self.stress.gate_stress(gate)
+
+    def __str__(self):
+        return self.label
+
+
+def fresh():
+    """The no-aging scenario (t = 0)."""
+    return AgingScenario(0.0, NONE)
+
+
+def worst_case(years):
+    """Worst-case (S = 100%) scenario after *years* years."""
+    return AgingScenario(float(years), WORST)
+
+
+def balance_case(years):
+    """Balanced (S = 50%) scenario after *years* years."""
+    return AgingScenario(float(years), BALANCE)
+
+
+def actual_case(years, annotation):
+    """Actual-case scenario from an :class:`ActualStress` annotation."""
+    return AgingScenario(float(years), annotation)
+
+
+#: Scenarios used throughout the paper's evaluation.
+FRESH = fresh()
+ONE_YEAR_WORST = worst_case(1)
+TEN_YEARS_WORST = worst_case(10)
+ONE_YEAR_BALANCE = balance_case(1)
+TEN_YEARS_BALANCE = balance_case(10)

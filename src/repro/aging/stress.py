@@ -1,0 +1,123 @@
+"""Stress-factor annotations for netlists.
+
+The impact of BTI on a gate depends on how long each transistor network
+spent under stress: pMOS devices age while their input is *low*, nMOS
+devices while it is *high*. The paper considers three annotation styles,
+all reproduced here:
+
+* **worst case** — every transistor at S = 100% (the conservative bound
+  that guarantees freedom from aging-induced timing errors),
+* **balance case** — every transistor at S = 50% (a "typical" stress),
+* **actual case** — per-gate stress factors derived from the signal
+  probabilities observed while simulating the netlist with real stimuli
+  (Fig. 3(c) / Fig. 5 of the paper).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class UniformStress:
+    """Every transistor in the design shares one stress factor."""
+
+    s: float
+    label: str
+
+    def gate_stress(self, gate):
+        """Return ``(s_pmos, s_nmos)`` for *gate*."""
+        return (self.s, self.s)
+
+
+#: Worst-case aging: 100% stress everywhere (upper bound, Section IV).
+WORST = UniformStress(1.0, "worst")
+#: Balanced aging: 50% stress everywhere (typical case, Section II).
+BALANCE = UniformStress(0.5, "balance")
+#: No stress; used for fresh (t = 0) analyses.
+NONE = UniformStress(0.0, "fresh")
+
+
+@dataclass
+class ActualStress:
+    """Per-gate stress factors extracted from observed switching activity.
+
+    Attributes
+    ----------
+    per_gate:
+        Map from gate uid to ``(s_pmos, s_nmos)``.
+    label:
+        Name of the stimulus used ("normal", "idct", ...) — shows up in
+        characterization table keys.
+    default:
+        Stress pair for gates missing from the map (e.g. gates added by a
+        later synthesis pass); defaults to balanced stress.
+    """
+
+    per_gate: Dict[int, Tuple[float, float]]
+    label: str = "actual"
+    default: Tuple[float, float] = (0.5, 0.5)
+
+    def gate_stress(self, gate):
+        return self.per_gate.get(gate.uid, self.default)
+
+    @classmethod
+    def from_signal_probabilities(cls, netlist, probabilities, label="actual"):
+        """Build an annotation from per-net signal probabilities.
+
+        Parameters
+        ----------
+        netlist:
+            The annotated :class:`~repro.netlist.netlist.Netlist`.
+        probabilities:
+            Map net id -> probability the net is logic 1. Constant nets
+            may be omitted (0 and 1 are implied).
+        label:
+            Stimulus name.
+
+        Notes
+        -----
+        A gate's nMOS network is stressed while its inputs are high and
+        the pMOS network while they are low, so per gate we use the mean
+        input signal probability ``p1``::
+
+            s_nmos = mean(p1(inputs)),  s_pmos = 1 - s_nmos
+        """
+        from ..netlist.net import CONST0, CONST1
+
+        probs = dict(probabilities)
+        probs.setdefault(CONST0, 0.0)
+        probs.setdefault(CONST1, 1.0)
+        per_gate = {}
+        for gate in netlist.gates:
+            vals = [probs[n] for n in gate.inputs if n in probs]
+            if not vals:
+                per_gate[gate.uid] = cls.default
+                continue
+            p1 = sum(vals) / len(vals)
+            per_gate[gate.uid] = (1.0 - p1, p1)
+        return cls(per_gate=per_gate, label=label)
+
+    def stress_samples(self):
+        """Flatten the annotation into a list of stress factors.
+
+        Returns the pMOS and nMOS stress of every annotated gate — the
+        quantity histogrammed in the paper's Fig. 5.
+        """
+        samples = []
+        for sp, sn in self.per_gate.values():
+            samples.append(sp)
+            samples.append(sn)
+        return samples
+
+
+def stress_histogram(annotation, bins=20):
+    """Histogram stress factors of an :class:`ActualStress` annotation.
+
+    Returns ``(bin_edges, counts)`` with *bins* equal-width bins over
+    [0, 1]; mirrors the paper's Fig. 5.
+    """
+    import numpy as np
+
+    samples = np.asarray(annotation.stress_samples(), dtype=float)
+    counts, edges = np.histogram(samples, bins=bins, range=(0.0, 1.0))
+    return edges, counts

@@ -1,0 +1,18 @@
+"""Approximation techniques and pluggable arithmetic models."""
+
+from .truncation import (product_error_bound, sum_error_bound,
+                         truncate_lsbs, truncation_error_bound)
+from .arith import (ArithmeticModel, ComponentArithmetic, ExactArithmetic,
+                    RecordingArithmetic, TruncatedArithmetic)
+from .gate_level import (GateLevelArithmetic, TimedComponentModel,
+                         timed_datapath_arithmetic)
+
+__all__ = [
+    "product_error_bound", "sum_error_bound", "truncate_lsbs",
+    "truncation_error_bound",
+    "ArithmeticModel", "ComponentArithmetic", "ExactArithmetic",
+    "RecordingArithmetic",
+    "TruncatedArithmetic",
+    "GateLevelArithmetic", "TimedComponentModel",
+    "timed_datapath_arithmetic",
+]

@@ -1,0 +1,159 @@
+"""Pluggable arithmetic models.
+
+Everything quality-related in the reproduction funnels integer multiplies
+and adds through an :class:`ArithmeticModel`, so the *same* transform /
+codec code computes:
+
+* the exact result (:class:`ExactArithmetic`),
+* the deterministic precision-reduced result
+  (:class:`TruncatedArithmetic`, :class:`ComponentArithmetic`) — the
+  paper's controlled approximation, and
+* the aged, guardband-free, timing-error-afflicted result
+  (:class:`~repro.approx.gate_level.GateLevelArithmetic`) — the
+  uncontrolled behaviour the paper's motivational study measures.
+"""
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .truncation import truncate_lsbs
+
+
+class ArithmeticModel(ABC):
+    """Elementwise integer multiply/add over NumPy int64 arrays."""
+
+    @abstractmethod
+    def mul(self, a, b):
+        """Elementwise product."""
+
+    @abstractmethod
+    def add(self, a, b):
+        """Elementwise sum."""
+
+    @property
+    def label(self):
+        return type(self).__name__
+
+
+class ExactArithmetic(ArithmeticModel):
+    """Plain int64 arithmetic — the golden reference."""
+
+    def mul(self, a, b):
+        return np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+
+    def add(self, a, b):
+        return np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+
+
+class TruncatedArithmetic(ArithmeticModel):
+    """Value-level LSB truncation of operands before each operation.
+
+    Parameters
+    ----------
+    mul_drop_bits / add_drop_bits:
+        Operand LSBs zeroed before multiplies / adds. These correspond
+        to ``N_j - P_j`` of the multiplier and adder components.
+    """
+
+    def __init__(self, mul_drop_bits=0, add_drop_bits=0):
+        if mul_drop_bits < 0 or add_drop_bits < 0:
+            raise ValueError("drop bit counts must be non-negative")
+        self.mul_drop_bits = int(mul_drop_bits)
+        self.add_drop_bits = int(add_drop_bits)
+
+    def mul(self, a, b):
+        a = truncate_lsbs(np.asarray(a, dtype=np.int64),
+                                 self.mul_drop_bits)
+        b = truncate_lsbs(np.asarray(b, dtype=np.int64),
+                                 self.mul_drop_bits)
+        return a * b
+
+    def add(self, a, b):
+        a = truncate_lsbs(np.asarray(a, dtype=np.int64),
+                                 self.add_drop_bits)
+        b = truncate_lsbs(np.asarray(b, dtype=np.int64),
+                                 self.add_drop_bits)
+        return a + b
+
+    @property
+    def label(self):
+        return "truncated(mul-%d, add-%d)" % (self.mul_drop_bits,
+                                              self.add_drop_bits)
+
+
+class ComponentArithmetic(ArithmeticModel):
+    """Arithmetic backed by configured RTL components.
+
+    Uses each component's fast :meth:`~repro.rtl.component.RTLComponent.
+    approximate` model (bit-exact with its truncated netlist), falling
+    back to exact arithmetic for operations without a component.
+    """
+
+    def __init__(self, mul_component=None, add_component=None):
+        self.mul_component = mul_component
+        self.add_component = add_component
+
+    def mul(self, a, b):
+        if self.mul_component is None:
+            return np.asarray(a, dtype=np.int64) * np.asarray(b,
+                                                              dtype=np.int64)
+        return self.mul_component.approximate(a, b)
+
+    def add(self, a, b):
+        if self.add_component is None:
+            return np.asarray(a, dtype=np.int64) + np.asarray(b,
+                                                              dtype=np.int64)
+        return self.add_component.approximate(a, b)
+
+    @property
+    def label(self):
+        parts = []
+        if self.mul_component is not None:
+            parts.append("mul=%s" % self.mul_component.name)
+        if self.add_component is not None:
+            parts.append("add=%s" % self.add_component.name)
+        return "components(%s)" % ", ".join(parts) if parts else "exact"
+
+
+class RecordingArithmetic(ArithmeticModel):
+    """Decorator model that records every operand pair it sees.
+
+    Used to extract realistic per-operation stimulus streams from a
+    running application (e.g. the multiplier inputs of an IDCT decoding
+    an image) for actual-case aging characterization — the paper's
+    "(AC, IDCT)" data points.
+    """
+
+    def __init__(self, inner=None):
+        self.inner = inner if inner is not None else ExactArithmetic()
+        self.mul_operands = []
+        self.add_operands = []
+
+    def mul(self, a, b):
+        self.mul_operands.append((np.asarray(a, dtype=np.int64).ravel(),
+                                  np.asarray(b, dtype=np.int64).ravel()))
+        return self.inner.mul(a, b)
+
+    def add(self, a, b):
+        self.add_operands.append((np.asarray(a, dtype=np.int64).ravel(),
+                                  np.asarray(b, dtype=np.int64).ravel()))
+        return self.inner.add(a, b)
+
+    def recorded_mul_stream(self, limit=None):
+        """Concatenated ``(a, b)`` multiplier operand streams."""
+        return self._stream(self.mul_operands, limit)
+
+    def recorded_add_stream(self, limit=None):
+        """Concatenated ``(a, b)`` adder operand streams."""
+        return self._stream(self.add_operands, limit)
+
+    @staticmethod
+    def _stream(pairs, limit):
+        if not pairs:
+            raise ValueError("no operations recorded yet")
+        a = np.concatenate([p[0] for p in pairs])
+        b = np.concatenate([p[1] for p in pairs])
+        if limit is not None:
+            a, b = a[:limit], b[:limit]
+        return a, b

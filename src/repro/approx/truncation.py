@@ -1,0 +1,52 @@
+"""LSB truncation — the paper's generic approximation technique.
+
+Precision reduction by truncating least-significant bits is the
+approximation the paper applies ("Without loss of generality, we use
+precision reduction through truncation of LSBs as generic approximation
+technique"). This module is the single source of truth for its value
+semantics and deterministic error bounds; both the RTL component
+generators and the value-level arithmetic models build on it.
+"""
+
+import numpy as np
+
+
+def truncate_lsbs(values, drop_bits):
+    """Zero the *drop_bits* least-significant bits (two's complement).
+
+    Elementwise on NumPy integer arrays, also accepts Python ints. For
+    negative values this matches the hardware behaviour of tying the low
+    bits to constant 0 (rounding toward minus infinity).
+    """
+    if drop_bits < 0:
+        raise ValueError("drop_bits must be non-negative")
+    if drop_bits == 0:
+        return values
+    if isinstance(values, np.ndarray):
+        return (values >> np.int64(drop_bits)) << np.int64(drop_bits)
+    return (values >> drop_bits) << drop_bits
+
+
+def truncation_error_bound(drop_bits):
+    """Largest possible ``value - truncate(value)`` for one operand."""
+    if drop_bits < 0:
+        raise ValueError("drop_bits must be non-negative")
+    return (1 << drop_bits) - 1
+
+
+def sum_error_bound(drop_bits, operands=2):
+    """Worst-case absolute error of a sum of truncated operands."""
+    return operands * truncation_error_bound(drop_bits)
+
+
+def product_error_bound(drop_bits, width):
+    """Worst-case absolute error of a product of truncated operands.
+
+    With ``|a|, |b| <= 2**(width-1)`` and per-operand truncation error
+    ``e < 2**drop_bits``::
+
+        |ab - a_t b_t| <= e*|b| + e*|a| + e**2
+    """
+    e = truncation_error_bound(drop_bits)
+    mag = 1 << (width - 1)
+    return e * mag * 2 + e * e

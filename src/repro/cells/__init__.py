@@ -1,0 +1,13 @@
+"""Standard-cell substrate: cells, libraries, degradation tables."""
+
+from .cell import Cell, CELL_KINDS, cell_function, cell_arity
+from .library import CellLibrary, nangate45, default_library
+from .degradation import DegradationAwareLibrary, STRESS_GRID
+from .liberty import degradation_tables_text, read_liberty_cells, to_liberty
+
+__all__ = [
+    "Cell", "CELL_KINDS", "cell_function", "cell_arity",
+    "CellLibrary", "nangate45", "default_library",
+    "DegradationAwareLibrary", "STRESS_GRID",
+    "degradation_tables_text", "read_liberty_cells", "to_liberty",
+]

@@ -1,0 +1,151 @@
+"""Standard-cell types: logic functions and electrical parameters.
+
+Each :class:`Cell` models one library cell with an NLDM-like linear delay
+model::
+
+    delay_ps = intrinsic_ps + drive_res_ps_per_ff * load_ff
+
+plus area, leakage, input capacitance, and the pMOS/nMOS *aging weights*
+``(wp, wn)`` that say how much of the cell's delay is contributed by
+pMOS pull-up versus nMOS pull-down networks. The weights feed the
+degradation-aware delay tables in :mod:`repro.cells.degradation`.
+
+Logic functions are defined over values in ``{0, 1}`` and are written
+with bitwise operators so they evaluate elementwise on NumPy ``uint8``
+arrays as well as on Python ints.
+"""
+
+from dataclasses import dataclass
+
+
+def _inv(a):
+    return a ^ 1
+
+
+def _buf(a):
+    return a
+
+
+def _nand2(a, b):
+    return (a & b) ^ 1
+
+
+def _nor2(a, b):
+    return (a | b) ^ 1
+
+
+def _and2(a, b):
+    return a & b
+
+
+def _or2(a, b):
+    return a | b
+
+
+def _xor2(a, b):
+    return a ^ b
+
+
+def _xnor2(a, b):
+    return (a ^ b) ^ 1
+
+
+def _mux2(a, b, s):
+    """Select *b* when s=1 else *a*."""
+    return (a & (s ^ 1)) | (b & s)
+
+
+def _aoi21(a, b, c):
+    return ((a & b) | c) ^ 1
+
+
+def _oai21(a, b, c):
+    return ((a | b) & c) ^ 1
+
+
+#: kind -> (number of inputs, elementwise logic function)
+CELL_KINDS = {
+    "INV": (1, _inv),
+    "BUF": (1, _buf),
+    "NAND2": (2, _nand2),
+    "NOR2": (2, _nor2),
+    "AND2": (2, _and2),
+    "OR2": (2, _or2),
+    "XOR2": (2, _xor2),
+    "XNOR2": (2, _xnor2),
+    "MUX2": (3, _mux2),
+    "AOI21": (3, _aoi21),
+    "OAI21": (3, _oai21),
+}
+
+
+def cell_function(kind):
+    """Return the elementwise logic function for a cell *kind*."""
+    try:
+        return CELL_KINDS[kind][1]
+    except KeyError:
+        raise KeyError("unknown cell kind %r" % (kind,))
+
+
+def cell_arity(kind):
+    """Return the number of inputs of a cell *kind*."""
+    try:
+        return CELL_KINDS[kind][0]
+    except KeyError:
+        raise KeyError("unknown cell kind %r" % (kind,))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell at a specific drive strength.
+
+    Attributes
+    ----------
+    name:
+        Full cell name, e.g. ``"NAND2_X2"``.
+    kind:
+        Logic function family, e.g. ``"NAND2"``.
+    drive:
+        Drive strength multiplier (1, 2, 4).
+    n_inputs:
+        Input pin count.
+    area:
+        Cell area in um^2.
+    leakage_nw:
+        Static leakage power in nW.
+    input_cap_ff:
+        Capacitance of one input pin in fF.
+    intrinsic_ps:
+        Load-independent delay component in ps.
+    drive_res:
+        Load-dependent slope in ps per fF of output load.
+    wp, wn:
+        Fractions of the delay attributable to the pMOS / nMOS network.
+        Used to compose per-transistor-type BTI degradation into a cell
+        delay multiplier; ``wp + wn == 1``.
+    """
+
+    name: str
+    kind: str
+    drive: int
+    n_inputs: int
+    area: float
+    leakage_nw: float
+    input_cap_ff: float
+    intrinsic_ps: float
+    drive_res: float
+    wp: float
+    wn: float
+
+    @property
+    def function(self):
+        """Elementwise logic function of this cell."""
+        return cell_function(self.kind)
+
+    def delay_ps(self, load_ff):
+        """Fresh (unaged) delay in ps driving *load_ff* fF."""
+        return self.intrinsic_ps + self.drive_res * load_ff
+
+    def evaluate(self, *inputs):
+        """Evaluate the cell's logic function on scalar or array inputs."""
+        return self.function(*inputs)

@@ -1,0 +1,231 @@
+"""Command-line interface: ``repro-aging``.
+
+Exposes the library's main flows without writing Python:
+
+* ``characterize`` — build a component's aging/precision table and
+  optionally persist it into an approximation-library JSON;
+* ``timing`` — fresh/aged delays and the guardband of one component;
+* ``flow`` — run the Section-V guardband-removal flow on a built-in
+  microarchitecture (IDCT, DCT or FIR);
+* ``schedule`` — plan a graceful-degradation precision schedule;
+* ``export`` — dump a synthesized component as structural Verilog
+  and/or an aging-annotated SDF.
+
+Every command accepts ``--width`` and lifetime lists, uses the bundled
+cell library, and prints plain-text reports (see :mod:`repro.report`).
+"""
+
+import argparse
+import sys
+
+from .aging import balance_case, worst_case
+from .cells import default_library
+from .core import AgingApproximationLibrary, characterize, remove_guardband
+from .core.adaptive import plan_graceful_degradation
+from .report import (characterization_report, flow_report_text,
+                     schedule_report_text, timing_report_text)
+from .rtl import (Adder, BoothMultiplier, CarrySelectAdder, CarrySkipAdder,
+                  KoggeStoneAdder, Multiplier, MultiplyAccumulate,
+                  RippleCarryAdder, fir_microarchitecture,
+                  dct_microarchitecture, idct_microarchitecture)
+
+COMPONENTS = {
+    "adder": Adder,
+    "rca": RippleCarryAdder,
+    "ksa": KoggeStoneAdder,
+    "csel": CarrySelectAdder,
+    "cskip": CarrySkipAdder,
+    "multiplier": Multiplier,
+    "booth": BoothMultiplier,
+    "mac": MultiplyAccumulate,
+}
+
+DESIGNS = {
+    "idct": idct_microarchitecture,
+    "dct": dct_microarchitecture,
+    "fir": fir_microarchitecture,
+}
+
+
+def _years_list(text):
+    return [float(part) for part in text.split(",") if part]
+
+
+def _scenarios(years, stress):
+    factory = worst_case if stress == "worst" else balance_case
+    return [factory(y) for y in years]
+
+
+def _component(args):
+    try:
+        cls = COMPONENTS[args.component]
+    except KeyError:
+        raise SystemExit("unknown component %r (choose from %s)"
+                         % (args.component, ", ".join(sorted(COMPONENTS))))
+    precision = getattr(args, "precision", None)
+    return cls(args.width, precision=precision)
+
+
+def cmd_characterize(args):
+    lib = default_library()
+    component = _component(args)
+    sweep = None
+    if args.sweep_bits:
+        sweep = range(args.width, args.width - args.sweep_bits - 1, -1)
+    entry = characterize(component, lib,
+                         scenarios=_scenarios(args.years, args.stress),
+                         precisions=sweep, effort=args.effort)
+    print(characterization_report(entry))
+    if args.output:
+        store = (AgingApproximationLibrary.load(args.output)
+                 if args.update else AgingApproximationLibrary())
+        store.add(entry)
+        store.save(args.output)
+        print("\nsaved to %s (%d entries)" % (args.output, len(store)))
+    return 0
+
+
+def cmd_timing(args):
+    from .sta import analyze
+    from .synth import synthesize_netlist
+
+    lib = default_library()
+    component = _component(args)
+    netlist = synthesize_netlist(component, lib, effort=args.effort)
+    fresh = analyze(netlist, lib)
+    print(timing_report_text(netlist, lib, fresh))
+    for years in args.years:
+        scenario = (worst_case if args.stress == "worst"
+                    else balance_case)(years)
+        aged = analyze(netlist, lib, scenario=scenario)
+        print("\n%s: critical path %.1f ps (guardband %+.1f ps, %+.1f%%)"
+              % (scenario.label, aged.critical_path_ps,
+                 aged.critical_path_ps - fresh.critical_path_ps,
+                 100 * (aged.critical_path_ps / fresh.critical_path_ps
+                        - 1)))
+    return 0
+
+
+def cmd_flow(args):
+    lib = default_library()
+    try:
+        micro = DESIGNS[args.design](width=args.width)
+    except KeyError:
+        raise SystemExit("unknown design %r (choose from %s)"
+                         % (args.design, ", ".join(sorted(DESIGNS))))
+    store = (AgingApproximationLibrary.load(args.library)
+             if args.library else None)
+    report = remove_guardband(
+        micro, lib, worst_case(args.years[0]),
+        report_scenarios=[worst_case(y) for y in args.years[1:]],
+        approx_library=store, effort=args.effort)
+    print(flow_report_text(report))
+    return 0 if report.meets_constraint else 1
+
+
+def cmd_schedule(args):
+    lib = default_library()
+    micro = DESIGNS[args.design](width=args.width)
+    schedule = plan_graceful_degradation(micro, lib, args.years,
+                                         effort=args.effort)
+    print(schedule_report_text(schedule))
+    return 0
+
+
+def cmd_export(args):
+    from .netlist import to_verilog
+    from .sta import to_sdf
+    from .synth import synthesize_netlist
+
+    lib = default_library()
+    component = _component(args)
+    netlist = synthesize_netlist(component, lib, effort=args.effort)
+    wrote = []
+    if args.verilog:
+        with open(args.verilog, "w") as handle:
+            handle.write(to_verilog(netlist))
+        wrote.append(args.verilog)
+    if args.sdf:
+        scenario = worst_case(args.years[0]) if args.years else None
+        with open(args.sdf, "w") as handle:
+            handle.write(to_sdf(netlist, lib, scenario=scenario))
+        wrote.append(args.sdf)
+    if not wrote:
+        raise SystemExit("nothing to export: pass --verilog and/or --sdf")
+    print("wrote %s (%d gates)" % (", ".join(wrote), netlist.num_gates))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-aging",
+        description="Aging-induced approximations (DAC'17 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, design=False):
+        p.add_argument("--width", type=int, default=32,
+                       help="operand bit width (default 32)")
+        p.add_argument("--years", type=_years_list, default=[10.0],
+                       help="comma-separated lifetimes, e.g. 1,10")
+        p.add_argument("--stress", choices=("worst", "balance"),
+                       default="worst")
+        p.add_argument("--effort", default="ultra",
+                       choices=("low", "medium", "high", "ultra"))
+        if design:
+            p.add_argument("--design", default="idct",
+                           help="idct | dct | fir")
+        else:
+            p.add_argument("--component", default="adder",
+                           help=" | ".join(sorted(COMPONENTS)))
+
+    p = sub.add_parser("characterize",
+                       help="build a precision/aged-delay table")
+    common(p)
+    p.add_argument("--sweep-bits", type=int, default=12,
+                   help="how many LSBs to sweep (default 12)")
+    p.add_argument("--output", help="approximation-library JSON to write")
+    p.add_argument("--update", action="store_true",
+                   help="merge into an existing JSON library")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("timing", help="fresh vs aged timing of a component")
+    common(p)
+    p.add_argument("--precision", type=int, default=None)
+    p.set_defaults(func=cmd_timing)
+
+    p = sub.add_parser("flow", help="run the guardband-removal flow")
+    common(p, design=True)
+    p.add_argument("--library", help="pre-built approximation-library JSON")
+    p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser("schedule",
+                       help="plan a graceful-degradation schedule")
+    common(p, design=True)
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("export", help="write Verilog / aged SDF")
+    common(p)
+    p.add_argument("--precision", type=int, default=None)
+    p.add_argument("--verilog", help="output .v path")
+    p.add_argument("--sdf", help="output .sdf path")
+    p.set_defaults(func=cmd_export)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,279 @@
+"""Component characterization (Section IV, Fig. 3).
+
+For one RTL component, sweep the precision, synthesize each variant, and
+run aging-aware STA under every requested scenario. The result — a
+:class:`ComponentCharacterization` — relates every precision to its fresh
+and aged delays, from which the flow derives:
+
+* the **required precision** ``K_j``: the largest precision whose aged
+  delay still meets the fresh-design timing constraint (Eq. 2),
+* **guardband narrowing**: how much of the aging guardband each
+  truncated bit removes (the 31% / 29% / 80% numbers in the paper),
+* area/leakage per precision (for the efficiency results).
+
+Actual-case aging is supported via :class:`ActualCaseSpec`: the given
+stimulus operands are gate-level simulated on *each* precision variant
+(a one-time effort, as the paper stresses) to extract per-gate stress
+annotations.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aging.bti import DEFAULT_BTI
+from ..aging.scenario import AgingScenario
+from ..sim.activity import extract_stress, operand_stream_bits
+from ..sta.sta import critical_path_delay
+from ..synth.synthesize import synthesize
+from ..sta.paths import logic_depth
+
+
+@dataclass(frozen=True)
+class ActualCaseSpec:
+    """Actual-case aging request for characterization.
+
+    Attributes
+    ----------
+    years:
+        Lifetime in years.
+    label:
+        Stimulus name; the resulting scenario label is
+        ``"<years>y_<label>"`` (e.g. ``"10y_actual_nd"``).
+    operands:
+        Tuple of integer arrays, one stream per component operand, used
+        to extract per-gate stress factors by gate-level simulation.
+    """
+
+    years: float
+    label: str
+    operands: Tuple
+
+    @property
+    def scenario_label(self):
+        return "%gy_%s" % (self.years, self.label)
+
+
+@dataclass
+class ComponentCharacterization:
+    """Pre-characterized aging/precision table of one component.
+
+    The central artifact of the paper's Section IV: everything the
+    microarchitecture-level flow needs to know about a component without
+    ever simulating it again.
+    """
+
+    key: str
+    family: str
+    width: int
+    precisions: List[int]
+    scenario_labels: List[str]
+    #: precision -> fresh critical-path delay (ps)
+    fresh_ps: Dict[int, float]
+    #: (precision, scenario label) -> aged critical-path delay (ps)
+    aged_ps: Dict[Tuple[int, str], float]
+    #: precision -> area (um^2)
+    area_um2: Dict[int, float]
+    #: precision -> leakage (nW)
+    leakage_nw: Dict[int, float]
+    #: precision -> gate count
+    gates: Dict[int, int]
+    #: precision -> logic depth (levels)
+    depth: Dict[int, int]
+
+    # -- queries ---------------------------------------------------------
+    def fresh_delay_ps(self, precision=None):
+        """``t_Cj(noAging, P)``; full precision when omitted."""
+        if precision is None:
+            precision = self.width
+        return self.fresh_ps[precision]
+
+    def aged_delay_ps(self, precision, scenario_label):
+        """``t_Cj(Aging, P)`` under a characterized scenario."""
+        try:
+            return self.aged_ps[(precision, scenario_label)]
+        except KeyError:
+            raise KeyError(
+                "scenario %r / precision %r not characterized for %s"
+                % (scenario_label, precision, self.key))
+
+    def guardband_ps(self, scenario_label, precision=None):
+        """Guardband still needed at *precision* against the full-precision
+        fresh constraint: ``max(0, t(Aging, P) - t(noAging, N))``."""
+        if precision is None:
+            precision = self.width
+        return max(0.0, self.aged_delay_ps(precision, scenario_label)
+                   - self.fresh_delay_ps())
+
+    def guardband_narrowing(self, scenario_label, precision):
+        """Fraction of the full-precision guardband removed at *precision*.
+
+        The paper's headline numbers: a 2-bit adder reduction narrows
+        the guardband by 31%, 1 bit narrows the multiplier/MAC guardband
+        by 29% / 80%.
+        """
+        full = self.guardband_ps(scenario_label, self.width)
+        if full == 0:
+            return 1.0
+        return 1.0 - self.guardband_ps(scenario_label, precision) / full
+
+    def required_precision(self, scenario_label, target_ps=None):
+        """Largest precision whose aged delay meets *target_ps* (Eq. 2).
+
+        Defaults to the full-precision fresh delay — i.e. "remove the
+        guardband entirely". Returns None when no characterized
+        precision satisfies the target.
+        """
+        if target_ps is None:
+            target_ps = self.fresh_delay_ps()
+        feasible = [p for p in self.precisions
+                    if self.aged_delay_ps(p, scenario_label) <= target_ps]
+        return max(feasible) if feasible else None
+
+    def merge(self, other):
+        """Fold another characterization of the *same component* in.
+
+        Used when new scenarios (or precisions) are characterized later:
+        tables are unioned, with *other* winning on conflicts. Raises
+        ``ValueError`` for a different component key.
+        """
+        if other.key != self.key:
+            raise ValueError("cannot merge %s into %s"
+                             % (other.key, self.key))
+        self.precisions = sorted(set(self.precisions)
+                                 | set(other.precisions), reverse=True)
+        for label in other.scenario_labels:
+            if label not in self.scenario_labels:
+                self.scenario_labels.append(label)
+        self.fresh_ps.update(other.fresh_ps)
+        self.aged_ps.update(other.aged_ps)
+        self.area_um2.update(other.area_um2)
+        self.leakage_nw.update(other.leakage_nw)
+        self.gates.update(other.gates)
+        self.depth.update(other.depth)
+        return self
+
+    def has_scenario(self, scenario_label):
+        """True when every precision has an entry for *scenario_label*."""
+        return all((p, scenario_label) in self.aged_ps
+                   for p in self.precisions)
+
+    def to_rows(self):
+        """Flat table (list of dicts) for printing/serialization."""
+        rows = []
+        for p in self.precisions:
+            row = {
+                "precision": p,
+                "fresh_ps": self.fresh_ps[p],
+                "area_um2": self.area_um2[p],
+                "leakage_nw": self.leakage_nw[p],
+                "gates": self.gates[p],
+                "depth": self.depth[p],
+            }
+            for label in self.scenario_labels:
+                row[label + "_ps"] = self.aged_ps[(p, label)]
+            rows.append(row)
+        return rows
+
+    def to_dict(self):
+        """JSON-serializable form (see :meth:`from_dict`)."""
+        return {
+            "key": self.key,
+            "family": self.family,
+            "width": self.width,
+            "precisions": list(self.precisions),
+            "scenario_labels": list(self.scenario_labels),
+            "fresh_ps": {str(k): v for k, v in self.fresh_ps.items()},
+            "aged_ps": {"%d|%s" % k: v for k, v in self.aged_ps.items()},
+            "area_um2": {str(k): v for k, v in self.area_um2.items()},
+            "leakage_nw": {str(k): v for k, v in self.leakage_nw.items()},
+            "gates": {str(k): v for k, v in self.gates.items()},
+            "depth": {str(k): v for k, v in self.depth.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        aged = {}
+        for key, value in data["aged_ps"].items():
+            precision, label = key.split("|", 1)
+            aged[(int(precision), label)] = value
+        return cls(
+            key=data["key"], family=data["family"], width=data["width"],
+            precisions=list(data["precisions"]),
+            scenario_labels=list(data["scenario_labels"]),
+            fresh_ps={int(k): v for k, v in data["fresh_ps"].items()},
+            aged_ps=aged,
+            area_um2={int(k): v for k, v in data["area_um2"].items()},
+            leakage_nw={int(k): v for k, v in data["leakage_nw"].items()},
+            gates={int(k): v for k, v in data["gates"].items()},
+            depth={int(k): v for k, v in data["depth"].items()},
+        )
+
+
+def component_key(component):
+    """Library key of a component: family + base width."""
+    return "%s_w%d" % (component.family, component.width)
+
+
+def characterize(component, library, scenarios, precisions=None,
+                 effort="ultra", bti=DEFAULT_BTI, degradation=None):
+    """Characterize *component* across precisions and aging scenarios.
+
+    Parameters
+    ----------
+    component:
+        The full-precision component instance (its ``precision`` is the
+        sweep's upper end).
+    library:
+        Cell library.
+    scenarios:
+        Iterable of :class:`~repro.aging.scenario.AgingScenario`
+        (uniform stress) and/or :class:`ActualCaseSpec` (per-variant
+        stress extraction from stimulus operands).
+    precisions:
+        Precisions to sweep; default ``width .. width-12`` (descending).
+    effort:
+        Synthesis effort for every variant.
+
+    Returns
+    -------
+    ComponentCharacterization
+    """
+    width = component.width
+    if precisions is None:
+        precisions = list(range(width, max(width - 12, 1) - 1, -1))
+    precisions = sorted(set(precisions), reverse=True)
+
+    fresh_ps, area, leakage, gates, depth = {}, {}, {}, {}, {}
+    aged_ps = {}
+    labels = []
+    for precision in precisions:
+        variant = component.with_precision(precision)
+        result = synthesize(variant, library, effort=effort)
+        netlist = result.netlist
+        fresh_ps[precision] = result.delay_ps
+        area[precision] = result.area_um2
+        leakage[precision] = result.leakage_nw
+        gates[precision] = result.final_gates
+        depth[precision] = logic_depth(netlist)
+        for spec in scenarios:
+            if isinstance(spec, ActualCaseSpec):
+                bits = operand_stream_bits(spec.operands,
+                                           variant.operand_widths)
+                annotation = extract_stress(netlist, library, bits,
+                                            label=spec.label)
+                scenario = AgingScenario(spec.years, annotation)
+                label = spec.scenario_label
+            else:
+                scenario = spec
+                label = spec.label
+            if label not in labels:
+                labels.append(label)
+            aged_ps[(precision, label)] = critical_path_delay(
+                netlist, library, scenario=scenario, bti=bti,
+                degradation=degradation)
+
+    return ComponentCharacterization(
+        key=component_key(component), family=component.family, width=width,
+        precisions=precisions, scenario_labels=labels, fresh_ps=fresh_ps,
+        aged_ps=aged_ps, area_um2=area, leakage_nw=leakage, gates=gates,
+        depth=depth)

@@ -1,0 +1,14 @@
+"""Aging scenarios — re-exported here because they are the vocabulary of
+the core flow (characterization tables and approximation plans are keyed
+by scenario labels). See :mod:`repro.aging.scenario` for definitions."""
+
+from ..aging.scenario import (AgingScenario, FRESH, ONE_YEAR_BALANCE,
+                              ONE_YEAR_WORST, TEN_YEARS_BALANCE,
+                              TEN_YEARS_WORST, actual_case, balance_case,
+                              fresh, worst_case)
+
+__all__ = [
+    "AgingScenario", "FRESH", "ONE_YEAR_BALANCE", "ONE_YEAR_WORST",
+    "TEN_YEARS_BALANCE", "TEN_YEARS_WORST", "actual_case", "balance_case",
+    "fresh", "worst_case",
+]

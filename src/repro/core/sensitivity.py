@@ -1,0 +1,101 @@
+"""Sensitivity of the required precision to aging-model uncertainty.
+
+The paper's flow commits to a precision `K` derived from one calibrated
+BTI model. Real aging parameters carry substantial uncertainty, so an
+adopter should know how robust the chosen `K` is: if the true
+degradation is 20% worse than modeled, does the design still meet
+timing, and if not, how many more bits would it have cost?
+
+:func:`precision_sensitivity` sweeps scale factors on the ΔVth
+prefactor and reports `K` per factor, plus the *margin* of the nominal
+choice (the largest model error the nominal `K` survives).
+"""
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..aging.bti import DEFAULT_BTI
+from ..aging.scenario import AgingScenario
+from .characterize import characterize
+
+
+@dataclass
+class SensitivityReport:
+    """Result of :func:`precision_sensitivity`.
+
+    Attributes
+    ----------
+    scenario_label:
+        The aging scenario analyzed.
+    nominal_k:
+        Required precision under the calibrated model (factor 1.0).
+    k_by_factor:
+        Map prefactor scale -> required precision (None = not
+        compensable within the characterized sweep).
+    """
+
+    scenario_label: str
+    nominal_k: Optional[int]
+    k_by_factor: Dict[float, Optional[int]]
+
+    def tolerated_overshoot(self):
+        """Largest prefactor scale whose K still equals the nominal one.
+
+        A value of 1.3 means the nominal precision survives a +30%
+        model underestimate of ΔVth.
+        """
+        if self.nominal_k is None:
+            return None
+        tolerated = 1.0
+        for factor in sorted(self.k_by_factor):
+            if factor < 1.0:
+                continue
+            if self.k_by_factor[factor] == self.nominal_k:
+                tolerated = factor
+            else:
+                break
+        return tolerated
+
+    def monotone(self):
+        """K never increases as the model worsens (sanity invariant)."""
+        ks = [self.k_by_factor[f] for f in sorted(self.k_by_factor)]
+        last = None
+        for k in ks:
+            if k is None:
+                continue
+            if last is not None and k > last:
+                return False
+            last = k
+        return True
+
+
+def precision_sensitivity(component, library, scenario, factors=None,
+                          precisions=None, effort="ultra",
+                          bti=DEFAULT_BTI):
+    """Sweep BTI-prefactor scale factors and recompute `K` for each.
+
+    Parameters
+    ----------
+    component:
+        Full-precision component under study.
+    scenario:
+        Uniform-stress aging scenario (lifetime + stress).
+    factors:
+        Prefactor multipliers to evaluate; default 0.6 .. 1.4.
+    """
+    if factors is None:
+        factors = (0.6, 0.8, 1.0, 1.2, 1.4)
+    k_by_factor = {}
+    nominal_k = None
+    for factor in factors:
+        model = replace(bti, prefactor_v=bti.prefactor_v * factor)
+        entry = characterize(component, library, scenarios=[scenario],
+                             precisions=precisions, effort=effort,
+                             bti=model)
+        k = entry.required_precision(scenario.label)
+        k_by_factor[float(factor)] = k
+        if factor == 1.0:
+            nominal_k = k
+    return SensitivityReport(scenario_label=scenario.label,
+                             nominal_k=nominal_k,
+                             k_by_factor=k_by_factor)

@@ -1,0 +1,11 @@
+"""Image substrate: synthetic test images and the DCT block codec."""
+
+from .images import IMAGE_NAMES, all_images, make_image
+from .codec import TransformCodec, blockize, deblockize, roundtrip_psnr
+from .signals import SIGNAL_NAMES, all_signals, make_signal
+
+__all__ = [
+    "IMAGE_NAMES", "all_images", "make_image",
+    "TransformCodec", "blockize", "deblockize", "roundtrip_psnr",
+    "SIGNAL_NAMES", "all_signals", "make_signal",
+]

@@ -1,0 +1,189 @@
+"""Synthetic grayscale test images (video-trace-library substitute).
+
+The paper evaluates on frames of nine standard sequences from the ASU
+"video trace library" (akiyo, carphone, foreman, grandmother, miss,
+mobile, mother, salesman, suzie). Those traces are not redistributable,
+so this module generates deterministic synthetic images that mimic each
+sequence's *spectral character* — which is what the DCT-domain quality
+results depend on:
+
+* head-and-shoulders sequences (akiyo, miss, suzie, grandmother, mother)
+  are smooth with a dominant low-frequency face/background structure,
+* carphone/foreman/salesman add edges and mid-frequency detail,
+* mobile is the stress case: dense high-frequency texture (calendar
+  print, striped toy train), and accordingly comes out worst in the
+  paper's Fig. 8(b) — a behaviour these generators reproduce.
+
+All generators are pure functions of ``(size, seed)``.
+"""
+
+import numpy as np
+
+#: The nine sequences of the paper's Fig. 8(b), in its plot order.
+IMAGE_NAMES = (
+    "akiyo", "carphone", "foreman", "grand", "miss",
+    "mobile", "mother", "salesman", "suzie",
+)
+
+
+def _grid(size):
+    """Normalized coordinate grids in [0, 1]."""
+    axis = np.linspace(0.0, 1.0, size)
+    return np.meshgrid(axis, axis, indexing="xy")
+
+
+def _blob(x, y, cx, cy, sx, sy, amp):
+    """Anisotropic Gaussian blob."""
+    return amp * np.exp(-(((x - cx) / sx) ** 2 + ((y - cy) / sy) ** 2))
+
+
+def _finish(img):
+    """Clip to 8-bit range and round."""
+    return np.clip(np.rint(img), 0, 255).astype(np.uint8)
+
+
+def _portrait(size, seed, background, face_amp, detail_amp, smoothness):
+    """Shared head-and-shoulders scene with tunable detail level."""
+    x, y = _grid(size)
+    rng = np.random.default_rng(seed)
+    img = background + 40.0 * (1.0 - y)                     # lit backdrop
+    img += _blob(x, y, 0.5, 0.38, 0.16, 0.2, face_amp)      # head
+    img += _blob(x, y, 0.5, 0.95, 0.38, 0.35, face_amp * 0.7)  # shoulders
+    img -= _blob(x, y, 0.43, 0.34, 0.03, 0.02, face_amp * 0.5)  # eyes
+    img -= _blob(x, y, 0.57, 0.34, 0.03, 0.02, face_amp * 0.5)
+    img -= _blob(x, y, 0.5, 0.47, 0.05, 0.015, face_amp * 0.4)  # mouth
+    texture = rng.normal(0.0, 1.0, (size, size))
+    for __ in range(smoothness):                             # cheap blur
+        texture = 0.25 * (np.roll(texture, 1, 0) + np.roll(texture, -1, 0)
+                          + np.roll(texture, 1, 1) + np.roll(texture, -1, 1))
+    img += detail_amp * texture
+    return _finish(img)
+
+
+def akiyo(size=64, seed=101):
+    """News anchor: static smooth background, centered face."""
+    return _portrait(size, seed, background=70.0, face_amp=90.0,
+                     detail_amp=6.0, smoothness=3)
+
+
+def miss(size=64, seed=105):
+    """'Miss America': the smoothest portrait in the set."""
+    return _portrait(size, seed, background=60.0, face_amp=100.0,
+                     detail_amp=4.0, smoothness=4)
+
+
+def suzie(size=64, seed=109):
+    """Portrait on the phone; smooth with a bright highlight."""
+    x, y = _grid(size)
+    img = _portrait(size, seed, background=75.0, face_amp=85.0,
+                    detail_amp=5.0, smoothness=3).astype(np.float64)
+    img += _blob(x, y, 0.78, 0.52, 0.07, 0.16, 50.0)  # handset highlight
+    return _finish(img)
+
+
+def grand(size=64, seed=104):
+    """'Grandmother': low contrast, soft features."""
+    return _portrait(size, seed, background=90.0, face_amp=60.0,
+                     detail_amp=5.0, smoothness=4)
+
+
+def mother(size=64, seed=107):
+    """'Mother & daughter': two overlapping smooth subjects."""
+    x, y = _grid(size)
+    img = _portrait(size, seed, background=80.0, face_amp=75.0,
+                    detail_amp=6.0, smoothness=3).astype(np.float64)
+    img += _blob(x, y, 0.72, 0.5, 0.1, 0.13, 60.0)    # second head
+    return _finish(img)
+
+
+def carphone(size=64, seed=102):
+    """Face in a moving car: window edges and moderate texture."""
+    x, y = _grid(size)
+    rng = np.random.default_rng(seed)
+    img = 60.0 + 70.0 * (x > 0.62)                    # bright car window
+    img += 25.0 * np.sin(14.0 * np.pi * x) * (x > 0.62)  # passing scenery
+    img += _blob(x, y, 0.38, 0.42, 0.17, 0.22, 95.0)  # face
+    img -= _blob(x, y, 0.32, 0.36, 0.03, 0.02, 45.0)
+    img -= _blob(x, y, 0.45, 0.36, 0.03, 0.02, 45.0)
+    img += 9.0 * rng.normal(0.0, 1.0, (size, size))
+    return _finish(img)
+
+
+def foreman(size=64, seed=103):
+    """Construction-site portrait: hard hat edge, diagonal structure."""
+    x, y = _grid(size)
+    rng = np.random.default_rng(seed)
+    img = 95.0 + 50.0 * ((x + y) % 0.25 < 0.04)       # diagonal girders
+    img += _blob(x, y, 0.5, 0.45, 0.18, 0.24, 80.0)   # face
+    img += 60.0 * (((y - 0.18) ** 2 + 0.4 * (x - 0.5) ** 2) < 0.02)  # hat
+    img -= _blob(x, y, 0.44, 0.42, 0.03, 0.02, 40.0)
+    img -= _blob(x, y, 0.56, 0.42, 0.03, 0.02, 40.0)
+    img += 10.0 * rng.normal(0.0, 1.0, (size, size))
+    return _finish(img)
+
+
+def salesman(size=64, seed=108):
+    """Man at a desk: mid-level detail, strong horizontal edge."""
+    x, y = _grid(size)
+    rng = np.random.default_rng(seed)
+    img = 75.0 + 45.0 * (y > 0.7)                     # desk edge
+    img += _blob(x, y, 0.5, 0.4, 0.2, 0.26, 85.0)     # torso + head
+    img += 20.0 * np.sin(10.0 * np.pi * y) * (x < 0.2)  # shelf background
+    img += 12.0 * rng.normal(0.0, 1.0, (size, size))
+    return _finish(img)
+
+
+def mobile(size=64, seed=106):
+    """'Mobile & calendar': dense high-frequency texture (stress case)."""
+    x, y = _grid(size)
+    rng = np.random.default_rng(seed)
+    img = 110.0 + 55.0 * np.sign(np.sin(24.0 * np.pi * x)
+                                 * np.sin(24.0 * np.pi * y))  # fine checks
+    img += 35.0 * np.sin(40.0 * np.pi * x)            # train stripes
+    img += 30.0 * ((y * 11.0) % 1.0 < 0.28)           # calendar rules
+    img += 22.0 * rng.normal(0.0, 1.0, (size, size))  # print-like noise
+    return _finish(img)
+
+
+_GENERATORS = {
+    "akiyo": akiyo,
+    "carphone": carphone,
+    "foreman": foreman,
+    "grand": grand,
+    "miss": miss,
+    "mobile": mobile,
+    "mother": mother,
+    "salesman": salesman,
+    "suzie": suzie,
+}
+
+
+def make_image(name, size=64, seed=None):
+    """Generate the named test image.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`IMAGE_NAMES`.
+    size:
+        Square edge length in pixels; must be a multiple of 8 for the
+        8x8 block codec.
+    seed:
+        Optional RNG seed override (each image has its own default so
+        the suite is deterministic).
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError("unknown image %r (have %s)"
+                       % (name, ", ".join(IMAGE_NAMES)))
+    if size % 8 != 0:
+        raise ValueError("size must be a multiple of 8, got %d" % size)
+    if seed is None:
+        return generator(size=size)
+    return generator(size=size, seed=seed)
+
+
+def all_images(size=64):
+    """Map of every named image at the given size."""
+    return {name: make_image(name, size=size) for name in IMAGE_NAMES}

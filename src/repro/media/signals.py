@@ -1,0 +1,82 @@
+"""Synthetic 1-D test signals for the FIR filter case study.
+
+The paper motivates approximation with multimedia workloads generally;
+the FIR extension exercises the same flow on an audio-style datapath.
+All generators are deterministic functions of ``(samples, seed)`` and
+return int16-range integer arrays (15-bit signed payload).
+"""
+
+import numpy as np
+
+#: Named test signals of the FIR case study.
+SIGNAL_NAMES = ("speech", "music", "tone", "chirp", "noise")
+
+_FULL_SCALE = 2 ** 14  # leave 1 bit of headroom below int16
+
+
+def _finish(wave):
+    return np.clip(np.rint(wave * _FULL_SCALE), -2 ** 15,
+                   2 ** 15 - 1).astype(np.int64)
+
+
+def speech(samples=4096, seed=11):
+    """Speech-like: low-frequency formants, amplitude-modulated bursts."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(samples) / samples
+    envelope = 0.5 * (1 + np.sin(2 * np.pi * 7 * t)) \
+        * (rng.random(samples // 256 + 1).repeat(256)[:samples] > 0.3)
+    formants = (0.5 * np.sin(2 * np.pi * 45 * t)
+                + 0.3 * np.sin(2 * np.pi * 110 * t + 1.0)
+                + 0.15 * np.sin(2 * np.pi * 240 * t + 2.0))
+    return _finish(0.8 * envelope * formants)
+
+
+def music(samples=4096, seed=12):
+    """Music-like: harmonic stack with vibrato plus soft noise floor."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(samples) / samples
+    vibrato = 1.0 + 0.01 * np.sin(2 * np.pi * 5 * t)
+    wave = sum((0.5 ** k) * np.sin(2 * np.pi * 30 * (k + 1) * vibrato * t)
+               for k in range(4))
+    wave += 0.02 * rng.normal(size=samples)
+    return _finish(0.5 * wave)
+
+
+def tone(samples=4096, seed=13):
+    """Pure mid-band sine."""
+    t = np.arange(samples) / samples
+    return _finish(0.7 * np.sin(2 * np.pi * 60 * t))
+
+
+def chirp(samples=4096, seed=14):
+    """Linear frequency sweep crossing the filter's transition band."""
+    t = np.arange(samples) / samples
+    return _finish(0.7 * np.sin(2 * np.pi * (20 + 400 * t) * t))
+
+
+def noise(samples=4096, seed=15):
+    """White noise (the broadband stress case)."""
+    rng = np.random.default_rng(seed)
+    return _finish(0.4 * rng.normal(size=samples).clip(-3, 3) / 3)
+
+
+_GENERATORS = {"speech": speech, "music": music, "tone": tone,
+               "chirp": chirp, "noise": noise}
+
+
+def make_signal(name, samples=4096, seed=None):
+    """Generate the named test signal."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError("unknown signal %r (have %s)"
+                       % (name, ", ".join(SIGNAL_NAMES)))
+    if seed is None:
+        return generator(samples=samples)
+    return generator(samples=samples, seed=seed)
+
+
+def all_signals(samples=4096):
+    """Map of every named signal."""
+    return {name: make_signal(name, samples=samples)
+            for name in SIGNAL_NAMES}

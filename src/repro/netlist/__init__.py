@@ -1,0 +1,13 @@
+"""Gate-level netlist substrate: nets, gates, graphs and builders."""
+
+from .net import CONST0, CONST1, is_const, const_value
+from .gate import Gate
+from .netlist import Netlist, NetlistError
+from .builder import NetlistBuilder
+from .verilog import from_verilog, to_verilog
+
+__all__ = [
+    "CONST0", "CONST1", "is_const", "const_value",
+    "Gate", "Netlist", "NetlistError", "NetlistBuilder",
+    "from_verilog", "to_verilog",
+]

@@ -1,0 +1,121 @@
+"""Structural netlist construction helpers.
+
+:class:`NetlistBuilder` wraps a :class:`~repro.netlist.netlist.Netlist`
+with one method per logic primitive, so the RTL component generators in
+:mod:`repro.rtl` read like structural RTL. All gates are instantiated at
+the default drive strength; the synthesizer's sizing pass upgrades drives
+where timing needs it.
+"""
+
+from .net import CONST0, CONST1
+from .netlist import Netlist
+
+
+class NetlistBuilder:
+    """Fluent construction facade over a :class:`Netlist`.
+
+    Parameters
+    ----------
+    netlist:
+        Target netlist; a fresh one is created when omitted.
+    drive:
+        Default drive strength suffix for instantiated cells.
+    """
+
+    def __init__(self, netlist=None, name="design", drive=1):
+        self.netlist = netlist if netlist is not None else Netlist(name)
+        self.drive = drive
+        self.const0 = CONST0
+        self.const1 = CONST1
+
+    def _cell(self, kind):
+        return "%s_X%d" % (kind, self.drive)
+
+    # -- primitive gates -------------------------------------------------
+    def inv(self, a, name=""):
+        return self.netlist.add_gate(self._cell("INV"), (a,), name=name)
+
+    def buf(self, a, name=""):
+        return self.netlist.add_gate(self._cell("BUF"), (a,), name=name)
+
+    def nand2(self, a, b, name=""):
+        return self.netlist.add_gate(self._cell("NAND2"), (a, b), name=name)
+
+    def nor2(self, a, b, name=""):
+        return self.netlist.add_gate(self._cell("NOR2"), (a, b), name=name)
+
+    def and2(self, a, b, name=""):
+        return self.netlist.add_gate(self._cell("AND2"), (a, b), name=name)
+
+    def or2(self, a, b, name=""):
+        return self.netlist.add_gate(self._cell("OR2"), (a, b), name=name)
+
+    def xor2(self, a, b, name=""):
+        return self.netlist.add_gate(self._cell("XOR2"), (a, b), name=name)
+
+    def xnor2(self, a, b, name=""):
+        return self.netlist.add_gate(self._cell("XNOR2"), (a, b), name=name)
+
+    def mux2(self, a, b, sel, name=""):
+        """2:1 multiplexer: output = *b* when *sel* else *a*."""
+        return self.netlist.add_gate(self._cell("MUX2"), (a, b, sel), name=name)
+
+    def aoi21(self, a, b, c, name=""):
+        """AND-OR-invert: ``~((a & b) | c)``."""
+        return self.netlist.add_gate(self._cell("AOI21"), (a, b, c), name=name)
+
+    def oai21(self, a, b, c, name=""):
+        """OR-AND-invert: ``~((a | b) & c)``."""
+        return self.netlist.add_gate(self._cell("OAI21"), (a, b, c), name=name)
+
+    # -- wide helpers -----------------------------------------------------
+    def and_tree(self, nets, name=""):
+        """Balanced AND reduction of an arbitrary list of nets."""
+        return self._tree(self.and2, nets, CONST1, name)
+
+    def or_tree(self, nets, name=""):
+        """Balanced OR reduction of an arbitrary list of nets."""
+        return self._tree(self.or2, nets, CONST0, name)
+
+    def xor_tree(self, nets, name=""):
+        """Balanced XOR reduction of an arbitrary list of nets."""
+        return self._tree(self.xor2, nets, CONST0, name)
+
+    def _tree(self, op, nets, identity, name):
+        nets = list(nets)
+        if not nets:
+            return identity
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(op(nets[i], nets[i + 1], name=name))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    # -- arithmetic bricks -------------------------------------------------
+    def half_adder(self, a, b, name=""):
+        """Return ``(sum, carry)`` of a half adder."""
+        s = self.xor2(a, b, name=name + ".s" if name else "")
+        c = self.and2(a, b, name=name + ".c" if name else "")
+        return s, c
+
+    def full_adder(self, a, b, cin, name=""):
+        """Return ``(sum, carry)`` of a full adder built from 2 HAs + OR."""
+        s1 = self.xor2(a, b, name=name + ".x1" if name else "")
+        s = self.xor2(s1, cin, name=name + ".s" if name else "")
+        c1 = self.and2(a, b, name=name + ".c1" if name else "")
+        c2 = self.and2(s1, cin, name=name + ".c2" if name else "")
+        c = self.or2(c1, c2, name=name + ".c" if name else "")
+        return s, c
+
+    # -- I/O ---------------------------------------------------------------
+    def inputs(self, count, prefix):
+        """Declare *count* primary inputs named ``prefix[i]``, LSB first."""
+        return self.netlist.add_inputs(count, prefix)
+
+    def outputs(self, nets, prefix="y"):
+        """Declare *nets* as the primary outputs, LSB first."""
+        self.netlist.set_outputs(list(nets), prefix=prefix)
+        return self.netlist

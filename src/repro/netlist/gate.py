@@ -1,0 +1,66 @@
+"""Gate instances.
+
+A :class:`Gate` is one standard-cell instance inside a
+:class:`~repro.netlist.netlist.Netlist`: a cell type name (a key into a
+:class:`~repro.cells.library.CellLibrary`), an ordered tuple of input nets
+and a single output net.
+"""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass
+class Gate:
+    """One standard-cell instance.
+
+    Attributes
+    ----------
+    uid:
+        Unique id of this gate within its netlist. Stable across
+        optimization passes so that aging stress annotations (which are
+        keyed by gate uid) survive netlist rewrites that keep the gate.
+    cell:
+        Cell type name, e.g. ``"NAND2_X1"``. Resolved against a
+        :class:`~repro.cells.library.CellLibrary` at analysis time so a
+        netlist is not tied to one library instance.
+    inputs:
+        Ordered input net ids. Order matters for non-commutative cells
+        (``MUX2`` select is the last input).
+    output:
+        The single output net id driven by this gate.
+    """
+
+    uid: int
+    cell: str
+    inputs: Tuple[int, ...]
+    output: int
+    name: str = field(default="")
+
+    def __post_init__(self):
+        self.inputs = tuple(self.inputs)
+
+    @property
+    def kind(self):
+        """Base cell kind without the drive-strength suffix.
+
+        ``"NAND2_X1"`` -> ``"NAND2"``. Cell names without a drive suffix
+        are returned unchanged.
+        """
+        base, sep, drive = self.cell.rpartition("_X")
+        if sep and drive.isdigit():
+            return base
+        return self.cell
+
+    @property
+    def drive(self):
+        """Drive strength (1, 2, 4, ...) encoded in the cell name."""
+        __, sep, drive = self.cell.rpartition("_X")
+        if sep and drive.isdigit():
+            return int(drive)
+        return 1
+
+    def with_cell(self, cell):
+        """Return a copy of this gate mapped to a different cell type."""
+        return Gate(uid=self.uid, cell=cell, inputs=self.inputs,
+                    output=self.output, name=self.name)

@@ -1,0 +1,40 @@
+"""Net identifiers and constant nets.
+
+A *net* is a single-bit wire in a gate-level netlist. For performance the
+rest of the package represents nets as plain integers allocated by a
+:class:`~repro.netlist.netlist.Netlist`; this module only defines the two
+reserved identifiers used for logic constants.
+
+Reserved identifiers
+--------------------
+``CONST0``
+    Net id 0, permanently tied to logic 0. Precision reduction by LSB
+    truncation is realized by connecting component inputs to this net and
+    letting constant propagation shrink the netlist.
+``CONST1``
+    Net id 1, permanently tied to logic 1. Used e.g. by the Baugh-Wooley
+    signed multiplier's correction terms.
+"""
+
+CONST0 = 0
+CONST1 = 1
+
+#: Net ids below this value are reserved constants.
+FIRST_FREE_NET = 2
+
+
+def is_const(net):
+    """Return True if *net* is one of the reserved constant nets."""
+    return net == CONST0 or net == CONST1
+
+
+def const_value(net):
+    """Return the logic value (0 or 1) of a constant net.
+
+    Raises ``ValueError`` if *net* is not a constant.
+    """
+    if net == CONST0:
+        return 0
+    if net == CONST1:
+        return 1
+    raise ValueError("net %r is not a constant net" % (net,))

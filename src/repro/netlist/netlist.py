@@ -1,0 +1,285 @@
+"""Gate-level netlist graph.
+
+The :class:`Netlist` is the central data structure of the reproduction:
+RTL component generators produce netlists, the synthesizer rewrites them,
+static timing analysis and the gate-level simulators consume them.
+
+Nets are plain integers (ids); ids 0 and 1 are the reserved constants
+``CONST0``/``CONST1``. Each net is driven by at most one gate. Primary
+inputs and outputs are ordered lists of net ids — bit 0 (LSB) first for
+the arithmetic components built on top.
+"""
+
+from collections import deque
+
+from .gate import Gate
+from .net import CONST0, CONST1, FIRST_FREE_NET, is_const
+
+
+class NetlistError(Exception):
+    """Raised when a netlist is structurally invalid."""
+
+
+class Netlist:
+    """A combinational gate-level netlist.
+
+    Parameters
+    ----------
+    name:
+        Human-readable design name (e.g. ``"kogge_stone_adder_w32"``).
+    """
+
+    def __init__(self, name="netlist"):
+        self.name = name
+        self._next_net = FIRST_FREE_NET
+        self._next_gate_uid = 0
+        self.net_names = {CONST0: "const0", CONST1: "const1"}
+        self.primary_inputs = []
+        self.primary_outputs = []
+        self.gates = []
+        self._driver = {}      # net id -> Gate
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_net(self, name=None):
+        """Allocate and return a fresh net id."""
+        net = self._next_net
+        self._next_net += 1
+        if name is not None:
+            self.net_names[net] = name
+        self._topo_cache = None
+        return net
+
+    def new_nets(self, count, prefix=None):
+        """Allocate *count* fresh nets, optionally named ``prefix[i]``."""
+        return [self.new_net(None if prefix is None else "%s[%d]" % (prefix, i))
+                for i in range(count)]
+
+    def add_input(self, name=None):
+        """Allocate a fresh net and register it as a primary input."""
+        net = self.new_net(name)
+        self.primary_inputs.append(net)
+        return net
+
+    def add_inputs(self, count, prefix):
+        """Allocate *count* primary inputs named ``prefix[i]`` (LSB first)."""
+        return [self.add_input("%s[%d]" % (prefix, i)) for i in range(count)]
+
+    def set_outputs(self, nets, prefix=None):
+        """Register *nets* (LSB first) as the primary outputs."""
+        self.primary_outputs = list(nets)
+        if prefix is not None:
+            for i, net in enumerate(nets):
+                self.net_names.setdefault(net, "%s[%d]" % (prefix, i))
+
+    def add_gate(self, cell, inputs, output=None, name=""):
+        """Instantiate a gate of type *cell*.
+
+        Parameters
+        ----------
+        cell:
+            Cell type name (e.g. ``"NAND2_X1"``).
+        inputs:
+            Iterable of input net ids.
+        output:
+            Output net id; a fresh net is allocated when omitted.
+
+        Returns
+        -------
+        int
+            The output net id.
+        """
+        if output is None:
+            output = self.new_net()
+        if output in self._driver:
+            raise NetlistError("net %d already driven" % output)
+        if is_const(output):
+            raise NetlistError("cannot drive a constant net")
+        gate = Gate(uid=self._next_gate_uid, cell=cell,
+                    inputs=tuple(inputs), output=output, name=name)
+        self._next_gate_uid += 1
+        self.gates.append(gate)
+        self._driver[output] = gate
+        self._topo_cache = None
+        return output
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def driver_of(self, net):
+        """Return the gate driving *net*, or None for PIs/constants."""
+        return self._driver.get(net)
+
+    def fanout_map(self):
+        """Map each net id to the list of gates that read it."""
+        fanout = {}
+        for gate in self.gates:
+            for net in gate.inputs:
+                fanout.setdefault(net, []).append(gate)
+        return fanout
+
+    @property
+    def num_gates(self):
+        return len(self.gates)
+
+    def nets(self):
+        """Return the set of all net ids referenced by the netlist."""
+        referenced = {CONST0, CONST1}
+        referenced.update(self.primary_inputs)
+        referenced.update(self.primary_outputs)
+        for gate in self.gates:
+            referenced.update(gate.inputs)
+            referenced.add(gate.output)
+        return referenced
+
+    def topological_gates(self):
+        """Return gates in topological (input-to-output) order.
+
+        The result is cached until the netlist is mutated.
+
+        Raises
+        ------
+        NetlistError
+            If the netlist contains a combinational cycle or a gate reads
+            an undriven, non-input net.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+
+        ready = {CONST0, CONST1}
+        ready.update(self.primary_inputs)
+        # Kahn's algorithm on the gate graph. A gate may read the same
+        # net on several pins, so dependencies are tracked per *unique*
+        # input net (one waiter registration, one pending count each).
+        pending = {}           # gate uid -> number of unresolved inputs
+        waiters = {}           # net id -> gates waiting on it
+        queue = deque()
+        for gate in self.gates:
+            unresolved = 0
+            for net in set(gate.inputs):
+                if net not in ready and net not in self._driver:
+                    raise NetlistError(
+                        "gate %d (%s) reads undriven net %d"
+                        % (gate.uid, gate.cell, net))
+                if net not in ready:
+                    unresolved += 1
+                    waiters.setdefault(net, []).append(gate)
+            if unresolved:
+                pending[gate.uid] = unresolved
+            else:
+                queue.append(gate)
+
+        order = []
+        while queue:
+            gate = queue.popleft()
+            order.append(gate)
+            produced = gate.output
+            for waiter in waiters.get(produced, ()):  # resolve dependants
+                pending[waiter.uid] -= 1
+                if pending[waiter.uid] == 0:
+                    queue.append(waiter)
+        if len(order) != len(self.gates):
+            raise NetlistError(
+                "combinational cycle: %d of %d gates unordered"
+                % (len(self.gates) - len(order), len(self.gates)))
+        self._topo_cache = order
+        return order
+
+    def validate(self):
+        """Check structural invariants; raise :class:`NetlistError` if broken.
+
+        Invariants: single driver per net, no driven constants, no driven
+        primary inputs, every primary output driven or a PI/constant, and
+        the gate graph is acyclic.
+        """
+        seen_outputs = set()
+        for gate in self.gates:
+            if gate.output in seen_outputs:
+                raise NetlistError("net %d multiply driven" % gate.output)
+            seen_outputs.add(gate.output)
+            if is_const(gate.output):
+                raise NetlistError("constant net driven by gate %d" % gate.uid)
+            if gate.output in self.primary_inputs:
+                raise NetlistError("primary input %d driven" % gate.output)
+        driven = seen_outputs | set(self.primary_inputs) | {CONST0, CONST1}
+        for net in self.primary_outputs:
+            if net not in driven:
+                raise NetlistError("primary output %d undriven" % net)
+        self.topological_gates()
+        return True
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def area(self, library):
+        """Total cell area in um^2 under *library*."""
+        return sum(library[g.cell].area for g in self.gates)
+
+    def leakage(self, library):
+        """Total leakage power in nW under *library*."""
+        return sum(library[g.cell].leakage_nw for g in self.gates)
+
+    def cell_histogram(self):
+        """Map cell type name -> instance count."""
+        hist = {}
+        for gate in self.gates:
+            hist[gate.cell] = hist.get(gate.cell, 0) + 1
+        return hist
+
+    def load_caps(self, library, wire_cap_ff=0.8):
+        """Per-gate output load capacitance in fF.
+
+        The load of a gate is the sum of the input capacitances of its
+        fanout cells plus *wire_cap_ff* per fanout branch. Primary outputs
+        add one standard load (an implicit register/pin).
+        """
+        po_set = {}
+        for net in self.primary_outputs:
+            po_set[net] = po_set.get(net, 0) + 1
+        loads = {}
+        for gate in self.gates:
+            loads[gate.uid] = library.output_load_ff * po_set.get(gate.output, 0)
+        fanout = self.fanout_map()
+        for gate in self.gates:
+            total = loads[gate.uid]
+            for sink in fanout.get(gate.output, ()):
+                cell = library[sink.cell]
+                pin = list(sink.inputs).count(gate.output)
+                total += pin * (cell.input_cap_ff + wire_cap_ff)
+            loads[gate.uid] = total + wire_cap_ff * po_set.get(gate.output, 0)
+        return loads
+
+    # ------------------------------------------------------------------
+    # mutation used by synthesis
+    # ------------------------------------------------------------------
+    def rebuild(self, gates):
+        """Replace the gate list with *gates* and refresh internal maps.
+
+        Used by optimization passes that produce a filtered/rewired gate
+        list. Gate uids are preserved.
+        """
+        self.gates = list(gates)
+        self._driver = {g.output: g for g in self.gates}
+        if len(self._driver) != len(self.gates):
+            raise NetlistError("rebuild produced multiply-driven nets")
+        self._topo_cache = None
+
+    def copy(self):
+        """Return a deep-enough copy (gates are re-created, ids preserved)."""
+        dup = Netlist(self.name)
+        dup._next_net = self._next_net
+        dup._next_gate_uid = self._next_gate_uid
+        dup.net_names = dict(self.net_names)
+        dup.primary_inputs = list(self.primary_inputs)
+        dup.primary_outputs = list(self.primary_outputs)
+        dup.gates = [Gate(uid=g.uid, cell=g.cell, inputs=g.inputs,
+                          output=g.output, name=g.name) for g in self.gates]
+        dup._driver = {g.output: g for g in dup.gates}
+        return dup
+
+    def __repr__(self):
+        return ("Netlist(%r, gates=%d, inputs=%d, outputs=%d)"
+                % (self.name, len(self.gates), len(self.primary_inputs),
+                   len(self.primary_outputs)))

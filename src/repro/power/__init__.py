@@ -1,0 +1,12 @@
+"""Power, energy and efficiency models."""
+
+from .power import PowerReport, dynamic_power_uw, power_report, savings
+from .vos import (VoltageOperatingPoint, critical_voltage,
+                  delay_multiplier, operating_point,
+                  timing_equivalent_clock, vos_sweep)
+
+__all__ = [
+    "PowerReport", "dynamic_power_uw", "power_report", "savings",
+    "VoltageOperatingPoint", "critical_voltage", "delay_multiplier",
+    "operating_point", "timing_equivalent_clock", "vos_sweep",
+]

@@ -1,0 +1,103 @@
+"""Voltage overscaling (VOS) — the related-work trade-off axis.
+
+Early approximate-computing work (the paper's refs [14]-[16]) harvested
+energy by scaling Vdd below the critical voltage and accepting the
+resulting timing errors. This module models that knob so the benchmarks
+can compare it against aging-induced precision reduction on the same
+quality/energy axes:
+
+* delay scales with the alpha-power law
+  ``t ∝ Vdd / (Vdd - Vth - dVth)^alpha`` — note aging (dVth) and
+  undervolting compound, which is why VOS designs age badly;
+* dynamic energy scales as ``Vdd^2``;
+* leakage is approximated as linear in Vdd (good enough for the
+  comparison; documented simplification).
+
+Because the voltage multiplier is uniform across gates, running a
+circuit at scaled Vdd with clock ``T`` is exactly equivalent to nominal
+voltage with clock ``T / m`` — which is how :func:`timing_equivalent_clock`
+feeds the existing timed simulator without modification.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from ..aging.bti import DEFAULT_BTI
+
+
+@dataclass(frozen=True)
+class VoltageOperatingPoint:
+    """Electrical consequences of running at a scaled supply voltage.
+
+    All ratios are relative to nominal Vdd at fresh silicon.
+    """
+
+    vdd: float
+    delay_multiplier: float
+    dynamic_ratio: float
+    leakage_ratio: float
+
+    @property
+    def energy_ratio(self):
+        """Dynamic energy per operation relative to nominal."""
+        return self.dynamic_ratio
+
+
+def delay_multiplier(vdd, bti=DEFAULT_BTI, dvth=0.0):
+    """Gate-delay multiplier at supply *vdd* with *dvth* aging shift."""
+    headroom = vdd - bti.vth - dvth
+    if headroom <= 0:
+        raise ValueError(
+            "vdd %.3f V leaves no overdrive (Vth %.3f V + dVth %.3f V)"
+            % (vdd, bti.vth, dvth))
+    nominal = bti.vdd / bti.overdrive ** bti.alpha
+    scaled = vdd / headroom ** bti.alpha
+    return scaled / nominal
+
+
+def operating_point(vdd, bti=DEFAULT_BTI, dvth=0.0):
+    """Build a :class:`VoltageOperatingPoint` for supply *vdd*."""
+    return VoltageOperatingPoint(
+        vdd=vdd,
+        delay_multiplier=delay_multiplier(vdd, bti=bti, dvth=dvth),
+        dynamic_ratio=(vdd / bti.vdd) ** 2,
+        leakage_ratio=vdd / bti.vdd,
+    )
+
+
+def vos_sweep(vdds, bti=DEFAULT_BTI, dvth=0.0):
+    """Operating points for a sequence of supply voltages."""
+    return [operating_point(v, bti=bti, dvth=dvth) for v in vdds]
+
+
+def timing_equivalent_clock(t_clock_ps, vdd, bti=DEFAULT_BTI, dvth=0.0):
+    """Clock period that emulates supply *vdd* at nominal-voltage delays.
+
+    Scaling every gate delay by ``m`` while sampling at ``T`` is
+    indistinguishable from nominal delays sampled at ``T / m``; use the
+    returned period with :class:`~repro.sim.timing.TimedSimulator` to
+    simulate undervolted operation.
+    """
+    return t_clock_ps / delay_multiplier(vdd, bti=bti, dvth=dvth)
+
+
+def critical_voltage(t_clock_ps, fresh_cp_ps, bti=DEFAULT_BTI, dvth=0.0,
+                     tolerance=1e-4):
+    """Lowest Vdd at which the fresh critical path still meets *t_clock*.
+
+    Solved by bisection on the monotone delay multiplier.
+    """
+    target = t_clock_ps / fresh_cp_ps
+    if target < 1.0:
+        raise ValueError("clock is already faster than the critical path")
+    lo = bti.vth + dvth + 1e-3
+    hi = bti.vdd
+    if delay_multiplier(hi, bti=bti, dvth=dvth) > target:
+        raise ValueError("even nominal Vdd cannot meet the clock")
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if delay_multiplier(mid, bti=bti, dvth=dvth) > target:
+            lo = mid
+        else:
+            hi = mid
+    return hi

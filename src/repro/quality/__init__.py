@@ -1,0 +1,12 @@
+"""Quality metrics (PSNR, error rates)."""
+
+from .metrics import (ACCEPTABLE_PSNR_DB, error_rate, error_summary,
+                      is_acceptable_quality, max_abs_error, mean_abs_error,
+                      mse, psnr_db, snr_db)
+from .ssim import ssim
+
+__all__ = [
+    "ACCEPTABLE_PSNR_DB", "error_rate", "error_summary",
+    "is_acceptable_quality", "max_abs_error", "mean_abs_error", "mse",
+    "psnr_db", "snr_db", "ssim",
+]

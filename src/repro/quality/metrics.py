@@ -1,0 +1,96 @@
+"""Quality metrics: PSNR and error statistics.
+
+PSNR is the paper's image-quality metric; 30 dB is cited (after [11]) as
+the commonly accepted threshold for acceptable image quality. The error
+statistics mirror the quantities reported in the motivational study
+(percentage of erroneous outputs of a component, Fig. 1).
+"""
+
+import numpy as np
+
+#: PSNR commonly considered acceptable image quality (paper, citing [11]).
+ACCEPTABLE_PSNR_DB = 30.0
+
+
+def mse(reference, test):
+    """Mean squared error between two arrays of equal shape."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError("shape mismatch: %r vs %r"
+                         % (reference.shape, test.shape))
+    return float(np.mean((reference - test) ** 2))
+
+
+def psnr_db(reference, test, peak=255.0):
+    """Peak signal-to-noise ratio in dB (infinite for identical inputs)."""
+    error = mse(reference, test)
+    if error == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / error))
+
+
+def error_rate(exact, observed):
+    """Fraction of positions where *observed* differs from *exact*.
+
+    This is the paper's "percentage of error" for a component: how many
+    applied input vectors produced a wrong output word.
+    """
+    exact = np.asarray(exact)
+    observed = np.asarray(observed)
+    if exact.shape != observed.shape:
+        raise ValueError("shape mismatch: %r vs %r"
+                         % (exact.shape, observed.shape))
+    if exact.size == 0:
+        return 0.0
+    return float(np.mean(exact != observed))
+
+
+def mean_abs_error(exact, observed):
+    """Mean absolute numeric error."""
+    exact = np.asarray(exact, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.float64)
+    return float(np.mean(np.abs(exact - observed)))
+
+
+def max_abs_error(exact, observed):
+    """Largest absolute numeric error."""
+    exact = np.asarray(exact, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.float64)
+    if exact.size == 0:
+        return 0.0
+    return float(np.max(np.abs(exact - observed)))
+
+
+def error_summary(exact, observed):
+    """Bundle of all error statistics as a dict."""
+    return {
+        "error_rate": error_rate(exact, observed),
+        "mean_abs_error": mean_abs_error(exact, observed),
+        "max_abs_error": max_abs_error(exact, observed),
+    }
+
+
+def is_acceptable_quality(psnr_value_db, threshold_db=ACCEPTABLE_PSNR_DB):
+    """Apply the paper's 30 dB acceptability criterion."""
+    return psnr_value_db >= threshold_db
+
+
+def snr_db(reference, test):
+    """Signal-to-noise ratio in dB (for the 1-D signal case study).
+
+    Relative to the *reference* signal's own power, so it measures how
+    faithfully an (approximate) filter tracks the exact one.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError("shape mismatch: %r vs %r"
+                         % (reference.shape, test.shape))
+    noise = np.sum((reference - test) ** 2)
+    if noise == 0:
+        return float("inf")
+    power = np.sum(reference.astype(np.float64) ** 2)
+    if power == 0:
+        return float("-inf")
+    return float(10.0 * np.log10(power / noise))

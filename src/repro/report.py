@@ -1,0 +1,101 @@
+"""Plain-text report formatting.
+
+Shared by the CLI and the examples: turns characterizations, timing
+analyses and flow outcomes into aligned, readable tables without any
+third-party dependency.
+"""
+
+
+def format_table(headers, rows):
+    """Render *rows* (sequences of values) under *headers* as text."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(["%.1f" % v if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(line[col]) for line in cells)
+              for col in range(len(headers))]
+    lines = []
+    for index, line in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def characterization_report(entry):
+    """Text table of one component characterization (Section IV)."""
+    headers = (["precision", "fresh_ps"]
+               + ["%s_ps" % label for label in entry.scenario_labels]
+               + ["gates", "area_um2"])
+    rows = []
+    for precision in entry.precisions:
+        rows.append([precision, entry.fresh_ps[precision]]
+                    + [entry.aged_ps[(precision, label)]
+                       for label in entry.scenario_labels]
+                    + [entry.gates[precision],
+                       entry.area_um2[precision]])
+    lines = ["component %s (base width %d)" % (entry.key, entry.width),
+             format_table(headers, rows), ""]
+    for label in entry.scenario_labels:
+        k = entry.required_precision(label)
+        if k is None:
+            lines.append("%-18s cannot be compensated within the sweep"
+                         % label)
+        else:
+            lines.append("%-18s required precision K=%d (drop %d bits, "
+                         "guardband %.1f ps removed)"
+                         % (label, k, entry.width - k,
+                            entry.guardband_ps(label)))
+    return "\n".join(lines)
+
+
+def timing_report_text(netlist, library, report):
+    """Summary of an STA run: critical path and slowest outputs."""
+    from .sta.paths import critical_path, per_output_arrivals
+
+    path = critical_path(netlist, report)
+    lines = ["design %s under %s" % (netlist.name, report.scenario_label),
+             "critical path: %.1f ps through %d gates"
+             % (report.critical_path_ps, path.depth),
+             "slowest outputs:"]
+    for net, name, arrival in per_output_arrivals(netlist, report)[:8]:
+        lines.append("  %-12s %.1f ps" % (name, arrival))
+    return "\n".join(lines)
+
+
+def flow_report_text(report):
+    """Summary of a guardband-removal run (Section V / Fig. 8(a))."""
+    lines = ["timing constraint t_CP(noAging) = %.1f ps"
+             % report.constraint_ps,
+             "validated: %s (residual guardband %.2f ps)"
+             % (report.outcome.validated,
+                report.outcome.residual_guardband_ps),
+             "", "block decisions:"]
+    for name, decision in report.outcome.decisions.items():
+        change = ("%d -> %d bits" % (decision.original_precision,
+                                     decision.chosen_precision)
+                  if decision.approximated else "full precision")
+        lines.append("  %-8s %-16s slack %+7.1f -> %+7.1f ps"
+                     % (name, change, decision.slack_before_ps,
+                        decision.slack_after_ps))
+    lines.append("")
+    lines.append(format_table(
+        ["scenario", "original_ps", "approximated_ps", "meets"],
+        [[label, report.original_delays_ps[label],
+          report.approximated_delays_ps[label],
+          "yes" if report.approximated_delays_ps[label]
+          <= report.constraint_ps * (1 + 1e-9) else "NO"]
+         for label in report.original_delays_ps]))
+    return "\n".join(lines)
+
+
+def schedule_report_text(schedule):
+    """Summary of an adaptive precision schedule."""
+    lines = ["graceful-degradation schedule for %s (clock %.1f ps)"
+             % (schedule.design_name, schedule.constraint_ps)]
+    headers = ["age_years"] + sorted(schedule.checkpoints[0][1])
+    rows = [[age] + [precisions[name] for name in headers[1:]]
+            for age, precisions in schedule.checkpoints]
+    lines.append(format_table(headers, rows))
+    return "\n".join(lines)

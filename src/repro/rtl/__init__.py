@@ -1,0 +1,34 @@
+"""RTL component generators: adders, multipliers, MAC, DCT/IDCT."""
+
+from .component import RTLComponent, truncate_lsbs, wrap_signed
+from .adder import (Adder, CarryLookaheadAdder, KoggeStoneAdder,
+                    RippleCarryAdder, cla_core, kogge_stone_core,
+                    ripple_core)
+from .multiplier import (ArrayMultiplier, Multiplier, WallaceMultiplier,
+                         baugh_wooley_columns, wallace_reduce)
+from .mac import MultiplyAccumulate
+from .dct import (DEFAULT_COEFF_BITS, FixedPointTransform8, POINTS,
+                  dct_matrix, dct_microarchitecture, descale,
+                  fixed_coefficients, idct_microarchitecture)
+from .fir import (DEFAULT_FIR_COEFF_BITS, FixedPointFIR,
+                  fir_microarchitecture, lowpass_taps)
+from .adder_variants import CarrySelectAdder, CarrySkipAdder
+from .booth import BoothMultiplier
+from .approx_adders import LowerOrAdder
+from .approx_multipliers import TruncatedProductMultiplier
+
+__all__ = [
+    "RTLComponent", "truncate_lsbs", "wrap_signed",
+    "Adder", "CarryLookaheadAdder", "KoggeStoneAdder", "RippleCarryAdder",
+    "cla_core", "kogge_stone_core", "ripple_core",
+    "ArrayMultiplier", "Multiplier", "WallaceMultiplier",
+    "baugh_wooley_columns", "wallace_reduce",
+    "MultiplyAccumulate",
+    "DEFAULT_COEFF_BITS", "FixedPointTransform8", "POINTS", "dct_matrix",
+    "dct_microarchitecture", "descale", "fixed_coefficients",
+    "idct_microarchitecture",
+    "DEFAULT_FIR_COEFF_BITS", "FixedPointFIR", "fir_microarchitecture",
+    "lowpass_taps",
+    "CarrySelectAdder", "CarrySkipAdder", "BoothMultiplier", "LowerOrAdder",
+    "TruncatedProductMultiplier",
+]

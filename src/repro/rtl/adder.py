@@ -1,0 +1,166 @@
+"""Adder generators: ripple-carry, carry-lookahead, Kogge-Stone.
+
+All adders use wraparound (modulo ``2**width``) two's-complement
+semantics, matching typical synthesized RTL datapaths. Three
+architectures are provided because the precision <-> delay trade-off at
+the heart of the paper depends on adder structure:
+
+* :class:`RippleCarryAdder` — delay linear in width; truncation buys the
+  most delay per bit.
+* :class:`CarryLookaheadAdder` — 4-bit lookahead groups with rippled
+  group carries; delay ~ width/group. This is the default "synthesized
+  adder" of the reproduction: its smooth, gradual delay-vs-precision
+  curve matches the paper's Fig. 4.
+* :class:`KoggeStoneAdder` — parallel-prefix, delay ~ log2(width); the
+  fastest but least truncation-sensitive (explored in the adder
+  architecture ablation).
+"""
+
+from ..netlist.net import CONST0
+from .component import RTLComponent, wrap_signed
+
+
+def ripple_core(builder, a_nets, b_nets, cin=CONST0):
+    """Chain of full adders. Returns ``(sum_nets, carry_out)``."""
+    if len(a_nets) != len(b_nets):
+        raise ValueError("operand widths differ")
+    sums = []
+    carry = cin
+    for i, (a, b) in enumerate(zip(a_nets, b_nets)):
+        s, carry = builder.full_adder(a, b, carry, name="fa%d" % i)
+        sums.append(s)
+    return sums, carry
+
+
+def cla_core(builder, a_nets, b_nets, cin=CONST0, group=4):
+    """Carry-lookahead groups with rippled inter-group carries."""
+    if len(a_nets) != len(b_nets):
+        raise ValueError("operand widths differ")
+    n = len(a_nets)
+    prop = [builder.xor2(a, b, name="p%d" % i)
+            for i, (a, b) in enumerate(zip(a_nets, b_nets))]
+    gen = [builder.and2(a, b, name="g%d" % i)
+           for i, (a, b) in enumerate(zip(a_nets, b_nets))]
+    sums = [None] * n
+    carry = cin
+    for lo in range(0, n, group):
+        hi = min(lo + group, n)
+        p_grp = prop[lo:hi]
+        g_grp = gen[lo:hi]
+        size = hi - lo
+        # Local carries into each bit of the group, 2 logic levels each.
+        local_carry = [carry]
+        for j in range(1, size):
+            terms = []
+            for k in range(j - 1, -1, -1):
+                factors = p_grp[k + 1:j] + [g_grp[k]]
+                terms.append(builder.and_tree(factors))
+            terms.append(builder.and_tree(p_grp[:j] + [carry]))
+            local_carry.append(builder.or_tree(terms))
+        for j in range(size):
+            sums[lo + j] = builder.xor2(p_grp[j], local_carry[j],
+                                        name="s%d" % (lo + j))
+        # Group generate / propagate feed the next group's carry.
+        g_terms = []
+        for k in range(size - 1, -1, -1):
+            g_terms.append(builder.and_tree(p_grp[k + 1:] + [g_grp[k]]))
+        g_group = builder.or_tree(g_terms)
+        p_group = builder.and_tree(p_grp)
+        carry = builder.or2(g_group, builder.and2(p_group, carry))
+    return sums, carry
+
+
+def kogge_stone_core(builder, a_nets, b_nets):
+    """Kogge-Stone parallel-prefix adder (carry-in fixed at 0)."""
+    if len(a_nets) != len(b_nets):
+        raise ValueError("operand widths differ")
+    n = len(a_nets)
+    prop = [builder.xor2(a, b, name="p%d" % i)
+            for i, (a, b) in enumerate(zip(a_nets, b_nets))]
+    gen = [builder.and2(a, b, name="g%d" % i)
+           for i, (a, b) in enumerate(zip(a_nets, b_nets))]
+    big_g = list(gen)
+    big_p = list(prop)
+    dist = 1
+    while dist < n:
+        next_g = list(big_g)
+        next_p = list(big_p)
+        for i in range(dist, n):
+            next_g[i] = builder.or2(
+                big_g[i], builder.and2(big_p[i], big_g[i - dist]))
+            next_p[i] = builder.and2(big_p[i], big_p[i - dist])
+        big_g, big_p = next_g, next_p
+        dist *= 2
+    sums = [prop[0]]
+    for i in range(1, n):
+        sums.append(builder.xor2(prop[i], big_g[i - 1], name="s%d" % i))
+    return sums, big_g[n - 1]
+
+
+class _AdderBase(RTLComponent):
+    """Shared behaviour of the two-operand adders."""
+
+    family = "adder"
+
+    @property
+    def operand_widths(self):
+        return [self.width, self.width]
+
+    @property
+    def output_width(self):
+        return self.width
+
+    def exact(self, a, b):
+        """Wraparound two's-complement sum."""
+        import numpy as np
+        return wrap_signed(np.asarray(a, dtype=np.int64)
+                           + np.asarray(b, dtype=np.int64), self.width)
+
+    def max_error_bound(self):
+        """|error| <= 2*(2**drop_bits - 1): each operand loses < 2**t."""
+        return 2 * ((1 << self.drop_bits) - 1)
+
+
+class RippleCarryAdder(_AdderBase):
+    """Full-adder chain; linear delay."""
+
+    family = "rca"
+
+    def _build_core(self, builder, operands):
+        sums, __cout = ripple_core(builder, operands[0], operands[1])
+        return sums
+
+
+class CarryLookaheadAdder(_AdderBase):
+    """Group carry-lookahead adder (the default characterized adder)."""
+
+    family = "adder"
+
+    def __init__(self, width, precision=None, group=4):
+        super().__init__(width, precision=precision)
+        if group < 2:
+            raise ValueError("lookahead group must be at least 2")
+        self.group = int(group)
+
+    def _build_core(self, builder, operands):
+        sums, __cout = cla_core(builder, operands[0], operands[1],
+                                group=self.group)
+        return sums
+
+    def with_precision(self, precision):
+        return CarryLookaheadAdder(self.width, precision=precision,
+                                   group=self.group)
+
+
+class KoggeStoneAdder(_AdderBase):
+    """Parallel-prefix adder; logarithmic delay."""
+
+    family = "ksa"
+
+    def _build_core(self, builder, operands):
+        sums, __cout = kogge_stone_core(builder, operands[0], operands[1])
+        return sums
+
+
+#: The adder variant used by the paper-reproduction experiments.
+Adder = CarryLookaheadAdder

@@ -1,0 +1,105 @@
+"""Additional adder architectures: carry-select and carry-skip.
+
+These extend the architecture ablation between the extremes already in
+:mod:`repro.rtl.adder`: both are classic mid-range designs — faster than
+ripple, cheaper than parallel-prefix — and they occupy interesting
+points on the two axes the reproduction studies (dynamic timing-error
+exposure and truncation responsiveness).
+"""
+
+from ..netlist.net import CONST0, CONST1
+from .adder import _AdderBase, ripple_core
+
+
+def carry_select_core(builder, a_nets, b_nets, group=4):
+    """Carry-select adder: per group, compute both carry cases and mux.
+
+    Returns ``(sum_nets, carry_out)``.
+    """
+    if len(a_nets) != len(b_nets):
+        raise ValueError("operand widths differ")
+    n = len(a_nets)
+    sums = [None] * n
+    carry = CONST0
+    for lo in range(0, n, group):
+        hi = min(lo + group, n)
+        a_grp = a_nets[lo:hi]
+        b_grp = b_nets[lo:hi]
+        if lo == 0:
+            # First group needs no speculation: carry-in is known 0.
+            group_sums, carry = ripple_core(builder, a_grp, b_grp, CONST0)
+            sums[lo:hi] = group_sums
+            continue
+        sums0, cout0 = ripple_core(builder, a_grp, b_grp, CONST0)
+        sums1, cout1 = ripple_core(builder, a_grp, b_grp, CONST1)
+        for offset in range(hi - lo):
+            sums[lo + offset] = builder.mux2(sums0[offset], sums1[offset],
+                                             carry)
+        carry = builder.mux2(cout0, cout1, carry)
+    return sums, carry
+
+
+def carry_skip_core(builder, a_nets, b_nets, group=4):
+    """Carry-skip adder: ripple groups with propagate-bypass muxes.
+
+    Returns ``(sum_nets, carry_out)``.
+    """
+    if len(a_nets) != len(b_nets):
+        raise ValueError("operand widths differ")
+    n = len(a_nets)
+    sums = [None] * n
+    carry = CONST0
+    for lo in range(0, n, group):
+        hi = min(lo + group, n)
+        a_grp = a_nets[lo:hi]
+        b_grp = b_nets[lo:hi]
+        group_sums, ripple_out = ripple_core(builder, a_grp, b_grp, carry)
+        sums[lo:hi] = group_sums
+        # Group propagate: when every bit propagates, the carry-in
+        # bypasses the ripple chain through the skip mux.
+        props = [builder.xor2(a, b) for a, b in zip(a_grp, b_grp)]
+        p_group = builder.and_tree(props)
+        carry = builder.mux2(ripple_out, carry, p_group)
+    return sums, carry
+
+
+class CarrySelectAdder(_AdderBase):
+    """Speculative dual-ripple groups resolved by carry muxes."""
+
+    family = "csel"
+
+    def __init__(self, width, precision=None, group=4):
+        super().__init__(width, precision=precision)
+        if group < 2:
+            raise ValueError("select group must be at least 2")
+        self.group = int(group)
+
+    def _build_core(self, builder, operands):
+        sums, __cout = carry_select_core(builder, operands[0], operands[1],
+                                         group=self.group)
+        return sums
+
+    def with_precision(self, precision):
+        return CarrySelectAdder(self.width, precision=precision,
+                                group=self.group)
+
+
+class CarrySkipAdder(_AdderBase):
+    """Ripple groups with carry-bypass (skip) muxes."""
+
+    family = "cskip"
+
+    def __init__(self, width, precision=None, group=4):
+        super().__init__(width, precision=precision)
+        if group < 2:
+            raise ValueError("skip group must be at least 2")
+        self.group = int(group)
+
+    def _build_core(self, builder, operands):
+        sums, __cout = carry_skip_core(builder, operands[0], operands[1],
+                                       group=self.group)
+        return sums
+
+    def with_precision(self, precision):
+        return CarrySkipAdder(self.width, precision=precision,
+                              group=self.group)

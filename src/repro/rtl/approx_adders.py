@@ -1,0 +1,86 @@
+"""Approximate adders from the literature.
+
+The paper (Section III) stresses that its methodology "is orthogonal to
+and allows applying any such component approximations" — truncation is
+just the generic choice. This module provides a classic alternative, the
+**lower-part-OR adder (LOA)** [Mahdiani et al.]: the upper part is an
+exact adder, while the lower ``k`` bits are approximated by bitwise OR
+(a cheap, carry-free guess that is exact whenever the operands don't
+both have 1s in the same column). Like truncation it shortens the carry
+path — so it plugs straight into the aging characterization — but it
+keeps about half a bit more accuracy per approximated bit.
+"""
+
+import numpy as np
+
+from .adder import _AdderBase, cla_core
+from .component import wrap_signed
+
+
+class LowerOrAdder(_AdderBase):
+    """Lower-part-OR approximate adder.
+
+    The component's *precision* knob maps onto the LOA split point: at
+    precision ``P`` the lower ``width - P`` bits are computed by OR and
+    the upper ``P`` bits by an exact carry-lookahead adder (with no
+    carry into the upper part — the classic LOA formulation without the
+    AND carry-guess, keeping the parts fully decoupled and the delay
+    benefit maximal).
+    """
+
+    family = "loa"
+
+    def __init__(self, width, precision=None, group=4):
+        super().__init__(width, precision=precision)
+        if group < 2:
+            raise ValueError("lookahead group must be at least 2")
+        self.group = int(group)
+
+    def build(self, drive=1):
+        """LOA netlists implement the approximation structurally, so the
+        generic tie-LSBs-to-zero path is bypassed."""
+        from ..netlist.builder import NetlistBuilder
+
+        builder = NetlistBuilder(name=self.name, drive=drive)
+        a = builder.inputs(self.width, "a")
+        b = builder.inputs(self.width, "b")
+        return builder.outputs(self._build_core(builder, [a, b]),
+                               prefix="y")
+
+    def _build_core(self, builder, operands):
+        a, b = operands
+        split = self.drop_bits
+        outputs = [builder.or2(a[i], b[i]) for i in range(split)]
+        if split < self.width:
+            sums, __carry = cla_core(builder, a[split:], b[split:],
+                                     group=self.group)
+            outputs.extend(sums)
+        return outputs
+
+    def approximate(self, a, b):
+        """Value-level model, bit-exact with the netlist."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        split = self.drop_bits
+        if split == 0:
+            return self.exact(a, b)
+        mask = np.int64((1 << split) - 1)
+        low = (a & mask) | (b & mask)
+        high = wrap_signed((a >> np.int64(split))
+                           + (b >> np.int64(split)), self.width - split)
+        return (high << np.int64(split)) | low
+
+    def max_error_bound(self):
+        """Bound on the *modular* error ``wrap(exact - approx, width)``.
+
+        The OR part misses at most the lower columns' AND terms plus the
+        dropped inter-part carry: ``|error| <= 2**(drop+1) - 1``. As with
+        any wraparound adder the bound applies in modular arithmetic —
+        near the representable range's edge the raw integer difference
+        aliases by ``2**width``.
+        """
+        return (1 << (self.drop_bits + 1)) - 1
+
+    def with_precision(self, precision):
+        return LowerOrAdder(self.width, precision=precision,
+                            group=self.group)

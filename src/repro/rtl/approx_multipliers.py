@@ -1,0 +1,89 @@
+"""Approximate multipliers from the literature.
+
+Complements :mod:`repro.rtl.approx_adders`: the **partial-product
+truncated (PPT) multiplier** drops the low-weight partial-product
+columns entirely instead of zeroing operand LSBs. Compared to operand
+truncation at the same precision it keeps more information (operand bits
+still contribute through the *retained* columns) while removing a
+similar amount of carry-save hardware — another point on the
+technique-generality axis the paper claims.
+"""
+
+import numpy as np
+
+from ..netlist.net import CONST0
+from .adder import cla_core
+from .multiplier import (_MultiplierBase, baugh_wooley_columns,
+                         columns_to_operands, wallace_reduce)
+
+
+class TruncatedProductMultiplier(_MultiplierBase):
+    """Wallace multiplier with the lowest product columns removed.
+
+    The *precision* knob maps to the cut: at precision ``P`` the
+    ``width - P`` lowest product columns are dropped (their partial
+    products are never generated; the corresponding output bits read
+    constant 0). Because the dropped columns sit strictly below the
+    Baugh-Wooley sign-handling region, the value model is exact:
+
+        approx(a, b) = a*b - sum_{i+j < cut} a_j * b_i * 2^(i+j)
+
+    with ``a_j, b_i`` the operands' two's-complement bit values.
+    """
+
+    family = "ppt_multiplier"
+
+    def __init__(self, width, precision=None, final_adder="cla"):
+        super().__init__(width, precision=precision)
+        if final_adder not in ("cla",):
+            raise ValueError("PPT multiplier supports the 'cla' final "
+                             "adder")
+        if self.drop_bits >= width - 1:
+            raise ValueError(
+                "cut of %d columns reaches the Baugh-Wooley sign region "
+                "of a %d-bit multiplier" % (self.drop_bits, width))
+        self.final_adder = final_adder
+
+    def build(self, drive=1):
+        from ..netlist.builder import NetlistBuilder
+
+        builder = NetlistBuilder(name=self.name, drive=drive)
+        a = builder.inputs(self.width, "a")
+        b = builder.inputs(self.width, "b")
+        return builder.outputs(self._build_core(builder, [a, b]),
+                               prefix="y")
+
+    def _build_core(self, builder, operands):
+        cols = baugh_wooley_columns(builder, operands[0], operands[1])
+        cut = self.drop_bits
+        # Drop the low columns wholesale; downstream sees constant 0s.
+        # (The netlist still *creates* those AND gates via
+        # baugh_wooley_columns; dead-gate elimination removes them.)
+        for index in range(cut):
+            cols[index] = []
+        cols = wallace_reduce(builder, cols)
+        row_a, row_b = columns_to_operands(cols)
+        sums, __cout = cla_core(builder, row_a[cut:], row_b[cut:])
+        return [CONST0] * cut + sums
+
+    def approximate(self, a, b):
+        """Exact closed form of the column-dropped product."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        cut = self.drop_bits
+        dropped = np.zeros_like(a)
+        for j in range(cut):
+            a_bit = (a >> np.int64(j)) & 1
+            for i in range(cut - j):
+                b_bit = (b >> np.int64(i)) & 1
+                dropped += (a_bit & b_bit) << np.int64(i + j)
+        return a * b - dropped
+
+    def max_error_bound(self):
+        """Every dropped column bit is worth its weight; column ``c``
+        holds ``c+1`` partial products, all potentially 1."""
+        return sum((c + 1) << c for c in range(self.drop_bits))
+
+    def with_precision(self, precision):
+        return TruncatedProductMultiplier(self.width, precision=precision,
+                                          final_adder=self.final_adder)

@@ -1,0 +1,111 @@
+"""Radix-4 (modified) Booth multiplier.
+
+The third multiplier architecture of the ablation set. Booth recoding
+halves the number of partial products (one per operand bit *pair*),
+which is how commercial tools build large multipliers; its behaviour
+under truncation and aging differs from the plain Baugh-Wooley array in
+interesting ways (fewer, wider partial products -> steeper delay steps).
+
+Recoding: for digit ``i`` the bit triple ``(b[2i+1], b[2i], b[2i-1])``
+(with ``b[-1] = 0`` and sign extension above the MSB) selects a partial
+product from ``{0, ±A, ±2A}``:
+
+    single = b[2i] xor b[2i-1]
+    double = (b[2i] xnor b[2i-1]) and (b[2i+1] xor b[2i])
+    neg    = b[2i+1]
+
+Negative digits are applied as one's complement plus a correction bit at
+weight ``2^(2i)``; every partial product is sign-extended across the
+full 2N columns, which also makes the "negative zero" digit (triple
+``111``) vanish identically.
+"""
+
+from ..netlist.net import CONST0
+from .adder import cla_core, kogge_stone_core
+from .multiplier import _MultiplierBase, columns_to_operands, wallace_reduce
+
+
+def booth_digit_controls(builder, b1, b0, bm1):
+    """Decode one Booth digit into ``(single, double, neg)`` nets.
+
+    ``neg`` is simply the triple's top bit: negative digits are exactly
+    those with ``b[2i+1] = 1`` (the ``111`` "negative zero" resolves to
+    0 through the sign-extended complement-plus-one path).
+    """
+    single = builder.xor2(b0, bm1)
+    double = builder.and2(builder.xnor2(b0, bm1), builder.xor2(b1, b0))
+    return single, double, b1
+
+
+def booth_columns(builder, a_nets, b_nets):
+    """Partial-product columns of a radix-4 Booth NxN signed multiply."""
+    n = len(a_nets)
+    if len(b_nets) != n:
+        raise ValueError("operand widths differ")
+    width = 2 * n
+    cols = [[] for __ in range(width)]
+
+    def b_bit(index):
+        if index < 0:
+            return CONST0
+        if index >= n:
+            return b_nets[n - 1]        # sign extension of B
+        return b_nets[index]
+
+    def a_bit(index):
+        if index < 0:
+            return CONST0
+        if index >= n:
+            return a_nets[n - 1]        # sign extension of A (for 2A)
+        return a_nets[index]
+
+    digits = (n + 1) // 2
+    for i in range(digits):
+        b1, b0, bm1 = b_bit(2 * i + 1), b_bit(2 * i), b_bit(2 * i - 1)
+        single, double, neg = booth_digit_controls(builder, b1, b0, bm1)
+        base = 2 * i
+        # Bits of |pp| before negation: sel_j = single*a_j | double*a_{j-1}
+        sel_bits = []
+        for j in range(n + 1):
+            sel = builder.or2(builder.and2(single, a_bit(j)),
+                              builder.and2(double, a_bit(j - 1)))
+            sel_bits.append(sel)
+        # Apply conditional negation and place into columns with full
+        # sign extension (replicating the top selected bit).
+        for col in range(base, width):
+            j = col - base
+            sel = sel_bits[j] if j <= n else sel_bits[n]
+            cols[col].append(builder.xor2(sel, neg))
+        cols[base].append(neg)          # two's-complement correction
+    return cols
+
+
+class BoothMultiplier(_MultiplierBase):
+    """Radix-4 Booth recoded multiplier with carry-save reduction.
+
+    Parameters
+    ----------
+    final_adder:
+        ``"cla"`` (default) or ``"ks"``, as for
+        :class:`~repro.rtl.multiplier.WallaceMultiplier`.
+    """
+
+    family = "booth"
+
+    def __init__(self, width, precision=None, final_adder="cla"):
+        super().__init__(width, precision=precision)
+        if final_adder not in ("cla", "ks"):
+            raise ValueError("final_adder must be 'cla' or 'ks'")
+        self.final_adder = final_adder
+
+    def _build_core(self, builder, operands):
+        cols = booth_columns(builder, operands[0], operands[1])
+        cols = wallace_reduce(builder, cols)
+        row_a, row_b = columns_to_operands(cols)
+        core = cla_core if self.final_adder == "cla" else kogge_stone_core
+        sums, __cout = core(builder, row_a, row_b)
+        return sums
+
+    def with_precision(self, precision):
+        return BoothMultiplier(self.width, precision=precision,
+                               final_adder=self.final_adder)

@@ -1,0 +1,193 @@
+"""RTL component abstraction.
+
+An :class:`RTLComponent` is a parameterized generator for a combinational
+arithmetic block: it knows its operand widths, builds a gate-level
+netlist, provides the exact ("golden") integer function, and supports the
+paper's generic approximation technique — *precision reduction by LSB
+truncation* (Section III: "Without loss of generality, we use precision
+reduction through truncation of least significant bits as generic
+approximation technique").
+
+Truncation semantics
+--------------------
+A component of base width ``N`` at precision ``P <= N`` keeps its full
+``N``-bit interface, but the lowest ``N - P`` bits of every operand are
+tied to constant 0 inside the netlist. Constant propagation during
+synthesis then physically removes the affected gates, which is how the
+precision reduction shortens the critical path and shrinks area/power —
+the effect the characterization flow measures.
+
+The same semantics are mirrored arithmetically by
+:meth:`RTLComponent.approximate`, so RTL-level (fast) and gate-level
+models agree bit-exactly — the key property that lets the paper quantify
+quality *without* gate-level simulation.
+"""
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..approx.truncation import truncate_lsbs
+from ..netlist.builder import NetlistBuilder
+from ..netlist.net import CONST0
+
+
+def wrap_signed(values, width):
+    """Reduce integers modulo ``2**width`` into the signed range.
+
+    For ``width >= 64`` the native int64 wraparound already implements
+    the modular semantics, so values are returned unchanged.
+    """
+    if width >= 64:
+        return values
+    if isinstance(values, np.ndarray):
+        mod = np.int64(1) << np.int64(width)
+        half = np.int64(1) << np.int64(width - 1)
+        wrapped = values & (mod - 1)
+        return np.where(wrapped >= half, wrapped - mod, wrapped)
+    mod = 1 << width
+    wrapped = values & (mod - 1)
+    return wrapped - mod if wrapped >= (mod >> 1) else wrapped
+
+
+class RTLComponent(ABC):
+    """A combinational datapath component with a tunable precision.
+
+    Parameters
+    ----------
+    width:
+        Base operand bit width ``N_j`` (the paper uses 32).
+    precision:
+        Effective precision ``P_j``; ``width - precision`` operand LSBs
+        are truncated. Defaults to full precision.
+
+    Subclasses implement :meth:`_build_core` (structural netlist over
+    operand net lists) and :meth:`exact` (golden integer function).
+    """
+
+    #: short family name, e.g. "adder"; set by subclasses
+    family = "component"
+
+    def __init__(self, width, precision=None):
+        if width < 2:
+            raise ValueError("width must be at least 2")
+        if precision is None:
+            precision = width
+        if not 1 <= precision <= width:
+            raise ValueError(
+                "precision must be in [1, %d], got %r" % (width, precision))
+        self.width = int(width)
+        self.precision = int(precision)
+
+    # -- interface metadata ------------------------------------------------
+    @property
+    def drop_bits(self):
+        """Number of truncated operand LSBs (``N_j - P_j``)."""
+        return self.width - self.precision
+
+    @property
+    @abstractmethod
+    def operand_widths(self):
+        """Bit width of each input operand, in PI order."""
+
+    @property
+    @abstractmethod
+    def output_width(self):
+        """Bit width of the result."""
+
+    @property
+    def operand_names(self):
+        return [chr(ord("a") + i) for i in range(len(self.operand_widths))]
+
+    @property
+    def name(self):
+        """Readable instance name, e.g. ``"adder_w32_p29"``."""
+        base = "%s_w%d" % (self.family, self.width)
+        if self.precision != self.width:
+            base += "_p%d" % self.precision
+        return base
+
+    # -- construction --------------------------------------------------
+    @abstractmethod
+    def _build_core(self, builder, operands):
+        """Construct the component over *operands* (lists of net ids).
+
+        Must return the list of output nets, LSB first, of length
+        :attr:`output_width`.
+        """
+
+    def build(self, drive=1):
+        """Generate the gate-level netlist (pre-synthesis).
+
+        The netlist keeps the full-width interface; truncated operand
+        bits are replaced with ``CONST0`` internally, to be swept away by
+        constant propagation during synthesis.
+        """
+        builder = NetlistBuilder(name=self.name, drive=drive)
+        operands = []
+        for opname, opwidth in zip(self.operand_names, self.operand_widths):
+            pis = builder.inputs(opwidth, opname)
+            drop = min(self.drop_bits, opwidth)
+            operands.append([CONST0] * drop + pis[drop:])
+        outputs = self._build_core(builder, operands)
+        if len(outputs) != self.output_width:
+            raise AssertionError(
+                "%s produced %d output bits, expected %d"
+                % (self.name, len(outputs), self.output_width))
+        return builder.outputs(outputs, prefix="y")
+
+    # -- functional models ----------------------------------------------
+    @abstractmethod
+    def exact(self, *operands):
+        """Golden full-precision result (wrapped to the output width)."""
+
+    def approximate(self, *operands):
+        """Result at the configured precision.
+
+        Bit-exact with the truncated netlist: operand LSBs are zeroed
+        before the exact function is applied.
+        """
+        truncated = [truncate_lsbs(np.asarray(op, dtype=np.int64),
+                                   min(self.drop_bits, w))
+                     for op, w in zip(operands, self.operand_widths)]
+        return self.exact(*truncated)
+
+    def max_error_bound(self):
+        """Deterministic upper bound on ``|exact - approximate|``.
+
+        This is what makes the induced errors *bounded* approximations
+        rather than arbitrary timing errors. Subclasses refine it.
+        """
+        raise NotImplementedError
+
+    # -- plumbing ---------------------------------------------------------
+    def with_precision(self, precision):
+        """Return a copy of this component at another precision."""
+        return type(self)(self.width, precision=precision)
+
+    def random_operands(self, count, rng=None, distribution="normal"):
+        """Draw stimulus operands as the paper does.
+
+        ``"normal"`` mirrors the paper's normal-distribution stimuli
+        (scaled to cover about half the operand range, clipped to the
+        representable signed range); ``"uniform"`` covers the full range.
+        """
+        rng = np.random.default_rng(rng)
+        ops = []
+        for opwidth in self.operand_widths:
+            lo = -(1 << (opwidth - 1))
+            hi = (1 << (opwidth - 1)) - 1
+            if distribution == "normal":
+                sigma = (1 << (opwidth - 1)) / 4.0
+                vals = rng.normal(0.0, sigma, size=count)
+                vals = np.clip(np.rint(vals), lo, hi).astype(np.int64)
+            elif distribution == "uniform":
+                vals = rng.integers(lo, hi + 1, size=count, dtype=np.int64)
+            else:
+                raise ValueError("unknown distribution %r" % (distribution,))
+            ops.append(vals)
+        return ops
+
+    def __repr__(self):
+        return "%s(width=%d, precision=%d)" % (
+            type(self).__name__, self.width, self.precision)

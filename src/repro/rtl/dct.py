@@ -1,0 +1,198 @@
+"""Fixed-point 8-point DCT / IDCT datapath.
+
+The paper's microarchitecture-level case study is the DCT/IDCT pair used
+in image codecs. This module provides:
+
+* the fixed-point coefficient matrices (orthonormal DCT-II scaled by
+  ``2**coeff_bits``),
+* :class:`FixedPointTransform8` — a functional model whose every multiply
+  and add is routed through a pluggable
+  :class:`~repro.approx.arith.ArithmeticModel`, so the same code path
+  computes the exact transform, the precision-truncated transform, or
+  the gate-level timing-error transform,
+* factories building the DCT/IDCT *microarchitecture* — the set of
+  combinational datapath blocks (multiplier stage, adder-tree stage)
+  that the Section-V flow analyzes and selectively approximates.
+"""
+
+import math
+
+import numpy as np
+
+from ..approx.arith import ExactArithmetic
+from ..core.microarch import Block, Microarchitecture
+from .adder import Adder
+from .multiplier import Multiplier
+
+#: Transform size (8x8 blocks, as in JPEG/MPEG and the paper).
+POINTS = 8
+#: Default coefficient scale: coefficients are round(c * 2**COEFF_BITS).
+DEFAULT_COEFF_BITS = 9
+#: Default fractional guard bits on the data path. Fixed-point datapaths
+#: left-align their payload: the useful signal sits in the upper bits and
+#: the bottom bits carry fractional precision, which is exactly where LSB
+#: truncation bites first. This is what makes precision reduction a
+#: *graceful* quality knob (the paper's premise).
+DEFAULT_DATA_FRAC_BITS = 6
+#: Left-alignment of the constant (coefficient) multiplier operand.
+#: A fixed-point datapath feeds the multiplier operands aligned to the
+#: word's MSB side, so the product's useful bits come out of the
+#: multiplier's *upper* columns — the region whose paths age into the
+#: clock period first. The product is rescaled (``>> (coeff_bits +
+#: align)``) before accumulation, as a hardware product register would
+#: take the top slice.
+DEFAULT_COEFF_ALIGN_BITS = 21
+
+
+def dct_matrix():
+    """Orthonormal 8-point DCT-II matrix as float64."""
+    mat = np.empty((POINTS, POINTS))
+    for k in range(POINTS):
+        scale = math.sqrt(1.0 / POINTS) if k == 0 else math.sqrt(2.0 / POINTS)
+        for n in range(POINTS):
+            mat[k, n] = scale * math.cos((2 * n + 1) * k * math.pi
+                                         / (2 * POINTS))
+    return mat
+
+
+def fixed_coefficients(coeff_bits=DEFAULT_COEFF_BITS):
+    """Integer DCT coefficients at scale ``2**coeff_bits``."""
+    return np.rint(dct_matrix() * (1 << coeff_bits)).astype(np.int64)
+
+
+def descale(values, coeff_bits):
+    """Round-to-nearest removal of the coefficient scale."""
+    half = np.int64(1) << np.int64(coeff_bits - 1)
+    return (np.asarray(values, dtype=np.int64) + half) >> np.int64(coeff_bits)
+
+
+class FixedPointTransform8:
+    """Separable fixed-point 8x8 DCT/IDCT with pluggable arithmetic.
+
+    Parameters
+    ----------
+    coeff_bits:
+        Coefficient scale (fraction bits of the constant operand).
+    data_frac_bits:
+        Fractional guard bits carried by the data operand. Callers feed
+        data already scaled by ``2**data_frac_bits`` (see
+        :meth:`scale_in`/:meth:`scale_out`); both 1-D passes preserve
+        that scale.
+    arithmetic:
+        :class:`~repro.approx.arith.ArithmeticModel` implementing ``mul``
+        and ``add``. Defaults to exact integer arithmetic.
+
+    The per-output computation mirrors the hardware: one multiplier
+    block producing the eight coefficient products, then a binary adder
+    tree (three adder levels) accumulating them — so component-level
+    approximations and timing errors act exactly where the corresponding
+    RTL blocks sit.
+    """
+
+    def __init__(self, coeff_bits=DEFAULT_COEFF_BITS,
+                 data_frac_bits=DEFAULT_DATA_FRAC_BITS,
+                 coeff_align_bits=DEFAULT_COEFF_ALIGN_BITS, arithmetic=None):
+        self.coeff_bits = int(coeff_bits)
+        self.data_frac_bits = int(data_frac_bits)
+        self.coeff_align_bits = int(coeff_align_bits)
+        self.arithmetic = arithmetic if arithmetic is not None \
+            else ExactArithmetic()
+        self.coeffs = fixed_coefficients(self.coeff_bits)
+        self._aligned_coeffs = self.coeffs << np.int64(self.coeff_align_bits)
+
+    def scale_in(self, values):
+        """Lift integers to the datapath's fixed-point scale."""
+        return np.asarray(values, dtype=np.int64) << np.int64(
+            self.data_frac_bits)
+
+    def scale_out(self, values):
+        """Round fixed-point results back to integers."""
+        if self.data_frac_bits == 0:
+            return np.asarray(values, dtype=np.int64)
+        return descale(values, self.data_frac_bits)
+
+    def _apply_matrix(self, data, coeffs):
+        """Multiply the last axis of *data* by *coeffs*, fixed point.
+
+        All 64 coefficient products of a 1-D transform go through one
+        batched ``mul`` call and the accumulation through three batched
+        ``add`` calls — matching the hardware (eight parallel multiplier
+        instances feeding an adder tree) and keeping the gate-level
+        arithmetic models fast.
+        """
+        data = np.asarray(data, dtype=np.int64)
+        base = data.shape[:-1]
+        expand = (slice(None),) + (None,) * len(base) + (slice(None),)
+        shape = (POINTS,) + base + (POINTS,)
+        op_coeff = np.broadcast_to(coeffs[expand], shape)
+        op_data = np.broadcast_to(data[None, ...], shape)
+        prods = self.arithmetic.mul(op_coeff, op_data)
+        # The product register keeps the top slice: drop the coefficient
+        # scale and alignment, returning to the data scale.
+        prods = descale(prods, self.coeff_bits + self.coeff_align_bits)
+        acc = prods
+        while acc.shape[-1] > 1:
+            acc = self.arithmetic.add(acc[..., 0::2], acc[..., 1::2])
+        return np.moveaxis(acc[..., 0], 0, -1)
+
+    def forward_1d(self, data):
+        """1-D DCT along the last axis."""
+        return self._apply_matrix(data, self._aligned_coeffs)
+
+    def inverse_1d(self, data):
+        """1-D IDCT along the last axis."""
+        return self._apply_matrix(data, self._aligned_coeffs.T)
+
+    def forward_2d(self, blocks):
+        """2-D DCT of ``(..., 8, 8)`` blocks (rows, then columns)."""
+        rows = self.forward_1d(blocks)
+        cols = self.forward_1d(np.swapaxes(rows, -1, -2))
+        return np.swapaxes(cols, -1, -2)
+
+    def inverse_2d(self, blocks):
+        """2-D IDCT of ``(..., 8, 8)`` coefficient blocks."""
+        cols = self.inverse_1d(np.swapaxes(blocks, -1, -2))
+        rows = self.inverse_1d(np.swapaxes(cols, -1, -2))
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Microarchitecture factories (Section V case study)
+# ---------------------------------------------------------------------------
+
+def idct_microarchitecture(width=32, coeff_bits=DEFAULT_COEFF_BITS,
+                           adder_cls=Adder, multiplier_cls=Multiplier):
+    """The IDCT microarchitecture the paper evaluates.
+
+    Two pipelined combinational datapath blocks per 1-D transform:
+
+    * ``mult`` — the coefficient multiplier (the critical-path component
+      in the paper: relative slack about -8.3% after 10 years of
+      worst-case aging),
+    * ``acc`` — the product accumulation adder tree.
+
+    Control/steering logic is assumed hardened by conventional means and
+    is excluded, exactly as the paper assumes for datapath
+    approximation.
+    """
+    blocks = [
+        Block(name="mult", component=multiplier_cls(width),
+              instances=POINTS,
+              role="coefficient multiplier (stage 1)"),
+        Block(name="acc", component=adder_cls(width),
+              instances=POINTS - 1,
+              role="product adder tree (stage 2)"),
+    ]
+    return Microarchitecture(name="idct8_w%d" % width, blocks=blocks,
+                             metadata={"coeff_bits": coeff_bits,
+                                       "points": POINTS})
+
+
+def dct_microarchitecture(width=32, coeff_bits=DEFAULT_COEFF_BITS,
+                          adder_cls=Adder, multiplier_cls=Multiplier):
+    """The forward-DCT microarchitecture (same block structure)."""
+    micro = idct_microarchitecture(width=width, coeff_bits=coeff_bits,
+                                   adder_cls=adder_cls,
+                                   multiplier_cls=multiplier_cls)
+    micro.name = "dct8_w%d" % width
+    return micro

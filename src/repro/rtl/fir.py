@@ -1,0 +1,142 @@
+"""Fixed-point FIR filter datapath (extension case study).
+
+The paper's methodology is application-agnostic: any datapath whose
+components trade precision for delay can convert its aging guardband
+into approximations. This module exercises that claim on a second
+microarchitecture — a direct-form FIR low-pass filter built from the
+same multiplier/adder components as the IDCT:
+
+* one multiplier block computes the tap products (coefficient constant
+  per lane, left-aligned as in the DCT datapath),
+* an adder tree accumulates them.
+
+The functional model routes every multiply/add through a pluggable
+:class:`~repro.approx.arith.ArithmeticModel`, so exact, truncated and
+gate-level timing-error behaviour all share one code path.
+"""
+
+import math
+
+import numpy as np
+
+from ..approx.arith import ExactArithmetic
+from ..core.microarch import Block, Microarchitecture
+from .adder import Adder
+from .dct import descale
+from .multiplier import Multiplier
+
+#: Default coefficient scale (fraction bits of the constant operand).
+DEFAULT_FIR_COEFF_BITS = 9
+#: Left-alignment of the coefficient operand inside the multiplier word
+#: (same rationale as the DCT datapath: the product's useful bits come
+#: from the aging-critical upper columns).
+DEFAULT_FIR_ALIGN_BITS = 21
+
+
+def lowpass_taps(taps=16, cutoff=0.25, coeff_bits=DEFAULT_FIR_COEFF_BITS):
+    """Hamming-windowed-sinc low-pass coefficients, fixed point.
+
+    Parameters
+    ----------
+    taps:
+        Filter length.
+    cutoff:
+        Normalized cutoff (fraction of Nyquist, 0..1).
+    coeff_bits:
+        Quantization scale; returns integers at ``2**coeff_bits``.
+    """
+    if taps < 2:
+        raise ValueError("need at least 2 taps")
+    if not 0.0 < cutoff < 1.0:
+        raise ValueError("cutoff must be in (0, 1)")
+    mid = (taps - 1) / 2.0
+    coeffs = []
+    for n in range(taps):
+        x = n - mid
+        ideal = cutoff if x == 0 else math.sin(math.pi * cutoff * x) \
+            / (math.pi * x)
+        window = 0.54 - 0.46 * math.cos(2 * math.pi * n / (taps - 1))
+        coeffs.append(ideal * window)
+    scale = sum(coeffs)  # normalize to unity DC gain
+    quantized = np.rint(np.array(coeffs) / scale
+                        * (1 << coeff_bits)).astype(np.int64)
+    return quantized
+
+
+class FixedPointFIR:
+    """Direct-form FIR filter over pluggable integer arithmetic.
+
+    Parameters
+    ----------
+    taps:
+        Integer coefficient array at scale ``2**coeff_bits``
+        (see :func:`lowpass_taps`).
+    coeff_bits:
+        The coefficients' fixed-point scale.
+    align_bits:
+        Left-alignment applied to the coefficient operand before each
+        multiply (removed again when the product register takes its top
+        slice).
+    arithmetic:
+        :class:`~repro.approx.arith.ArithmeticModel`; exact by default.
+    """
+
+    def __init__(self, taps, coeff_bits=DEFAULT_FIR_COEFF_BITS,
+                 align_bits=DEFAULT_FIR_ALIGN_BITS, arithmetic=None):
+        self.taps = np.asarray(taps, dtype=np.int64)
+        self.coeff_bits = int(coeff_bits)
+        self.align_bits = int(align_bits)
+        self.arithmetic = arithmetic if arithmetic is not None \
+            else ExactArithmetic()
+        self._aligned = self.taps << np.int64(self.align_bits)
+
+    def __len__(self):
+        return len(self.taps)
+
+    def filter(self, signal):
+        """Filter an integer *signal* (zero-padded history).
+
+        Returns an int64 array of the same length at the input scale.
+        """
+        signal = np.asarray(signal, dtype=np.int64)
+        n_taps = len(self.taps)
+        padded = np.concatenate([np.zeros(n_taps - 1, dtype=np.int64),
+                                 signal])
+        # One batched multiply per tap lane, then a tree of adds —
+        # mirroring the hardware (one multiplier block, one adder tree).
+        windows = np.stack([padded[k:k + signal.size]
+                            for k in range(n_taps)])         # (taps, N)
+        coeffs = np.broadcast_to(self._aligned[::-1, None], windows.shape)
+        prods = self.arithmetic.mul(coeffs, windows)
+        prods = descale(prods, self.coeff_bits + self.align_bits)
+        acc = prods
+        while acc.shape[0] > 1:
+            if acc.shape[0] % 2:
+                acc = np.concatenate(
+                    [acc, np.zeros((1,) + acc.shape[1:], dtype=np.int64)])
+            acc = self.arithmetic.add(acc[0::2], acc[1::2])
+        return acc[0]
+
+    def reference(self, signal):
+        """Float-free exact reference (same quantized taps)."""
+        exact = FixedPointFIR(self.taps, coeff_bits=self.coeff_bits,
+                              align_bits=self.align_bits)
+        return exact.filter(signal)
+
+
+def fir_microarchitecture(width=32, taps=16,
+                          coeff_bits=DEFAULT_FIR_COEFF_BITS):
+    """FIR microarchitecture for the Section-V flow.
+
+    Same two-block structure as the IDCT: the tap multiplier dominates
+    timing, the accumulation adder keeps slack.
+    """
+    blocks = [
+        Block(name="mult", component=Multiplier(width), instances=taps,
+              role="tap-product multiplier"),
+        Block(name="acc", component=Adder(width), instances=taps - 1,
+              role="tap accumulation adder tree"),
+    ]
+    return Microarchitecture("fir%d_w%d" % (taps, width), blocks,
+                             metadata={"taps": taps,
+                                       "coeff_bits": coeff_bits})

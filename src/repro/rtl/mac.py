@@ -1,0 +1,56 @@
+"""Multiply-accumulate (MAC) unit.
+
+Computes ``a * b + c`` with ``N``-bit multiplicands and a ``2N``-bit
+addend, the third component the paper characterizes (Fig. 7(a)). The
+accumulator operand is merged directly into the multiplier's carry-save
+tree (a fused MAC), so the whole unit is a single combinational block —
+slightly deeper than the bare multiplier, as in the paper.
+"""
+
+import numpy as np
+
+from .adder import cla_core
+from .component import RTLComponent, wrap_signed
+from .multiplier import (baugh_wooley_columns, columns_to_operands,
+                         wallace_reduce)
+
+
+class MultiplyAccumulate(RTLComponent):
+    """Fused signed MAC: ``y = wrap(a * b + c)`` over ``2N`` bits."""
+
+    family = "mac"
+
+    @property
+    def operand_widths(self):
+        return [self.width, self.width, 2 * self.width]
+
+    @property
+    def output_width(self):
+        return 2 * self.width
+
+    @property
+    def operand_names(self):
+        return ["a", "b", "c"]
+
+    def _build_core(self, builder, operands):
+        a_nets, b_nets, c_nets = operands
+        cols = baugh_wooley_columns(builder, a_nets, b_nets)
+        for weight, net in enumerate(c_nets):
+            cols[weight].append(net)
+        cols = wallace_reduce(builder, cols)
+        row_a, row_b = columns_to_operands(cols)
+        sums, __cout = cla_core(builder, row_a, row_b)
+        return sums
+
+    def exact(self, a, b, c):
+        """Wraparound ``a*b + c`` over ``2N`` bits."""
+        prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        return wrap_signed(prod + np.asarray(c, dtype=np.int64),
+                           2 * self.width)
+
+    def max_error_bound(self):
+        """Truncation error bound: product term plus addend term."""
+        t = self.drop_bits
+        if t == 0:
+            return 0
+        return (1 << t) * (2 * (1 << (self.width - 1))) + ((1 << t) - 1)

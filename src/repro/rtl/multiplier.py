@@ -1,0 +1,162 @@
+"""Signed multipliers: Wallace-tree and carry-save array.
+
+Both use the Baugh-Wooley formulation for two's-complement operands:
+for ``N``-bit inputs the exact ``2N``-bit product is the sum of
+
+* the positive partial products ``a_j & b_i`` for ``i, j < N-1``,
+* the complemented cross terms ``~(a_{N-1} & b_i)`` and
+  ``~(a_j & b_{N-1})`` at weight ``2**(N-1+i)`` / ``2**(N-1+j)``,
+* the MSB product ``a_{N-1} & b_{N-1}`` at weight ``2**(2N-2)``,
+* correction constants ``1`` at weights ``2**N`` and ``2**(2N-1)``
+  (modulo ``2**(2N)``).
+
+:class:`WallaceMultiplier` (the default) reduces the partial-product
+columns with a carry-save tree (logarithmic depth) and resolves the last
+two rows with a carry-lookahead adder — matching a performance-driven
+synthesis result, as the paper's "ultra compile" setting would produce.
+:class:`ArrayMultiplier` accumulates rows with ripple adders (linear
+depth) and exists for the architecture ablation.
+"""
+
+from ..netlist.net import CONST0, CONST1
+from .adder import cla_core, kogge_stone_core, ripple_core
+from .component import RTLComponent, wrap_signed
+
+
+def baugh_wooley_columns(builder, a_nets, b_nets):
+    """Partial-product columns of a signed NxN multiply.
+
+    Returns ``columns``: a list of ``2N`` lists of net ids; column ``c``
+    holds all bits of weight ``2**c``.
+    """
+    n = len(a_nets)
+    if len(b_nets) != n:
+        raise ValueError("operand widths differ")
+    cols = [[] for __ in range(2 * n)]
+    for i in range(n - 1):
+        for j in range(n - 1):
+            cols[i + j].append(builder.and2(a_nets[j], b_nets[i]))
+        cols[i + n - 1].append(builder.nand2(a_nets[n - 1], b_nets[i]))
+    for j in range(n - 1):
+        cols[j + n - 1].append(builder.nand2(a_nets[j], b_nets[n - 1]))
+    cols[2 * n - 2].append(builder.and2(a_nets[n - 1], b_nets[n - 1]))
+    cols[n].append(CONST1)
+    cols[2 * n - 1].append(CONST1)
+    return cols
+
+
+def wallace_reduce(builder, columns):
+    """Carry-save reduction of *columns* down to height <= 2.
+
+    Carries that would overflow past the last column are dropped
+    (modular arithmetic). Returns the reduced column list (same length).
+    """
+    width = len(columns)
+    cols = [list(col) for col in columns]
+    while max(len(col) for col in cols) > 2:
+        nxt = [[] for __ in range(width)]
+        for c, col in enumerate(cols):
+            i = 0
+            while len(col) - i >= 3:
+                s, cy = builder.full_adder(col[i], col[i + 1], col[i + 2])
+                nxt[c].append(s)
+                if c + 1 < width:
+                    nxt[c + 1].append(cy)
+                i += 3
+            if len(col) - i == 2:
+                s, cy = builder.half_adder(col[i], col[i + 1])
+                nxt[c].append(s)
+                if c + 1 < width:
+                    nxt[c + 1].append(cy)
+                i += 2
+            nxt[c].extend(col[i:])
+        cols = nxt
+    return cols
+
+
+def columns_to_operands(columns):
+    """Split height-<=2 columns into two aligned addend bit vectors."""
+    a_bits, b_bits = [], []
+    for col in columns:
+        a_bits.append(col[0] if len(col) > 0 else CONST0)
+        b_bits.append(col[1] if len(col) > 1 else CONST0)
+    return a_bits, b_bits
+
+
+class _MultiplierBase(RTLComponent):
+    """Shared behaviour of the signed NxN -> 2N multipliers."""
+
+    family = "multiplier"
+
+    @property
+    def operand_widths(self):
+        return [self.width, self.width]
+
+    @property
+    def output_width(self):
+        return 2 * self.width
+
+    def exact(self, a, b):
+        """Exact signed product (always representable in 2N bits)."""
+        import numpy as np
+        return (np.asarray(a, dtype=np.int64)
+                * np.asarray(b, dtype=np.int64))
+
+    def max_error_bound(self):
+        """|error| < 2**(drop+N): |a*b - a_t*b_t| <= 2**t*(|a|+|b|)."""
+        t = self.drop_bits
+        if t == 0:
+            return 0
+        return (1 << t) * (2 * (1 << (self.width - 1)))
+
+
+class WallaceMultiplier(_MultiplierBase):
+    """Wallace carry-save tree + final carry-propagate adder.
+
+    Parameters
+    ----------
+    final_adder:
+        ``"cla"`` (default) resolves the two carry-save rows with a
+        group carry-lookahead adder, whose delay falls steadily as
+        precision is truncated; ``"ks"`` uses a Kogge-Stone adder —
+        faster and with many simultaneously-near-critical paths, but
+        nearly insensitive to truncation (explored in the ablations).
+    """
+
+    def __init__(self, width, precision=None, final_adder="cla"):
+        super().__init__(width, precision=precision)
+        if final_adder not in ("cla", "ks"):
+            raise ValueError("final_adder must be 'cla' or 'ks'")
+        self.final_adder = final_adder
+
+    def _build_core(self, builder, operands):
+        cols = baugh_wooley_columns(builder, operands[0], operands[1])
+        cols = wallace_reduce(builder, cols)
+        a_bits, b_bits = columns_to_operands(cols)
+        core = cla_core if self.final_adder == "cla" else kogge_stone_core
+        sums, __cout = core(builder, a_bits, b_bits)
+        return sums
+
+    def with_precision(self, precision):
+        return WallaceMultiplier(self.width, precision=precision,
+                                 final_adder=self.final_adder)
+
+
+class ArrayMultiplier(_MultiplierBase):
+    """Row-by-row ripple accumulation (linear depth, ablation only)."""
+
+    family = "array_multiplier"
+
+    def _build_core(self, builder, operands):
+        cols = baugh_wooley_columns(builder, operands[0], operands[1])
+        width = len(cols)
+        acc = [CONST0] * width
+        pending = [list(col) for col in cols]
+        while any(pending_col for pending_col in pending):
+            row = [col.pop(0) if col else CONST0 for col in pending]
+            acc, __cout = ripple_core(builder, acc, row)
+        return acc
+
+
+#: The multiplier variant used by the paper-reproduction experiments.
+Multiplier = WallaceMultiplier

@@ -1,0 +1,102 @@
+"""Switching-activity and signal-probability extraction.
+
+Runs a (functional, fast) gate-level simulation of a netlist under a
+stimulus stream and reduces the per-net waveforms to the statistics the
+aging flow needs:
+
+* **signal probability** ``P(net = 1)`` — determines actual-case BTI
+  stress factors (Fig. 3(c) of the paper),
+* **toggle rate** (transitions per applied vector) — drives the dynamic
+  power model.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..aging.stress import ActualStress
+from .logic import all_net_values, compile_netlist, int_to_bits
+
+
+@dataclass
+class ActivityReport:
+    """Per-net statistics of one simulated stimulus stream.
+
+    Attributes
+    ----------
+    signal_probability:
+        Map net id -> fraction of vectors where the net is 1.
+    toggle_rate:
+        Map net id -> transitions per consecutive vector pair.
+    vectors:
+        Number of stimulus vectors simulated.
+    """
+
+    signal_probability: Dict[int, float]
+    toggle_rate: Dict[int, float]
+    vectors: int
+
+    def gate_output_toggle(self, netlist):
+        """Toggle rate of each gate's output net, keyed by gate uid."""
+        return {g.uid: self.toggle_rate.get(g.output, 0.0)
+                for g in netlist.gates}
+
+
+def simulate_activity(netlist, library, pi_bits):
+    """Measure signal probabilities and toggle rates under *pi_bits*.
+
+    Parameters
+    ----------
+    netlist, library:
+        Design and cell library.
+    pi_bits:
+        ``(vectors, n_pi)`` bit array; rows are applied as a time
+        sequence, so toggle rates reflect consecutive-vector transitions.
+    """
+    compiled = compile_netlist(netlist, library)
+    pi_bits = np.asarray(pi_bits, dtype=np.uint8)
+    if pi_bits.ndim != 2 or pi_bits.shape[1] != len(compiled.pi_slots):
+        raise ValueError(
+            "expected pi_bits of shape (vectors, %d), got %r"
+            % (len(compiled.pi_slots), pi_bits.shape))
+    values = all_net_values(compiled, pi_bits)
+    p1 = values.mean(axis=0)
+    if values.shape[0] > 1:
+        toggles = (values[1:] != values[:-1]).mean(axis=0)
+    else:
+        toggles = np.zeros(values.shape[1])
+    signal_probability = {}
+    toggle_rate = {}
+    for net, slot in compiled.slot_of.items():
+        signal_probability[net] = float(p1[slot])
+        toggle_rate[net] = float(toggles[slot])
+    return ActivityReport(signal_probability=signal_probability,
+                          toggle_rate=toggle_rate,
+                          vectors=int(pi_bits.shape[0]))
+
+
+def extract_stress(netlist, library, pi_bits, label="actual"):
+    """One-call helper: simulate activity and build an actual-case
+    :class:`~repro.aging.stress.ActualStress` annotation (Fig. 3(c))."""
+    report = simulate_activity(netlist, library, pi_bits)
+    return ActualStress.from_signal_probabilities(
+        netlist, report.signal_probability, label=label)
+
+
+def operand_stream_bits(operands, widths):
+    """Pack per-operand integer streams into a PI bit matrix.
+
+    Parameters
+    ----------
+    operands:
+        Sequence of integer arrays, one per operand, equal lengths.
+    widths:
+        Bit width of each operand; concatenated in order (operand 0's
+        LSB is PI 0), matching the RTL component generators' PI layout.
+    """
+    if len(operands) != len(widths):
+        raise ValueError("need one width per operand")
+    parts = [int_to_bits(np.asarray(vals), width)
+             for vals, width in zip(operands, widths)]
+    return np.concatenate(parts, axis=1)

@@ -1,0 +1,187 @@
+"""Vectorized functional gate-level simulation.
+
+Netlists are compiled once into a flat "program" (a topologically ordered
+list of cell-function applications over integer-indexed value slots) and
+then evaluated over NumPy ``uint8`` arrays, so a whole batch of input
+vectors flows through every gate with one array operation. This is what
+makes million-vector experiments (the paper applies 10^6 stimuli to the
+adder/multiplier) tractable in Python.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..netlist.net import CONST0, CONST1
+
+
+@dataclass
+class CompiledNetlist:
+    """A netlist lowered to a flat evaluation program.
+
+    Attributes
+    ----------
+    netlist:
+        The source netlist (kept for metadata).
+    slots:
+        Number of value slots (dense re-indexing of net ids).
+    slot_of:
+        Map net id -> slot index.
+    ops:
+        ``(function, input_slots, output_slot, gate_uid)`` in topological
+        order.
+    pi_slots / po_slots:
+        Slot indices of primary inputs / outputs in declaration order.
+    last_use:
+        For each op index, the list of slots that become dead after it —
+        used to release batch memory early.
+    """
+
+    netlist: object
+    slots: int
+    slot_of: dict
+    ops: List[Tuple]
+    pi_slots: List[int]
+    po_slots: List[int]
+    last_use: List[List[int]]
+
+
+def compile_netlist(netlist, library):
+    """Lower *netlist* into a :class:`CompiledNetlist` program."""
+    order = netlist.topological_gates()
+    slot_of = {CONST0: 0, CONST1: 1}
+    for net in netlist.primary_inputs:
+        slot_of.setdefault(net, len(slot_of))
+    for gate in order:
+        slot_of.setdefault(gate.output, len(slot_of))
+
+    ops = []
+    for gate in order:
+        func = library[gate.cell].function
+        ins = tuple(slot_of[n] for n in gate.inputs)
+        ops.append((func, ins, slot_of[gate.output], gate.uid))
+
+    pi_slots = [slot_of[n] for n in netlist.primary_inputs]
+    po_slots = [slot_of[n] for n in netlist.primary_outputs]
+
+    # Liveness: a slot dies after its last reading op, unless it is a PO
+    # (or a constant / PI, which callers may inspect afterwards).
+    keep = set(po_slots) | {0, 1} | set(pi_slots)
+    last_reader = {}
+    for idx, (__, ins, out, __uid) in enumerate(ops):
+        for slot in ins:
+            last_reader[slot] = idx
+    last_use = [[] for __ in ops]
+    for slot, idx in last_reader.items():
+        if slot not in keep:
+            last_use[idx].append(slot)
+    return CompiledNetlist(netlist=netlist, slots=len(slot_of),
+                           slot_of=slot_of, ops=ops, pi_slots=pi_slots,
+                           po_slots=po_slots, last_use=last_use)
+
+
+def evaluate(compiled, pi_bits, release=True):
+    """Evaluate a compiled netlist on a batch of input vectors.
+
+    Parameters
+    ----------
+    compiled:
+        :class:`CompiledNetlist` from :func:`compile_netlist`.
+    pi_bits:
+        ``uint8`` array of shape ``(batch, n_primary_inputs)`` holding
+        one bit per input, in the netlist's PI order.
+    release:
+        Free dead intermediate arrays eagerly (bounds peak memory).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of shape ``(batch, n_primary_outputs)``.
+    """
+    pi_bits = np.asarray(pi_bits, dtype=np.uint8)
+    if pi_bits.ndim != 2 or pi_bits.shape[1] != len(compiled.pi_slots):
+        raise ValueError(
+            "expected pi_bits of shape (batch, %d), got %r"
+            % (len(compiled.pi_slots), pi_bits.shape))
+    batch = pi_bits.shape[0]
+    values = [None] * compiled.slots
+    values[0] = np.zeros(batch, dtype=np.uint8)
+    values[1] = np.ones(batch, dtype=np.uint8)
+    for col, slot in enumerate(compiled.pi_slots):
+        values[slot] = np.ascontiguousarray(pi_bits[:, col])
+    for idx, (func, ins, out, __uid) in enumerate(compiled.ops):
+        values[out] = func(*[values[s] for s in ins])
+        if release:
+            for slot in compiled.last_use[idx]:
+                values[slot] = None
+    outs = np.empty((batch, len(compiled.po_slots)), dtype=np.uint8)
+    for col, slot in enumerate(compiled.po_slots):
+        outs[:, col] = values[slot]
+    return outs
+
+
+def all_net_values(compiled, pi_bits):
+    """Evaluate and return the values of *every* net.
+
+    Returns a ``(batch, slots)`` uint8 array plus the slot map; used by
+    activity extraction, which needs internal nets.
+    """
+    pi_bits = np.asarray(pi_bits, dtype=np.uint8)
+    batch = pi_bits.shape[0]
+    values = np.zeros((batch, compiled.slots), dtype=np.uint8)
+    values[:, 1] = 1
+    for col, slot in enumerate(compiled.pi_slots):
+        values[:, slot] = pi_bits[:, col]
+    for func, ins, out, __uid in compiled.ops:
+        values[:, out] = func(*[values[:, s] for s in ins])
+    return values
+
+
+# ---------------------------------------------------------------------------
+# integer <-> bit-vector codecs
+# ---------------------------------------------------------------------------
+
+def int_to_bits(values, width):
+    """Encode integers as two's-complement bit vectors, LSB first.
+
+    Parameters
+    ----------
+    values:
+        Integer array (any signed dtype); values are taken modulo
+        ``2**width``.
+    width:
+        Number of bits per value.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of shape ``(len(values), width)``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    bits = np.empty((values.size, width), dtype=np.uint8)
+    flat = values.reshape(-1)
+    for i in range(width):
+        bits[:, i] = (flat >> np.int64(i)) & 1
+    return bits
+
+
+def bits_to_int(bits, signed=True):
+    """Decode LSB-first bit vectors back to integers.
+
+    Parameters
+    ----------
+    bits:
+        ``(batch, width)`` array of 0/1 values.
+    signed:
+        Interpret the MSB as a two's-complement sign bit.
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    width = bits.shape[1]
+    out = np.zeros(bits.shape[0], dtype=np.int64)
+    for i in range(width):
+        out |= bits[:, i] << np.int64(i)
+    if signed and width < 64:
+        sign = bits[:, width - 1] == 1
+        out = out - (sign.astype(np.int64) << np.int64(width))
+    return out

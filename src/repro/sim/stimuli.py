@@ -1,0 +1,119 @@
+"""Named stimulus generators for characterization and error studies.
+
+The paper characterizes actual-case aging under "input data following a
+normal distribution" and under application-extracted traces, arguing the
+choice barely matters. This module provides a broader family of stimulus
+classes so that claim can be stress-tested (see the stimulus-sensitivity
+benchmark): distributions with very different signal probabilities and
+toggle behaviour.
+
+Every generator returns a pair of int64 operand arrays for a two-operand
+component of the given width; all are deterministic in ``seed``.
+"""
+
+import numpy as np
+
+#: Stimulus classes available to :func:`make_stimulus`.
+STIMULUS_NAMES = ("normal", "uniform", "sparse", "bursty",
+                  "sign_alternating", "gray", "walking_ones")
+
+
+def _bounds(width):
+    return -(1 << (width - 1)), (1 << (width - 1)) - 1
+
+
+def normal(width, count, seed=0):
+    """Normal distribution at quarter-range sigma (the paper's choice)."""
+    rng = np.random.default_rng(seed)
+    lo, hi = _bounds(width)
+    sigma = (1 << (width - 1)) / 4.0
+    a = np.clip(np.rint(rng.normal(0, sigma, count)), lo, hi)
+    b = np.clip(np.rint(rng.normal(0, sigma, count)), lo, hi)
+    return a.astype(np.int64), b.astype(np.int64)
+
+
+def uniform(width, count, seed=0):
+    """Uniform over the full two's-complement range."""
+    rng = np.random.default_rng(seed)
+    lo, hi = _bounds(width)
+    return (rng.integers(lo, hi + 1, count, dtype=np.int64),
+            rng.integers(lo, hi + 1, count, dtype=np.int64))
+
+
+def sparse(width, count, seed=0, density=0.15):
+    """Mostly-zero operands with occasional uniform values."""
+    rng = np.random.default_rng(seed)
+    a, b = uniform(width, count, seed=seed + 1)
+    mask_a = rng.random(count) < density
+    mask_b = rng.random(count) < density
+    return a * mask_a, b * mask_b
+
+
+def bursty(width, count, seed=0, burst=32):
+    """Value held for *burst* cycles, then re-drawn (low toggle rate)."""
+    rng = np.random.default_rng(seed)
+    lo, hi = _bounds(width)
+    draws = (count + burst - 1) // burst
+    a = np.repeat(rng.integers(lo, hi + 1, draws, dtype=np.int64),
+                  burst)[:count]
+    b = np.repeat(rng.integers(lo, hi + 1, draws, dtype=np.int64),
+                  burst)[:count]
+    return a, b
+
+
+def sign_alternating(width, count, seed=0):
+    """Magnitudes drawn uniformly, signs flipping every cycle.
+
+    Maximizes sign-extension toggling — the worst case for the upper
+    partial products of signed multipliers.
+    """
+    rng = np.random.default_rng(seed)
+    hi = (1 << (width - 1)) - 1
+    mag_a = rng.integers(0, hi + 1, count, dtype=np.int64)
+    mag_b = rng.integers(0, hi + 1, count, dtype=np.int64)
+    sign = np.where(np.arange(count) % 2 == 0, 1, -1)
+    return mag_a * sign, mag_b * -sign
+
+
+def gray(width, count, seed=0):
+    """Gray-code counting: exactly one operand bit toggles per cycle."""
+    index = np.arange(count, dtype=np.int64)
+    code = index ^ (index >> 1)
+    mask = (1 << width) - 1
+    a = (code & mask)
+    b = ((code + (count // 2)) ^ ((code + (count // 2)) >> 1)) & mask
+    half = 1 << (width - 1)
+    return (np.where(a >= half, a - (1 << width), a),
+            np.where(b >= half, b - (1 << width), b))
+
+
+def walking_ones(width, count, seed=0):
+    """A single 1 walking through each operand (classic ATPG pattern)."""
+    positions = np.arange(count) % width
+    a = np.int64(1) << positions.astype(np.int64)
+    b = np.int64(1) << ((positions + width // 2) % width).astype(np.int64)
+    half = np.int64(1) << np.int64(width - 1)
+    a = np.where(a >= half, a - (np.int64(1) << np.int64(width)), a)
+    b = np.where(b >= half, b - (np.int64(1) << np.int64(width)), b)
+    return a, b
+
+
+_GENERATORS = {
+    "normal": normal,
+    "uniform": uniform,
+    "sparse": sparse,
+    "bursty": bursty,
+    "sign_alternating": sign_alternating,
+    "gray": gray,
+    "walking_ones": walking_ones,
+}
+
+
+def make_stimulus(name, width, count, seed=0):
+    """Generate the named two-operand stimulus."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError("unknown stimulus %r (have %s)"
+                       % (name, ", ".join(STIMULUS_NAMES)))
+    return generator(width, count, seed=seed)

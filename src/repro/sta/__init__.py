@@ -1,0 +1,13 @@
+"""Aging-aware static timing analysis."""
+
+from .sta import TimingReport, analyze, critical_path_delay
+from .paths import TimingPath, critical_path, logic_depth, per_output_arrivals
+from .sdf import from_sdf, gate_delays_from_sdf, to_sdf
+from .stats import TimingWallReport, output_arrival_spread, timing_wall
+
+__all__ = [
+    "TimingReport", "analyze", "critical_path_delay",
+    "TimingPath", "critical_path", "logic_depth", "per_output_arrivals",
+    "from_sdf", "gate_delays_from_sdf", "to_sdf",
+    "TimingWallReport", "output_arrival_spread", "timing_wall",
+]

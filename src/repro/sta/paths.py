@@ -1,0 +1,73 @@
+"""Critical-path extraction and reporting on top of STA results."""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class TimingPath:
+    """One input-to-output path.
+
+    Attributes
+    ----------
+    nets:
+        Net ids along the path, from launching PI/constant to the PO.
+    gates:
+        Gate uids traversed (one fewer than or equal to nets).
+    delay_ps:
+        Total path delay.
+    """
+
+    nets: List[int]
+    gates: List[int]
+    delay_ps: float
+
+    @property
+    def depth(self):
+        """Number of gates (logic levels) on the path."""
+        return len(self.gates)
+
+
+def critical_path(netlist, report):
+    """Extract the worst path from a :class:`~repro.sta.sta.TimingReport`.
+
+    Backtracks from the latest-arriving primary output, at each gate
+    following the input with the largest arrival time.
+    """
+    if not netlist.primary_outputs:
+        return TimingPath(nets=[], gates=[], delay_ps=0.0)
+    end = max(netlist.primary_outputs,
+              key=lambda n: report.arrivals.get(n, 0.0))
+    nets = [end]
+    gates = []
+    net = end
+    while True:
+        gate = netlist.driver_of(net)
+        if gate is None:
+            break
+        gates.append(gate.uid)
+        net = max(gate.inputs, key=lambda n: report.arrivals.get(n, 0.0))
+        nets.append(net)
+    nets.reverse()
+    gates.reverse()
+    return TimingPath(nets=nets, gates=gates,
+                      delay_ps=report.arrivals.get(end, 0.0))
+
+
+def logic_depth(netlist):
+    """Maximum number of gate levels from any PI to any PO."""
+    depth = {}
+    for gate in netlist.topological_gates():
+        depth[gate.output] = 1 + max(
+            (depth.get(n, 0) for n in gate.inputs), default=0)
+    return max((depth.get(n, 0) for n in netlist.primary_outputs), default=0)
+
+
+def per_output_arrivals(netlist, report):
+    """``[(net, name, arrival_ps)]`` for every primary output, worst first."""
+    rows = []
+    for net in netlist.primary_outputs:
+        rows.append((net, netlist.net_names.get(net, "n%d" % net),
+                     report.arrivals.get(net, 0.0)))
+    rows.sort(key=lambda row: -row[2])
+    return rows

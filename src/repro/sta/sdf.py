@@ -1,0 +1,78 @@
+"""Standard Delay Format (SDF) export for aged netlists.
+
+The paper's flow performs "gate-level simulations of the analyzed
+circuit under aging" by handing the simulator an aging-annotated ``.sdf``
+file produced by STA. This module reproduces that artifact: per-instance
+IOPATH delays under a chosen aging scenario, written in SDF 3.0 syntax,
+plus a parser for the subset we emit so delays can round-trip into the
+event-driven simulator.
+"""
+
+import re
+
+from ..aging.bti import DEFAULT_BTI
+from ..aging.delay import gate_delays
+
+_PIN_NAMES = ("A", "B", "C", "D")
+
+
+def to_sdf(netlist, library, scenario=None, bti=DEFAULT_BTI,
+           degradation=None, design_name=None, timescale="1ps"):
+    """Serialize per-gate (aged) delays as an SDF file."""
+    delays = gate_delays(netlist, library, scenario=scenario, bti=bti,
+                         degradation=degradation)
+    label = scenario.label if scenario is not None else "fresh"
+    lines = [
+        "(DELAYFILE",
+        '  (SDFVERSION "3.0")',
+        '  (DESIGN "%s")' % (design_name or netlist.name),
+        '  (PROCESS "aging:%s")' % label,
+        "  (TIMESCALE %s)" % timescale,
+    ]
+    for gate in netlist.gates:
+        delay = delays[gate.uid]
+        triple = "(%.4f:%.4f:%.4f)" % (delay, delay, delay)
+        lines.append("  (CELL")
+        lines.append('    (CELLTYPE "%s")' % gate.cell)
+        lines.append("    (INSTANCE g%d)" % gate.uid)
+        lines.append("    (DELAY (ABSOLUTE")
+        for i in range(len(gate.inputs)):
+            lines.append("      (IOPATH %s Y %s %s)"
+                         % (_PIN_NAMES[i], triple, triple))
+        lines.append("    ))")
+        lines.append("  )")
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+_INSTANCE_RE = re.compile(r"\(INSTANCE\s+g(\d+)\)")
+_IOPATH_RE = re.compile(r"\(IOPATH\s+(\w+)\s+Y\s+\(([\d.]+):")
+
+
+def from_sdf(text):
+    """Parse delays from SDF produced by :func:`to_sdf`.
+
+    Returns ``{gate uid: {input pin name: delay}}``. The writer emits
+    one identical delay per input pin, but the parser keeps them
+    separate to accept hand-edited files. Line-oriented, so nested
+    parentheses inside a CELL body need no balancing.
+    """
+    result = {}
+    current = None
+    for line in text.splitlines():
+        instance = _INSTANCE_RE.search(line)
+        if instance:
+            current = int(instance.group(1))
+            result.setdefault(current, {})
+            continue
+        iopath = _IOPATH_RE.search(line)
+        if iopath and current is not None:
+            pin, value = iopath.groups()
+            result[current][pin] = float(value)
+    return result
+
+
+def gate_delays_from_sdf(text):
+    """Collapse an SDF parse into per-gate worst delays (uid -> ps)."""
+    return {uid: max(pins.values())
+            for uid, pins in from_sdf(text).items() if pins}

@@ -1,0 +1,99 @@
+"""Aging-aware static timing analysis.
+
+Computes per-net arrival times over a combinational netlist in
+topological order, using per-gate delays that may be scaled for aging
+(via closed-form BTI or a degradation-aware library table). This is the
+reproduction's stand-in for the paper's Synopsys STA with the
+degradation-aware cell library.
+
+The model is purely topological (no false-path analysis): the arrival of
+a gate output is the max input arrival plus the gate's (load-dependent,
+possibly aged) delay. The timed gate-level simulator produces arrival
+times that are always bounded by these static values — a property the
+test suite checks.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..aging.bti import DEFAULT_BTI
+from ..aging.delay import gate_delays
+from ..netlist.net import CONST0, CONST1
+
+
+@dataclass
+class TimingReport:
+    """Result of :func:`analyze`.
+
+    Attributes
+    ----------
+    arrivals:
+        Map net id -> arrival time in ps (PIs and constants arrive at 0).
+    gate_delays:
+        Map gate uid -> the delay used for that gate, in ps.
+    critical_path_ps:
+        Max arrival over the primary outputs.
+    scenario_label:
+        Label of the aging scenario analyzed (``"fresh"`` when unaged).
+    """
+
+    arrivals: Dict[int, float]
+    gate_delays: Dict[int, float]
+    critical_path_ps: float
+    scenario_label: str = "fresh"
+
+    def po_arrivals(self, netlist):
+        """Arrival time of each primary output, in PO order."""
+        return [self.arrivals.get(net, 0.0) for net in netlist.primary_outputs]
+
+    def slack_ps(self, t_clock_ps):
+        """Worst slack against a clock period (negative = violation)."""
+        return t_clock_ps - self.critical_path_ps
+
+
+def analyze(netlist, library, scenario=None, bti=DEFAULT_BTI,
+            degradation=None):
+    """Run (aging-aware) STA and return a :class:`TimingReport`.
+
+    Parameters
+    ----------
+    netlist:
+        Design under analysis; must be acyclic.
+    library:
+        Cell library resolving cell names to delays.
+    scenario:
+        Optional :class:`~repro.aging.scenario.AgingScenario`. Omitted or
+        fresh scenarios analyze unaged silicon.
+    bti:
+        BTI model for closed-form aging multipliers.
+    degradation:
+        Optional :class:`~repro.cells.degradation.DegradationAwareLibrary`
+        for table-based multipliers (the paper's artifact interface).
+    """
+    delays = gate_delays(netlist, library, scenario=scenario, bti=bti,
+                         degradation=degradation)
+    arrivals = {CONST0: 0.0, CONST1: 0.0}
+    for net in netlist.primary_inputs:
+        arrivals[net] = 0.0
+    for gate in netlist.topological_gates():
+        at = 0.0
+        for net in gate.inputs:
+            a = arrivals[net]
+            if a > at:
+                at = a
+        arrivals[gate.output] = at + delays[gate.uid]
+    cp = 0.0
+    for net in netlist.primary_outputs:
+        a = arrivals.get(net, 0.0)
+        if a > cp:
+            cp = a
+    label = scenario.label if scenario is not None else "fresh"
+    return TimingReport(arrivals=arrivals, gate_delays=delays,
+                        critical_path_ps=cp, scenario_label=label)
+
+
+def critical_path_delay(netlist, library, scenario=None, bti=DEFAULT_BTI,
+                        degradation=None):
+    """Convenience wrapper: critical-path delay in ps."""
+    return analyze(netlist, library, scenario=scenario, bti=bti,
+                   degradation=degradation).critical_path_ps

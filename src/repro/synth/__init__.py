@@ -1,0 +1,17 @@
+"""Logic synthesis: optimization passes, sizing, aging-aware baseline."""
+
+from .optimize import (constant_propagation, dead_gate_elimination,
+                       optimize, remove_inverter_pairs,
+                       structural_hashing)
+from .synthesize import (EFFORTS, SynthesisResult, synthesize,
+                         synthesize_netlist)
+from .sizing import SizingReport, upsize_critical_paths
+from .aging_aware import AgingAwareResult, aging_aware_synthesize
+
+__all__ = [
+    "constant_propagation", "dead_gate_elimination", "optimize",
+    "remove_inverter_pairs", "structural_hashing",
+    "EFFORTS", "SynthesisResult", "synthesize", "synthesize_netlist",
+    "SizingReport", "upsize_critical_paths",
+    "AgingAwareResult", "aging_aware_synthesize",
+]

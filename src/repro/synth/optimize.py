@@ -1,0 +1,232 @@
+"""Netlist optimization passes.
+
+These passes are the working core of the reproduction's "logic
+synthesis" (the stand-in for Synopsys Design Compiler): constant
+propagation, algebraic single-gate simplification, inverter/buffer
+cleanup and dead-gate elimination. Constant propagation is what turns a
+precision reduction (operand LSBs tied to constant 0) into a physically
+smaller and faster netlist — the mechanism behind the paper's
+area/power/delay savings.
+
+All passes mutate the given netlist in place and return it;
+:func:`repro.synth.synthesize.synthesize` works on a copy.
+"""
+
+from ..cells.cell import cell_function
+from ..netlist.net import CONST0, CONST1, is_const, const_value
+
+
+def _resolver(subst):
+    def resolve(net):
+        seen = []
+        while net in subst:
+            seen.append(net)
+            net = subst[net]
+        for s in seen:  # path compression
+            subst[s] = net
+        return net
+    return resolve
+
+
+def _simplify(kind, ins):
+    """Single-gate rewrite given resolved inputs.
+
+    Returns one of
+    ``("const", value)`` / ``("alias", net)`` / ``("gate", kind, inputs)``.
+    """
+    vals = [const_value(n) if is_const(n) else None for n in ins]
+    if all(v is not None for v in vals):
+        return ("const", cell_function(kind)(*vals))
+
+    if kind in ("BUF",):
+        return ("alias", ins[0])
+    if kind == "INV":
+        return ("gate", "INV", tuple(ins))
+
+    if kind in ("AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2"):
+        a, b = ins
+        va, vb = vals
+        if a == b:
+            same = {"AND2": ("alias", a), "OR2": ("alias", a),
+                    "XOR2": ("const", 0), "XNOR2": ("const", 1),
+                    "NAND2": ("gate", "INV", (a,)),
+                    "NOR2": ("gate", "INV", (a,))}
+            return same[kind]
+        if va is None and vb is None:
+            return ("gate", kind, (a, b))
+        # Exactly one constant input; name it v, the live net x.
+        v, x = (va, b) if va is not None else (vb, a)
+        rules = {
+            ("AND2", 0): ("const", 0), ("AND2", 1): ("alias", x),
+            ("OR2", 1): ("const", 1), ("OR2", 0): ("alias", x),
+            ("NAND2", 0): ("const", 1), ("NAND2", 1): ("gate", "INV", (x,)),
+            ("NOR2", 1): ("const", 0), ("NOR2", 0): ("gate", "INV", (x,)),
+            ("XOR2", 0): ("alias", x), ("XOR2", 1): ("gate", "INV", (x,)),
+            ("XNOR2", 1): ("alias", x), ("XNOR2", 0): ("gate", "INV", (x,)),
+        }
+        return rules[(kind, v)]
+
+    if kind == "MUX2":
+        a, b, s = ins
+        va, vb, vs = vals
+        if vs == 0:
+            return ("alias", a)
+        if vs == 1:
+            return ("alias", b)
+        if a == b:
+            return ("alias", a)
+        if va == 0 and vb == 1:
+            return ("alias", s)
+        if va == 1 and vb == 0:
+            return ("gate", "INV", (s,))
+        if va == 0:
+            return ("gate", "AND2", (b, s))
+        if va == 1:
+            return ("gate", "OR2", (b, "~s"))  # needs an inverter; keep MUX
+        if vb == 1:
+            return ("gate", "OR2", (a, s))
+        if vb == 0:
+            return ("gate", "AND2", (a, "~s"))  # needs an inverter; keep MUX
+        return ("gate", "MUX2", (a, b, s))
+
+    if kind == "AOI21":
+        a, b, c = ins
+        va, vb, vc = vals
+        if vc == 1:
+            return ("const", 0)
+        if vc == 0:
+            return ("gate", "NAND2", (a, b))
+        if va == 0 or vb == 0:
+            return ("gate", "INV", (c,))
+        if va == 1:
+            return ("gate", "NOR2", (b, c))
+        if vb == 1:
+            return ("gate", "NOR2", (a, c))
+        return ("gate", "AOI21", (a, b, c))
+
+    if kind == "OAI21":
+        a, b, c = ins
+        va, vb, vc = vals
+        if vc == 0:
+            return ("const", 1)
+        if vc == 1:
+            return ("gate", "NOR2", (a, b))
+        if va == 1 or vb == 1:
+            return ("gate", "INV", (c,))
+        if va == 0:
+            return ("gate", "NAND2", (b, c))
+        if vb == 0:
+            return ("gate", "NAND2", (a, c))
+        return ("gate", "OAI21", (a, b, c))
+
+    return ("gate", kind, tuple(ins))
+
+
+def constant_propagation(netlist, library):
+    """Fold constants and algebraic identities through the netlist."""
+    subst = {}
+    resolve = _resolver(subst)
+    kept = []
+    for gate in netlist.topological_gates():
+        ins = tuple(resolve(n) for n in gate.inputs)
+        action = _simplify(gate.kind, ins)
+        if action[0] == "gate" and "~s" in action[2]:
+            # Rewrites that would need a new inverter are not worth it;
+            # keep the original (resolved-input) gate.
+            action = ("gate", gate.kind, ins)
+        if action[0] == "const":
+            subst[gate.output] = CONST1 if action[1] else CONST0
+        elif action[0] == "alias":
+            subst[gate.output] = action[1]
+        else:
+            __, kind, new_ins = action
+            cell = "%s_X%d" % (kind, gate.drive)
+            if cell not in library:
+                cell = "%s_X1" % kind
+            kept.append(gate.with_cell(cell) if cell != gate.cell else gate)
+            if new_ins != gate.inputs:
+                kept[-1].inputs = tuple(new_ins)
+    netlist.rebuild(kept)
+    netlist.primary_outputs = [resolve(n) for n in netlist.primary_outputs]
+    return netlist
+
+
+def remove_inverter_pairs(netlist, library):
+    """Collapse INV(INV(x)) chains and BUFs into aliases."""
+    subst = {}
+    resolve = _resolver(subst)
+    kept = []
+    for gate in netlist.topological_gates():
+        ins = tuple(resolve(n) for n in gate.inputs)
+        if gate.kind == "BUF":
+            subst[gate.output] = ins[0]
+            continue
+        if gate.kind == "INV":
+            driver = netlist.driver_of(ins[0])
+            if driver is not None and driver.kind == "INV":
+                subst[gate.output] = resolve(driver.inputs[0])
+                continue
+        if ins != gate.inputs:
+            gate.inputs = ins
+        kept.append(gate)
+    netlist.rebuild(kept)
+    netlist.primary_outputs = [resolve(n) for n in netlist.primary_outputs]
+    return netlist
+
+
+_COMMUTATIVE = {"AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2"}
+
+
+def structural_hashing(netlist, library=None):
+    """Merge structurally identical gates (common-subexpression elim).
+
+    Two gates of the same kind reading the same (canonicalized) inputs
+    compute the same function; the second one is replaced by an alias to
+    the first. Input order of commutative cells is canonicalized by
+    sorting. Arithmetic generators produce plenty of shared
+    propagate/generate terms, so this pass recovers real area.
+    """
+    subst = {}
+    resolve = _resolver(subst)
+    seen = {}
+    kept = []
+    for gate in netlist.topological_gates():
+        ins = tuple(resolve(n) for n in gate.inputs)
+        key_ins = tuple(sorted(ins)) if gate.kind in _COMMUTATIVE else ins
+        key = (gate.kind, key_ins)
+        existing = seen.get(key)
+        if existing is not None:
+            subst[gate.output] = existing
+            continue
+        seen[key] = gate.output
+        if ins != gate.inputs:
+            gate.inputs = ins
+        kept.append(gate)
+    netlist.rebuild(kept)
+    netlist.primary_outputs = [resolve(n) for n in netlist.primary_outputs]
+    return netlist
+
+
+def dead_gate_elimination(netlist, library=None):
+    """Drop gates whose outputs cannot reach any primary output."""
+    needed = set(netlist.primary_outputs)
+    # Walk backwards in reverse topological order.
+    for gate in reversed(netlist.topological_gates()):
+        if gate.output in needed:
+            needed.update(gate.inputs)
+    kept = [g for g in netlist.gates if g.output in needed]
+    netlist.rebuild(kept)
+    return netlist
+
+
+def optimize(netlist, library, max_rounds=8):
+    """Run all passes to a fixpoint (bounded by *max_rounds*)."""
+    for __ in range(max_rounds):
+        before = netlist.num_gates
+        constant_propagation(netlist, library)
+        remove_inverter_pairs(netlist, library)
+        structural_hashing(netlist, library)
+        dead_gate_elimination(netlist, library)
+        if netlist.num_gates == before:
+            break
+    return netlist

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Synthesis and characterization are deterministic, so expensive artifacts
+(the cell library, synthesized small components) are session-scoped and
+shared across test modules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import nangate45
+from repro.rtl import Adder, Multiplier, MultiplyAccumulate
+from repro.synth import synthesize_netlist
+
+
+@pytest.fixture(scope="session")
+def lib():
+    """The bundled 45 nm-like cell library."""
+    return nangate45()
+
+
+@pytest.fixture(scope="session")
+def adder8(lib):
+    """Synthesized 8-bit carry-lookahead adder."""
+    return synthesize_netlist(Adder(8), lib, effort="high")
+
+
+@pytest.fixture(scope="session")
+def adder8_component():
+    return Adder(8)
+
+
+@pytest.fixture(scope="session")
+def mult6(lib):
+    """Synthesized 6-bit Wallace multiplier."""
+    return synthesize_netlist(Multiplier(6), lib, effort="high")
+
+
+@pytest.fixture(scope="session")
+def mult6_component():
+    return Multiplier(6)
+
+
+@pytest.fixture(scope="session")
+def mac4(lib):
+    """Synthesized 4-bit fused MAC."""
+    return synthesize_netlist(MultiplyAccumulate(4), lib, effort="high")
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(20170618)

@@ -1,0 +1,108 @@
+"""Tests for switching-activity extraction and actual-case stress."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import NetlistBuilder
+from repro.rtl import Adder
+from repro.sim import (extract_stress, operand_stream_bits,
+                       simulate_activity)
+from repro.synth import synthesize_netlist
+
+
+def xor_net():
+    builder = NetlistBuilder(name="x")
+    a, b = builder.inputs(2, "x")
+    return builder.outputs([builder.xor2(a, b)])
+
+
+class TestSignalProbability:
+    def test_known_probabilities(self, lib):
+        net = xor_net()
+        a, b = net.primary_inputs
+        stim = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        report = simulate_activity(net, lib, stim)
+        assert report.signal_probability[a] == pytest.approx(0.5)
+        assert report.signal_probability[b] == pytest.approx(0.5)
+        assert report.signal_probability[net.primary_outputs[0]] == \
+            pytest.approx(0.5)
+        assert report.vectors == 4
+
+    def test_constant_inputs(self, lib):
+        net = xor_net()
+        stim = np.ones((10, 2), dtype=np.uint8)
+        report = simulate_activity(net, lib, stim)
+        assert report.signal_probability[net.primary_outputs[0]] == 0.0
+        assert report.toggle_rate[net.primary_outputs[0]] == 0.0
+
+    def test_toggle_rate_counts_transitions(self, lib):
+        net = xor_net()
+        a, b = net.primary_inputs
+        stim = np.array([[0, 0], [1, 0], [0, 0], [1, 0]], dtype=np.uint8)
+        report = simulate_activity(net, lib, stim)
+        assert report.toggle_rate[a] == pytest.approx(1.0)
+        assert report.toggle_rate[b] == 0.0
+        assert report.toggle_rate[net.primary_outputs[0]] == \
+            pytest.approx(1.0)
+
+    def test_single_vector_has_zero_toggles(self, lib):
+        net = xor_net()
+        report = simulate_activity(net, lib,
+                                   np.array([[1, 0]], dtype=np.uint8))
+        assert all(v == 0.0 for v in report.toggle_rate.values())
+
+    def test_shape_validation(self, lib):
+        net = xor_net()
+        with pytest.raises(ValueError):
+            simulate_activity(net, lib, np.zeros((4, 3), dtype=np.uint8))
+
+    def test_gate_output_toggle_keyed_by_uid(self, lib):
+        net = xor_net()
+        stim = np.array([[0, 0], [1, 0]], dtype=np.uint8)
+        report = simulate_activity(net, lib, stim)
+        per_gate = report.gate_output_toggle(net)
+        assert set(per_gate) == {g.uid for g in net.gates}
+
+
+class TestStressExtraction:
+    def test_extract_stress_covers_all_gates(self, lib, adder8,
+                                             adder8_component, rng):
+        a, b = adder8_component.random_operands(200, rng=rng)
+        bits = operand_stream_bits((a, b),
+                                   adder8_component.operand_widths)
+        ann = extract_stress(adder8, lib, bits, label="test")
+        assert ann.label == "test"
+        assert set(ann.per_gate) == {g.uid for g in adder8.gates}
+
+    def test_stress_factors_in_unit_interval(self, lib, adder8,
+                                             adder8_component, rng):
+        a, b = adder8_component.random_operands(200, rng=rng)
+        bits = operand_stream_bits((a, b),
+                                   adder8_component.operand_widths)
+        ann = extract_stress(adder8, lib, bits)
+        for sp, sn in ann.per_gate.values():
+            assert 0.0 <= sp <= 1.0
+            assert 0.0 <= sn <= 1.0
+            assert sp + sn == pytest.approx(1.0)
+
+    def test_biased_stimulus_biases_stress(self, lib):
+        net = xor_net()
+        # Inputs held at 1: nMOS fully stressed, pMOS recovers.
+        ann = extract_stress(net, lib, np.ones((20, 2), dtype=np.uint8))
+        sp, sn = ann.per_gate[net.gates[0].uid]
+        assert sn == pytest.approx(1.0)
+        assert sp == pytest.approx(0.0)
+
+
+class TestOperandPacking:
+    def test_layout_matches_component_interface(self, adder8_component):
+        a = np.array([1], dtype=np.int64)
+        b = np.array([-1], dtype=np.int64)
+        bits = operand_stream_bits((a, b), adder8_component.operand_widths)
+        assert bits.shape == (1, 16)
+        assert bits[0, :8].tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bits[0, 8:].tolist() == [1] * 8
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            operand_stream_bits((np.array([1]),), [8, 8])

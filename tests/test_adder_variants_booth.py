@@ -1,0 +1,139 @@
+"""Functional tests for carry-select/skip adders and Booth multiplier."""
+
+import numpy as np
+import pytest
+
+from repro.rtl import (BoothMultiplier, CarrySelectAdder, CarrySkipAdder,
+                       Multiplier)
+from repro.synth import synthesize_netlist
+
+from helpers import run_netlist
+
+VARIANT_ADDERS = [CarrySelectAdder, CarrySkipAdder]
+
+
+class TestVariantAdders:
+    @pytest.mark.parametrize("cls", VARIANT_ADDERS)
+    def test_exhaustive_4bit(self, lib, cls):
+        component = cls(4)
+        values = np.arange(-8, 8, dtype=np.int64)
+        a, b = np.meshgrid(values, values)
+        a, b = a.ravel(), b.ravel()
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.exact(a, b))
+
+    @pytest.mark.parametrize("cls", VARIANT_ADDERS)
+    @pytest.mark.parametrize("width", [5, 8, 16])
+    def test_random_widths(self, lib, cls, width, rng):
+        component = cls(width)
+        a, b = component.random_operands(300, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.exact(a, b))
+
+    @pytest.mark.parametrize("cls", VARIANT_ADDERS)
+    def test_group_parameter(self, lib, cls, rng):
+        for group in (2, 3, 8):
+            component = cls(12, group=group)
+            a, b = component.random_operands(200, rng=rng,
+                                             distribution="uniform")
+            assert np.array_equal(run_netlist(component, lib, (a, b)),
+                                  component.exact(a, b))
+
+    @pytest.mark.parametrize("cls", VARIANT_ADDERS)
+    def test_tiny_group_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(8, group=1)
+
+    @pytest.mark.parametrize("cls", VARIANT_ADDERS)
+    def test_truncated_matches_approximate(self, lib, cls, rng):
+        component = cls(8, precision=5)
+        a, b = component.random_operands(300, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.approximate(a, b))
+
+    @pytest.mark.parametrize("cls", VARIANT_ADDERS)
+    def test_with_precision_keeps_group(self, cls):
+        base = cls(16, group=8)
+        cut = base.with_precision(10)
+        assert cut.group == 8
+        assert cut.precision == 10
+
+    def test_select_faster_than_skip_under_topological_sta(self, lib):
+        # Topological STA cannot credit the skip adder's false-path
+        # bypass, so carry-select dominates in this model.
+        from repro.sta import critical_path_delay
+        sel = synthesize_netlist(CarrySelectAdder(16), lib, effort="high")
+        skip = synthesize_netlist(CarrySkipAdder(16), lib, effort="high")
+        assert critical_path_delay(sel, lib) < \
+            critical_path_delay(skip, lib)
+
+
+class TestBoothMultiplier:
+    @pytest.mark.parametrize("width", [3, 4, 5])
+    def test_exhaustive_small(self, lib, width):
+        component = BoothMultiplier(width)
+        values = np.arange(-(1 << (width - 1)), 1 << (width - 1),
+                           dtype=np.int64)
+        a, b = np.meshgrid(values, values)
+        a, b = a.ravel(), b.ravel()
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.exact(a, b))
+
+    @pytest.mark.parametrize("width", [6, 9, 12])
+    def test_random_widths(self, lib, width, rng):
+        component = BoothMultiplier(width)
+        a, b = component.random_operands(200, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.exact(a, b))
+
+    def test_extreme_values(self, lib):
+        component = BoothMultiplier(8)
+        corner = np.array([-128, -128, 127, 127, 0, -1], dtype=np.int64)
+        other = np.array([-128, 127, 127, -128, 0, -1], dtype=np.int64)
+        assert np.array_equal(run_netlist(component, lib, (corner, other)),
+                              component.exact(corner, other))
+
+    def test_agrees_with_wallace(self, lib, rng):
+        booth = BoothMultiplier(6)
+        wallace = Multiplier(6)
+        a, b = booth.random_operands(300, rng=rng,
+                                     distribution="uniform")
+        assert np.array_equal(run_netlist(booth, lib, (a, b)),
+                              run_netlist(wallace, lib, (a, b)))
+
+    def test_fewer_partial_product_rows_than_array(self, lib):
+        # Booth's raison d'etre: about half the partial products.
+        from repro.netlist import NetlistBuilder
+        from repro.rtl.booth import booth_columns
+        from repro.rtl.multiplier import baugh_wooley_columns
+        for make, expected_max in ((booth_columns, 8 / 2 + 2),
+                                   (baugh_wooley_columns, 8 + 2)):
+            builder = NetlistBuilder()
+            a = builder.inputs(8, "a")
+            b = builder.inputs(8, "b")
+            cols = make(builder, a, b)
+            height = max(len(col) for col in cols)
+            assert height <= expected_max, make.__name__
+
+    def test_truncation_consistency(self, lib, rng):
+        component = BoothMultiplier(8, precision=5)
+        a, b = component.random_operands(300, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.approximate(a, b))
+
+    def test_final_adder_variants(self, lib, rng):
+        component = BoothMultiplier(6, final_adder="ks")
+        a, b = component.random_operands(200, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.exact(a, b))
+        with pytest.raises(ValueError):
+            BoothMultiplier(6, final_adder="rca")
+
+    def test_with_precision_keeps_final_adder(self):
+        cut = BoothMultiplier(8, final_adder="ks").with_precision(6)
+        assert cut.final_adder == "ks"

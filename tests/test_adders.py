@@ -1,0 +1,133 @@
+"""Functional tests for all adder architectures, including truncation."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl import (Adder, CarryLookaheadAdder, KoggeStoneAdder,
+                       RippleCarryAdder)
+from repro.synth import synthesize_netlist
+
+from helpers import run_netlist
+
+ARCHITECTURES = [RippleCarryAdder, CarryLookaheadAdder, KoggeStoneAdder]
+
+
+@pytest.mark.parametrize("cls", ARCHITECTURES)
+def test_exhaustive_4bit(lib, cls):
+    component = cls(4)
+    values = np.arange(-8, 8, dtype=np.int64)
+    a, b = np.meshgrid(values, values)
+    a, b = a.ravel(), b.ravel()
+    assert np.array_equal(run_netlist(component, lib, (a, b)),
+                          component.exact(a, b))
+
+
+@pytest.mark.parametrize("cls", ARCHITECTURES)
+@pytest.mark.parametrize("width", [2, 3, 5, 8])
+def test_random_widths(lib, cls, width, rng):
+    component = cls(width)
+    a, b = component.random_operands(300, rng=rng, distribution="uniform")
+    assert np.array_equal(run_netlist(component, lib, (a, b)),
+                          component.exact(a, b))
+
+
+@pytest.mark.parametrize("cls", ARCHITECTURES)
+def test_wide_adders_against_golden(lib, cls, rng):
+    component = cls(32)
+    a, b = component.random_operands(300, rng=rng)
+    assert np.array_equal(run_netlist(component, lib, (a, b)),
+                          component.exact(a, b))
+
+
+@given(a=st.integers(-(1 << 31), (1 << 31) - 1),
+       b=st.integers(-(1 << 31), (1 << 31) - 1))
+@settings(max_examples=40, deadline=None)
+def test_exact_is_wraparound_sum(a, b):
+    component = Adder(32)
+    result = int(component.exact(np.array([a]), np.array([b]))[0])
+    assert result == ((a + b + (1 << 31)) % (1 << 32)) - (1 << 31)
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("cls", ARCHITECTURES)
+    @pytest.mark.parametrize("precision", [6, 4, 2])
+    def test_truncated_netlist_matches_approximate(self, lib, cls,
+                                                   precision, rng):
+        component = cls(8, precision=precision)
+        a, b = component.random_operands(400, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.approximate(a, b))
+
+    def test_truncation_reduces_gate_count(self, lib):
+        full = synthesize_netlist(Adder(16), lib, effort="high")
+        cut = synthesize_netlist(Adder(16, precision=10), lib,
+                                 effort="high")
+        assert cut.num_gates < full.num_gates
+
+    def test_truncation_error_bound(self, rng):
+        component = Adder(12, precision=8)
+        a, b = component.random_operands(2000, rng=rng,
+                                         distribution="uniform")
+        err = np.abs(component.exact(a, b) - component.approximate(a, b))
+        # Wraparound can alias the error; ignore wrapped cases.
+        plain = (np.abs(a.astype(np.int64) + b.astype(np.int64))
+                 < (1 << 11) - (1 << 5))
+        assert err[plain].max() <= component.max_error_bound()
+
+    def test_full_precision_is_exact(self, rng):
+        component = Adder(8)
+        a, b = component.random_operands(100, rng=rng)
+        assert np.array_equal(component.exact(a, b),
+                              component.approximate(a, b))
+
+    def test_with_precision_copies(self):
+        base = CarryLookaheadAdder(16, group=8)
+        cut = base.with_precision(12)
+        assert cut.precision == 12
+        assert cut.group == 8
+        assert base.precision == 16
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError):
+            Adder(8, precision=9)
+        with pytest.raises(ValueError):
+            Adder(8, precision=0)
+
+
+class TestArchitectureProperties:
+    def test_names_encode_parameters(self):
+        assert Adder(32).name == "adder_w32"
+        assert Adder(32, precision=24).name == "adder_w32_p24"
+        assert RippleCarryAdder(8).name == "rca_w8"
+
+    def test_depth_ordering(self, lib):
+        """Prefix < lookahead < ripple logic depth at equal width."""
+        from repro.sta import logic_depth
+        depths = {}
+        for cls in ARCHITECTURES:
+            net = synthesize_netlist(cls(16), lib, effort="high")
+            depths[cls.__name__] = logic_depth(net)
+        assert depths["KoggeStoneAdder"] < depths["CarryLookaheadAdder"]
+        assert depths["CarryLookaheadAdder"] < depths["RippleCarryAdder"]
+
+    def test_cla_group_parameter(self, lib, rng):
+        for group in (2, 3, 8):
+            component = CarryLookaheadAdder(8, group=group)
+            a, b = component.random_operands(200, rng=rng,
+                                             distribution="uniform")
+            assert np.array_equal(run_netlist(component, lib, (a, b)),
+                                  component.exact(a, b))
+
+    def test_cla_rejects_tiny_group(self):
+        with pytest.raises(ValueError):
+            CarryLookaheadAdder(8, group=1)
+
+    def test_operand_metadata(self):
+        component = Adder(8)
+        assert component.operand_widths == [8, 8]
+        assert component.output_width == 8
+        assert component.operand_names == ["a", "b"]

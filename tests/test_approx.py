@@ -1,0 +1,141 @@
+"""Tests for truncation semantics and the arithmetic models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import (ComponentArithmetic, ExactArithmetic,
+                          RecordingArithmetic, TruncatedArithmetic,
+                          product_error_bound, sum_error_bound,
+                          truncate_lsbs, truncation_error_bound)
+from repro.rtl import Adder, Multiplier
+
+
+class TestTruncateLsbs:
+    def test_zero_drop_is_identity(self):
+        arr = np.array([1, -5, 7])
+        assert truncate_lsbs(arr, 0) is arr
+
+    def test_positive_values(self):
+        arr = np.array([0b1111, 0b1010])
+        assert truncate_lsbs(arr, 2).tolist() == [0b1100, 0b1000]
+
+    def test_negative_values_round_toward_minus_inf(self):
+        assert truncate_lsbs(-5, 2) == -8
+        assert truncate_lsbs(np.array([-1]), 3)[0] == -8
+
+    def test_python_ints_supported(self):
+        assert truncate_lsbs(13, 2) == 12
+
+    def test_negative_drop_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_lsbs(np.array([1]), -1)
+
+    @given(value=st.integers(-(1 << 40), 1 << 40),
+           drop=st.integers(0, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_properties(self, value, drop):
+        out = truncate_lsbs(value, drop)
+        # Low bits zeroed, error bounded and non-negative (floor).
+        assert out % (1 << drop) == 0
+        assert 0 <= value - out <= truncation_error_bound(drop)
+
+    @given(value=st.integers(-(1 << 40), 1 << 40),
+           drop=st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, value, drop):
+        once = truncate_lsbs(value, drop)
+        assert truncate_lsbs(once, drop) == once
+
+
+class TestErrorBounds:
+    def test_truncation_error_bound(self):
+        assert truncation_error_bound(0) == 0
+        assert truncation_error_bound(3) == 7
+
+    def test_sum_error_bound(self):
+        assert sum_error_bound(3, operands=2) == 14
+
+    def test_product_error_bound_dominates_samples(self, rng):
+        width, drop = 10, 4
+        bound = product_error_bound(drop, width)
+        a = rng.integers(-(1 << 9), 1 << 9, 500)
+        b = rng.integers(-(1 << 9), 1 << 9, 500)
+        err = np.abs(a * b - truncate_lsbs(a, drop) * truncate_lsbs(b, drop))
+        assert err.max() <= bound
+
+
+class TestArithmeticModels:
+    def test_exact(self, rng):
+        model = ExactArithmetic()
+        a = rng.integers(-100, 100, 50)
+        b = rng.integers(-100, 100, 50)
+        assert np.array_equal(model.mul(a, b), a * b)
+        assert np.array_equal(model.add(a, b), a + b)
+
+    def test_truncated_zeroes_operands(self):
+        model = TruncatedArithmetic(mul_drop_bits=2, add_drop_bits=3)
+        assert model.mul(np.array([7]), np.array([7]))[0] == 16
+        assert model.add(np.array([7]), np.array([9]))[0] == 8
+
+    def test_truncated_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            TruncatedArithmetic(mul_drop_bits=-1)
+
+    def test_component_model_matches_truncated_values(self, rng):
+        component = Multiplier(8, precision=5)
+        model = ComponentArithmetic(mul_component=component)
+        trunc = TruncatedArithmetic(mul_drop_bits=3)
+        a = rng.integers(-128, 128, 200)
+        b = rng.integers(-128, 128, 200)
+        assert np.array_equal(model.mul(a, b), trunc.mul(a, b))
+
+    def test_component_model_falls_back_to_exact(self, rng):
+        model = ComponentArithmetic(mul_component=Multiplier(8,
+                                                             precision=5))
+        a = rng.integers(-100, 100, 50)
+        b = rng.integers(-100, 100, 50)
+        assert np.array_equal(model.add(a, b), a + b)
+
+    def test_labels(self):
+        assert "exact" not in TruncatedArithmetic(1, 2).label
+        model = ComponentArithmetic(mul_component=Multiplier(8,
+                                                             precision=6))
+        assert "multiplier_w8_p6" in model.label
+        assert ComponentArithmetic().label == "exact"
+
+
+class TestRecording:
+    def test_records_and_delegates(self, rng):
+        model = RecordingArithmetic()
+        a = rng.integers(-50, 50, 20)
+        b = rng.integers(-50, 50, 20)
+        out = model.mul(a, b)
+        assert np.array_equal(out, a * b)
+        ra, rb = model.recorded_mul_stream()
+        assert np.array_equal(ra, a)
+        assert np.array_equal(rb, b)
+
+    def test_concatenates_multiple_calls(self, rng):
+        model = RecordingArithmetic()
+        model.add(np.array([1, 2]), np.array([3, 4]))
+        model.add(np.array([5]), np.array([6]))
+        ra, rb = model.recorded_add_stream()
+        assert ra.tolist() == [1, 2, 5]
+        assert rb.tolist() == [3, 4, 6]
+
+    def test_limit(self):
+        model = RecordingArithmetic()
+        model.mul(np.arange(10), np.arange(10))
+        ra, rb = model.recorded_mul_stream(limit=4)
+        assert len(ra) == 4
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            RecordingArithmetic().recorded_mul_stream()
+
+    def test_wraps_inner_model(self):
+        inner = TruncatedArithmetic(mul_drop_bits=2)
+        model = RecordingArithmetic(inner)
+        out = model.mul(np.array([7]), np.array([7]))
+        assert out[0] == 16

@@ -1,0 +1,109 @@
+"""Tests for the LOA approximate adder and temperature-aware BTI."""
+
+import numpy as np
+import pytest
+
+from repro.aging import DEFAULT_BTI, worst_case
+from repro.rtl import Adder, LowerOrAdder, wrap_signed
+from repro.sta import critical_path_delay
+from repro.synth import synthesize_netlist
+
+from helpers import run_netlist
+
+
+class TestLowerOrAdder:
+    def test_full_precision_is_exact(self, lib, rng):
+        component = LowerOrAdder(8)
+        a, b = component.random_operands(400, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.exact(a, b))
+
+    @pytest.mark.parametrize("precision", [6, 4, 2])
+    def test_netlist_matches_value_model(self, lib, precision, rng):
+        component = LowerOrAdder(8, precision=precision)
+        a, b = component.random_operands(500, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.approximate(a, b))
+
+    def test_exhaustive_modular_error_bound(self):
+        component = LowerOrAdder(8, precision=5)
+        vals = np.arange(-128, 128, dtype=np.int64)
+        a, b = np.meshgrid(vals, vals)
+        a, b = a.ravel(), b.ravel()
+        err = wrap_signed(component.exact(a, b)
+                          - component.approximate(a, b), 8)
+        assert np.abs(err).max() <= component.max_error_bound()
+
+    def test_or_guess_exact_when_columns_disjoint(self):
+        component = LowerOrAdder(8, precision=4)
+        a = np.array([0b0101_0000 - 128 + 0b0101], dtype=np.int64)
+        b = np.array([0b1010], dtype=np.int64)   # no shared low 1s, no carry
+        assert component.approximate(a, b)[0] == component.exact(a, b)[0]
+
+    def test_approximation_shortens_critical_path(self, lib):
+        delays = []
+        for precision in (8, 6, 4):
+            net = synthesize_netlist(LowerOrAdder(8, precision=precision),
+                                     lib, effort="high")
+            delays.append(critical_path_delay(net, lib))
+        assert delays == sorted(delays, reverse=True)
+        assert delays[-1] < delays[0]
+
+    def test_more_accurate_than_truncation_per_bit(self, rng):
+        """LOA's selling point: smaller mean error than truncation at
+        the same number of approximated bits."""
+        drop = 4
+        loa = LowerOrAdder(12, precision=12 - drop)
+        trunc = Adder(12, precision=12 - drop)
+        a, b = loa.random_operands(5000, rng=rng, distribution="uniform")
+        err_loa = np.abs(wrap_signed(loa.exact(a, b)
+                                     - loa.approximate(a, b), 12))
+        err_trunc = np.abs(wrap_signed(trunc.exact(a, b)
+                                       - trunc.approximate(a, b), 12))
+        assert err_loa.mean() < err_trunc.mean()
+
+    def test_characterization_flow_compatible(self, lib):
+        from repro.core import characterize
+        entry = characterize(LowerOrAdder(10), lib,
+                             scenarios=[worst_case(10)],
+                             precisions=range(10, 4, -1), effort="high")
+        assert entry.required_precision("10y_worst") is not None
+
+    def test_with_precision_keeps_group(self):
+        cut = LowerOrAdder(16, group=8).with_precision(12)
+        assert cut.group == 8
+        assert cut.drop_bits == 4
+
+
+class TestTemperature:
+    def test_reference_temperature_is_identity(self):
+        same = DEFAULT_BTI.at_temperature(DEFAULT_BTI.temperature_k)
+        assert same.prefactor_v == pytest.approx(DEFAULT_BTI.prefactor_v)
+
+    def test_cooler_parts_age_less(self):
+        cool = DEFAULT_BTI.at_temperature(298.0)
+        assert cool.delta_vth(1.0, 10.0) < DEFAULT_BTI.delta_vth(1.0, 10.0)
+
+    def test_hotter_parts_age_more(self):
+        hot = DEFAULT_BTI.at_temperature(398.0)
+        assert hot.delta_vth(1.0, 10.0) > DEFAULT_BTI.delta_vth(1.0, 10.0)
+
+    def test_arrhenius_monotone(self):
+        temps = [280.0, 320.0, 360.0, 400.0]
+        shifts = [DEFAULT_BTI.at_temperature(t).delta_vth(1.0, 10.0)
+                  for t in temps]
+        assert shifts == sorted(shifts)
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_BTI.at_temperature(0.0)
+
+    def test_temperature_carries_into_sta(self, lib, adder8):
+        cool = DEFAULT_BTI.at_temperature(298.0)
+        hot = critical_path_delay(adder8, lib, scenario=worst_case(10))
+        mild = critical_path_delay(adder8, lib, scenario=worst_case(10),
+                                   bti=cool)
+        fresh = critical_path_delay(adder8, lib)
+        assert fresh < mild < hot

@@ -1,0 +1,106 @@
+"""Tests for the partial-product truncated (PPT) multiplier."""
+
+import numpy as np
+import pytest
+
+from repro.rtl import Multiplier, TruncatedProductMultiplier
+from repro.synth import synthesize_netlist
+from repro.sta import critical_path_delay
+
+from helpers import run_netlist
+
+
+class TestFunctional:
+    def test_full_precision_is_exact(self, lib, rng):
+        component = TruncatedProductMultiplier(8)
+        a, b = component.random_operands(400, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.exact(a, b))
+
+    @pytest.mark.parametrize("cut", [1, 3, 5])
+    def test_netlist_matches_closed_form(self, lib, cut, rng):
+        component = TruncatedProductMultiplier(8, precision=8 - cut)
+        a, b = component.random_operands(600, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.approximate(a, b))
+
+    def test_exhaustive_4bit(self, lib):
+        component = TruncatedProductMultiplier(4, precision=2)
+        values = np.arange(-8, 8, dtype=np.int64)
+        a, b = np.meshgrid(values, values)
+        a, b = a.ravel(), b.ravel()
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.approximate(a, b))
+
+    def test_low_output_bits_are_zero(self, rng):
+        component = TruncatedProductMultiplier(8, precision=5)
+        a, b = component.random_operands(300, rng=rng,
+                                         distribution="uniform")
+        out = component.approximate(a, b)
+        assert (out % (1 << 3) == 0).all()
+
+    def test_error_bound(self, rng):
+        component = TruncatedProductMultiplier(10, precision=6)
+        a, b = component.random_operands(3000, rng=rng,
+                                         distribution="uniform")
+        err = np.abs(component.exact(a, b) - component.approximate(a, b))
+        assert err.max() <= component.max_error_bound()
+
+    def test_bound_value(self):
+        # columns 0..2 hold 1, 2, 3 partial products.
+        component = TruncatedProductMultiplier(8, precision=5)
+        assert component.max_error_bound() == 1 * 1 + 2 * 2 + 3 * 4
+
+
+class TestStructure:
+    def test_cut_into_sign_region_rejected(self):
+        with pytest.raises(ValueError, match="sign region"):
+            TruncatedProductMultiplier(8, precision=1)
+        with pytest.raises(ValueError):
+            TruncatedProductMultiplier(8, final_adder="ks")
+
+    def test_cut_shrinks_and_speeds_up(self, lib):
+        full = synthesize_netlist(TruncatedProductMultiplier(10), lib,
+                                  effort="high")
+        cut = synthesize_netlist(
+            TruncatedProductMultiplier(10, precision=5), lib,
+            effort="high")
+        assert cut.num_gates < full.num_gates
+        assert critical_path_delay(cut, lib) < \
+            critical_path_delay(full, lib)
+
+    def test_more_accurate_than_operand_truncation(self, rng):
+        """Per dropped output bit, PPT keeps more information than
+        zeroing operand LSBs."""
+        width, drop = 12, 5
+        ppt = TruncatedProductMultiplier(width, precision=width - drop)
+        op_trunc = Multiplier(width, precision=width - drop)
+        a, b = ppt.random_operands(5000, rng=rng, distribution="uniform")
+        err_ppt = np.abs(ppt.exact(a, b) - ppt.approximate(a, b))
+        err_op = np.abs(op_trunc.exact(a, b)
+                        - op_trunc.approximate(a, b))
+        assert err_ppt.mean() < err_op.mean()
+
+    def test_with_precision(self):
+        cut = TruncatedProductMultiplier(10).with_precision(7)
+        assert cut.drop_bits == 3
+        assert isinstance(cut, TruncatedProductMultiplier)
+
+    def test_characterization_compatible(self, lib):
+        # The Section-IV machinery accepts the PPT multiplier unchanged.
+        # Column cuts buy less critical-path relief than operand
+        # truncation (the tall middle columns survive), so depending on
+        # width they may only *narrow* the guardband rather than remove
+        # it -- the characterization table is exactly how a designer
+        # would find that out.
+        from repro.aging import worst_case
+        from repro.core import characterize
+        entry = characterize(TruncatedProductMultiplier(10), lib,
+                             scenarios=[worst_case(10)],
+                             precisions=range(10, 5, -1), effort="high")
+        deepest = min(entry.precisions)
+        assert entry.aged_ps[(deepest, "10y_worst")] < \
+            entry.aged_ps[(10, "10y_worst")]
+        assert entry.guardband_narrowing("10y_worst", deepest) > 0.0

@@ -1,0 +1,129 @@
+"""Unit and property tests for the BTI aging model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aging import BTIModel, DEFAULT_BTI, SECONDS_PER_YEAR
+
+stress_values = st.floats(min_value=0.0, max_value=1.0)
+year_values = st.floats(min_value=0.0, max_value=30.0)
+
+
+class TestDeltaVth:
+    def test_fresh_silicon_has_no_shift(self):
+        assert DEFAULT_BTI.delta_vth(1.0, 0.0) == 0.0
+        assert DEFAULT_BTI.delta_vth(0.0, 10.0) == 0.0
+
+    def test_shift_grows_with_time(self):
+        d1 = DEFAULT_BTI.delta_vth(1.0, 1.0)
+        d10 = DEFAULT_BTI.delta_vth(1.0, 10.0)
+        assert 0 < d1 < d10
+
+    def test_shift_grows_with_stress(self):
+        half = DEFAULT_BTI.delta_vth(0.5, 10.0)
+        full = DEFAULT_BTI.delta_vth(1.0, 10.0)
+        assert 0 < half < full
+
+    def test_power_law_exponents(self):
+        model = DEFAULT_BTI
+        ratio_t = (model.delta_vth(1.0, 10.0) / model.delta_vth(1.0, 1.0))
+        assert ratio_t == pytest.approx(10 ** model.time_exponent)
+        ratio_s = (model.delta_vth(1.0, 10.0) / model.delta_vth(0.25, 10.0))
+        assert ratio_s == pytest.approx(4 ** model.stress_exponent)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            DEFAULT_BTI.delta_vth(1.5, 1.0)
+        with pytest.raises(ValueError):
+            DEFAULT_BTI.delta_vth(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            DEFAULT_BTI.delta_vth(1.0, -1.0)
+
+    @given(stress=stress_values, years=year_values)
+    def test_shift_never_negative(self, stress, years):
+        assert DEFAULT_BTI.delta_vth(stress, years) >= 0.0
+
+    @given(stress=stress_values, years=year_values)
+    def test_shift_stays_below_overdrive_for_30_years(self, stress, years):
+        # The calibration must never drive a device past cutoff within a
+        # plausible lifetime.
+        assert DEFAULT_BTI.delta_vth(stress, years) < DEFAULT_BTI.overdrive
+
+
+class TestDelayMultiplier:
+    def test_zero_shift_is_identity(self):
+        assert DEFAULT_BTI.delay_multiplier_from_dvth(0.0) == 1.0
+
+    def test_multiplier_exceeds_one_under_stress(self):
+        assert DEFAULT_BTI.transistor_multiplier(1.0, 10.0) > 1.0
+
+    def test_calibration_lands_in_paper_range(self):
+        # Paper's Fig. 4: ~15-18% delay guardband after 10 years of
+        # worst-case stress.
+        m = DEFAULT_BTI.cell_multiplier(1.0, 1.0, 10.0)
+        assert 1.10 < m < 1.25
+
+    def test_one_year_worst_case_near_ten_percent(self):
+        m = DEFAULT_BTI.cell_multiplier(1.0, 1.0, 1.0)
+        assert 1.05 < m < 1.15
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_BTI.delay_multiplier_from_dvth(-0.01)
+
+    def test_shift_beyond_overdrive_rejected(self):
+        with pytest.raises(ValueError, match="overdrive"):
+            DEFAULT_BTI.delay_multiplier_from_dvth(DEFAULT_BTI.overdrive)
+
+    @given(stress=stress_values, years=year_values)
+    def test_multiplier_at_least_one(self, stress, years):
+        assert DEFAULT_BTI.transistor_multiplier(stress, years) >= 1.0
+
+    @given(years=st.floats(min_value=0.1, max_value=30.0))
+    def test_multiplier_monotone_in_stress(self, years):
+        values = [DEFAULT_BTI.transistor_multiplier(s / 10.0, years)
+                  for s in range(11)]
+        assert values == sorted(values)
+
+    def test_cell_multiplier_weights(self):
+        # A pMOS-only cell under pMOS-only stress ages fully; an
+        # nMOS-only cell under the same stress does not age at all.
+        full = BTIModel().cell_multiplier(1.0, 0.0, 10.0, wp=1.0, wn=0.0)
+        none = BTIModel().cell_multiplier(1.0, 0.0, 10.0, wp=0.0, wn=1.0)
+        assert full > 1.0
+        assert none == pytest.approx(1.0)
+
+    def test_guardband_fraction(self):
+        gb = DEFAULT_BTI.guardband_fraction(1.0, 10.0)
+        assert gb == pytest.approx(
+            DEFAULT_BTI.cell_multiplier(1.0, 1.0, 10.0) - 1.0)
+
+
+class TestInversion:
+    def test_years_until_dvth_inverts_delta_vth(self):
+        target = DEFAULT_BTI.delta_vth(0.7, 5.0)
+        years = DEFAULT_BTI.years_until_dvth(0.7, target)
+        assert years == pytest.approx(5.0, rel=1e-6)
+
+    def test_zero_target_is_immediate(self):
+        assert DEFAULT_BTI.years_until_dvth(1.0, 0.0) == 0.0
+
+    def test_unstressed_device_never_degrades(self):
+        assert DEFAULT_BTI.years_until_dvth(0.0, 0.01) == math.inf
+
+
+class TestCustomModels:
+    def test_custom_exponent(self):
+        slow = BTIModel(time_exponent=0.1)
+        fast = BTIModel(time_exponent=0.3)
+        # Beyond one second, a larger exponent accumulates more damage.
+        assert slow.delta_vth(1.0, 10.0) < fast.delta_vth(1.0, 10.0)
+
+    def test_seconds_per_year_constant(self):
+        assert SECONDS_PER_YEAR == pytest.approx(365.25 * 24 * 3600)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_BTI.prefactor_v = 1.0

@@ -1,0 +1,110 @@
+"""Unit tests for the standard-cell substrate."""
+
+import itertools
+
+import pytest
+
+from repro.cells import (CELL_KINDS, Cell, CellLibrary, cell_arity,
+                         cell_function, default_library, nangate45)
+
+
+class TestCellFunctions:
+    def test_every_kind_has_matching_arity(self):
+        for kind, (arity, func) in CELL_KINDS.items():
+            for combo in itertools.product((0, 1), repeat=arity):
+                assert func(*combo) in (0, 1), kind
+
+    def test_cell_function_lookup(self):
+        assert cell_function("INV")(0) == 1
+        assert cell_function("NAND2")(1, 1) == 0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            cell_function("NAND9")
+        with pytest.raises(KeyError):
+            cell_arity("NAND9")
+
+    def test_inverting_pairs_consistent(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                assert cell_function("NAND2")(a, b) == \
+                    1 - cell_function("AND2")(a, b)
+                assert cell_function("NOR2")(a, b) == \
+                    1 - cell_function("OR2")(a, b)
+                assert cell_function("XNOR2")(a, b) == \
+                    1 - cell_function("XOR2")(a, b)
+
+
+class TestCellModel:
+    def test_delay_is_linear_in_load(self, lib):
+        cell = lib["NAND2_X1"]
+        d0 = cell.delay_ps(0.0)
+        d5 = cell.delay_ps(5.0)
+        d10 = cell.delay_ps(10.0)
+        assert d5 - d0 == pytest.approx(d10 - d5)
+        assert d0 == pytest.approx(cell.intrinsic_ps)
+
+    def test_aging_weights_sum_to_one(self, lib):
+        for cell in lib:
+            assert cell.wp + cell.wn == pytest.approx(1.0), cell.name
+
+    def test_evaluate_delegates_to_function(self, lib):
+        assert lib["XOR2_X1"].evaluate(1, 0) == 1
+        assert lib["XOR2_X1"].evaluate(1, 1) == 0
+
+
+class TestLibrary:
+    def test_all_kinds_at_all_drives(self, lib):
+        for kind in CELL_KINDS:
+            for drive in (1, 2, 4):
+                assert "%s_X%d" % (kind, drive) in lib
+
+    def test_missing_cell_raises_with_context(self, lib):
+        with pytest.raises(KeyError, match="NAND3_X1"):
+            lib["NAND3_X1"]
+
+    def test_variants_sorted_by_drive(self, lib):
+        drives = [c.drive for c in lib.variants("INV")]
+        assert drives == [1, 2, 4]
+
+    def test_resize(self, lib):
+        assert lib.resize("NAND2_X1", 4) == "NAND2_X4"
+        with pytest.raises(KeyError):
+            lib.resize("NAND2_X1", 8)
+
+    def test_next_drive_up(self, lib):
+        assert lib.next_drive_up("INV_X1") == "INV_X2"
+        assert lib.next_drive_up("INV_X2") == "INV_X4"
+        assert lib.next_drive_up("INV_X4") is None
+
+    def test_stronger_cells_are_faster_but_bigger(self, lib):
+        for kind in CELL_KINDS:
+            x1 = lib["%s_X1" % kind]
+            x4 = lib["%s_X4" % kind]
+            assert x4.drive_res < x1.drive_res
+            assert x4.area > x1.area
+            assert x4.leakage_nw > x1.leakage_nw
+            assert x4.input_cap_ff > x1.input_cap_ff
+
+    def test_default_library_is_shared(self):
+        assert default_library() is default_library()
+
+    def test_len_and_iter(self, lib):
+        assert len(lib) == len(list(lib))
+        assert len(lib) == len(CELL_KINDS) * 3
+
+    def test_kinds(self, lib):
+        assert set(lib.kinds()) == set(CELL_KINDS)
+
+    def test_custom_drive_subset(self):
+        small = nangate45(drives=(1,))
+        assert len(small) == len(CELL_KINDS)
+        assert small.next_drive_up("INV_X1") is None
+
+    def test_electrical_parameters_positive(self, lib):
+        for cell in lib:
+            assert cell.area > 0
+            assert cell.leakage_nw > 0
+            assert cell.input_cap_ff > 0
+            assert cell.intrinsic_ps > 0
+            assert cell.drive_res > 0

@@ -1,0 +1,175 @@
+"""Tests for the command-line interface and text report formatting."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [100, 3.25]])
+        lines = text.splitlines()
+        assert lines[0].endswith("bb")
+        assert "---" in lines[1]
+        assert lines[2].split() == ["1", "2.5"]
+        assert lines[3].split() == ["100", "3.2"]
+
+    def test_floats_formatted_to_one_decimal(self):
+        text = format_table(["x"], [[1.2345]])
+        assert "1.2" in text and "1.2345" not in text
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("characterize", "timing", "flow", "schedule",
+                        "export"):
+            args = parser.parse_args([command]
+                                     + (["--design", "idct"]
+                                        if command in ("flow", "schedule")
+                                        else []))
+            assert args.command == command
+
+    def test_years_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["timing", "--years", "1,5,10"])
+        assert args.years == [1.0, 5.0, 10.0]
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_timing_command(self, capsys):
+        code = main(["timing", "--component", "adder", "--width", "8",
+                     "--years", "10", "--effort", "high"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical path" in out
+        assert "10y_worst" in out
+        assert "guardband" in out
+
+    def test_characterize_command_with_output(self, capsys, tmp_path):
+        path = tmp_path / "lib.json"
+        code = main(["characterize", "--component", "adder", "--width",
+                     "8", "--years", "10", "--sweep-bits", "3",
+                     "--effort", "high", "--output", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "required precision" in out
+        assert path.exists()
+        from repro.core import AgingApproximationLibrary
+        store = AgingApproximationLibrary.load(path)
+        assert "adder_w8" in store
+
+    def test_characterize_update_merges(self, capsys, tmp_path):
+        path = tmp_path / "lib.json"
+        main(["characterize", "--component", "adder", "--width", "8",
+              "--years", "10", "--sweep-bits", "2", "--effort", "high",
+              "--output", str(path)])
+        capsys.readouterr()
+        code = main(["characterize", "--component", "multiplier",
+                     "--width", "6", "--years", "10", "--sweep-bits",
+                     "2", "--effort", "high", "--output", str(path),
+                     "--update"])
+        assert code == 0
+        from repro.core import AgingApproximationLibrary
+        store = AgingApproximationLibrary.load(path)
+        assert len(store) == 2
+
+    def test_flow_command(self, capsys):
+        code = main(["flow", "--design", "fir", "--width", "10",
+                     "--years", "10", "--effort", "high"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validated: True" in out
+        assert "mult" in out
+
+    def test_flow_unknown_design(self):
+        with pytest.raises(SystemExit, match="unknown design"):
+            main(["flow", "--design", "gpu", "--width", "8"])
+
+    def test_unknown_component(self):
+        with pytest.raises(SystemExit, match="unknown component"):
+            main(["timing", "--component", "divider"])
+
+    def test_schedule_command(self, capsys):
+        code = main(["schedule", "--design", "fir", "--width", "10",
+                     "--years", "1,10", "--effort", "high"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "graceful-degradation schedule" in out
+        assert "age_years" in out
+
+    def test_export_command(self, capsys, tmp_path):
+        verilog = tmp_path / "adder.v"
+        sdf = tmp_path / "adder.sdf"
+        code = main(["export", "--component", "adder", "--width", "8",
+                     "--effort", "high", "--verilog", str(verilog),
+                     "--sdf", str(sdf), "--years", "10"])
+        assert code == 0
+        assert "module" in verilog.read_text()
+        assert "DELAYFILE" in sdf.read_text()
+        # Exported artifacts round-trip through our own readers.
+        from repro.netlist import from_verilog
+        from repro.sta import gate_delays_from_sdf
+        net = from_verilog(verilog.read_text())
+        delays = gate_delays_from_sdf(sdf.read_text())
+        assert set(delays) == {g.uid for g in net.gates} or len(delays) > 0
+
+    def test_export_requires_target(self):
+        with pytest.raises(SystemExit, match="nothing to export"):
+            main(["export", "--component", "adder", "--width", "8",
+                  "--effort", "high"])
+
+
+class TestReportHelpers:
+    def test_characterization_report_text(self, lib):
+        from repro.aging import worst_case
+        from repro.core import characterize
+        from repro.report import characterization_report
+        from repro.rtl import Adder
+        entry = characterize(Adder(8), lib, scenarios=[worst_case(10)],
+                             precisions=[8, 6], effort="high")
+        text = characterization_report(entry)
+        assert "component adder_w8" in text
+        assert "10y_worst_ps" in text
+        assert "required precision" in text
+
+    def test_flow_report_text(self, lib):
+        from repro.aging import worst_case
+        from repro.core import Block, Microarchitecture, remove_guardband
+        from repro.report import flow_report_text
+        from repro.rtl import Adder, Multiplier
+        micro = Microarchitecture("mini", [
+            Block("mult", Multiplier(10)), Block("acc", Adder(10))])
+        report = remove_guardband(micro, lib, worst_case(10),
+                                  effort="high")
+        text = flow_report_text(report)
+        assert "timing constraint" in text
+        assert "mult" in text and "acc" in text
+        assert "yes" in text
+        assert "NO" not in text
+
+    def test_schedule_report_text(self, lib):
+        from repro.core import Block, Microarchitecture
+        from repro.core.adaptive import plan_graceful_degradation
+        from repro.report import schedule_report_text
+        from repro.rtl import Adder, Multiplier
+        micro = Microarchitecture("mini", [
+            Block("mult", Multiplier(10)), Block("acc", Adder(10))])
+        schedule = plan_graceful_degradation(micro, lib, [1, 10],
+                                             effort="high")
+        text = schedule_report_text(schedule)
+        assert "graceful-degradation schedule" in text
+        assert "age_years" in text
+        assert text.count("\n") >= 4
+
+    def test_timing_report_text(self, lib, adder8):
+        from repro.report import timing_report_text
+        from repro.sta import analyze
+        text = timing_report_text(adder8, lib, analyze(adder8, lib))
+        assert "critical path" in text
+        assert "slowest outputs" in text

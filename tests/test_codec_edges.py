@@ -1,0 +1,104 @@
+"""Additional edge-case tests for the codec, images and transforms."""
+
+import numpy as np
+import pytest
+
+from repro.approx import GateLevelArithmetic, TimedComponentModel
+from repro.media import TransformCodec, blockize, make_image
+from repro.quality import psnr_db, ssim
+from repro.rtl import FixedPointTransform8, Multiplier
+
+
+class TestCodecEdges:
+    def test_flat_image_roundtrip(self):
+        flat = np.full((16, 16), 128, dtype=np.uint8)
+        codec = TransformCodec()
+        assert np.array_equal(codec.roundtrip(flat), flat)
+
+    def test_extreme_images(self):
+        codec = TransformCodec()
+        for value in (0, 255):
+            img = np.full((16, 16), value, dtype=np.uint8)
+            rec = codec.roundtrip(img)
+            assert np.abs(rec.astype(int) - value).max() <= 2
+
+    def test_checkerboard_survives(self):
+        y, x = np.mgrid[0:16, 0:16]
+        img = (255 * ((x + y) % 2)).astype(np.uint8)
+        rec = TransformCodec().roundtrip(img)
+        assert psnr_db(img, rec) > 35.0
+
+    def test_rectangular_image(self):
+        img = make_image("akiyo", 64)[:32, :]
+        rec = TransformCodec().roundtrip(img)
+        assert rec.shape == (32, 64)
+        assert psnr_db(img, rec) > 40.0
+
+    def test_quant_bits_zero_is_near_lossless(self):
+        img = make_image("mother", 32)
+        codec = TransformCodec(quant_bits=0)
+        assert psnr_db(img, codec.roundtrip(img)) > 50.0
+
+    def test_encode_decode_split(self):
+        img = make_image("suzie", 32)
+        sender = TransformCodec()
+        coeffs = sender.encode(img)
+        receiver = TransformCodec()
+        rec = receiver.decode(coeffs, shape=img.shape)
+        assert np.array_equal(rec, sender.roundtrip(img))
+
+    def test_dc_block_energy(self):
+        img = np.full((8, 8), 200, dtype=np.uint8)
+        coeffs = TransformCodec().encode(img)
+        # All energy in the DC coefficient.
+        assert abs(int(coeffs[0, 0, 0])) > 0
+        assert np.abs(coeffs[0]).sum() == abs(int(coeffs[0, 0, 0]))
+
+
+class TestTransformEdges:
+    def test_impulse_response_is_coefficient_row(self):
+        transform = FixedPointTransform8()
+        impulse = np.zeros((1, 8), dtype=np.int64)
+        impulse[0, 0] = transform.scale_in(np.array([100]))[0]
+        out = transform.forward_1d(impulse)
+        expected = transform.coeffs[:, 0] * 100 / (1 << transform.coeff_bits)
+        got = out[0] / (1 << transform.data_frac_bits)
+        assert np.abs(got - expected).max() < 2.0
+
+    def test_linearity(self, rng):
+        transform = FixedPointTransform8()
+        a = transform.scale_in(rng.integers(-64, 64, (3, 8)))
+        b = transform.scale_in(rng.integers(-64, 64, (3, 8)))
+        both = transform.forward_1d(a + b)
+        separate = transform.forward_1d(a) + transform.forward_1d(b)
+        assert np.abs(both - separate).max() <= 8  # rounding only
+
+    def test_quality_metrics_agree_on_codec_output(self):
+        img = make_image("foreman", 32)
+        clean = TransformCodec().roundtrip(img)
+        assert psnr_db(img, clean) > 40.0
+        assert ssim(img.astype(float), clean.astype(float)) > 0.97
+
+    def test_aged_chain_destroys_ssim_too(self, lib):
+        from repro.aging import worst_case
+        from repro.rtl import WallaceMultiplier
+        img = make_image("foreman", 32)
+        model = TimedComponentModel(
+            WallaceMultiplier(32, final_adder="ks"), lib,
+            scenario=worst_case(10))
+        wrecked = TransformCodec(decode_arithmetic=GateLevelArithmetic(
+            mul_model=model)).roundtrip(img)
+        assert ssim(img.astype(float), wrecked.astype(float)) < 0.5
+
+
+class TestBlockizeEdges:
+    def test_single_block(self):
+        img = np.arange(64).reshape(8, 8)
+        blocks, shape = blockize(img)
+        assert blocks.shape == (1, 8, 8)
+        assert np.array_equal(blocks[0], img)
+
+    def test_dtype_preserved(self):
+        img = np.zeros((8, 8), dtype=np.int64)
+        blocks, __ = blockize(img)
+        assert blocks.dtype == np.int64

@@ -1,0 +1,108 @@
+"""Tests for the fixed-point DCT/IDCT datapath model."""
+
+import numpy as np
+import pytest
+
+from repro.rtl import (DEFAULT_COEFF_BITS, FixedPointTransform8, POINTS,
+                       dct_matrix, dct_microarchitecture, descale,
+                       fixed_coefficients, idct_microarchitecture)
+
+
+class TestCoefficients:
+    def test_dct_matrix_is_orthonormal(self):
+        mat = dct_matrix()
+        assert np.allclose(mat @ mat.T, np.eye(POINTS), atol=1e-12)
+
+    def test_fixed_coefficients_scale(self):
+        coeffs = fixed_coefficients(10)
+        assert np.allclose(coeffs / 1024.0, dct_matrix(), atol=0.5 / 1024)
+        assert coeffs.dtype == np.int64
+
+    def test_descale_rounds_to_nearest(self):
+        vals = np.array([15, 16, 17, -15, -16, -17])
+        assert descale(vals, 5).tolist() == [0, 1, 1, 0, 0, -1]
+
+
+class TestTransform:
+    @pytest.fixture(scope="class")
+    def transform(self):
+        return FixedPointTransform8()
+
+    def test_forward_matches_float_dct(self, transform, rng):
+        data = rng.integers(-128, 128, (5, POINTS))
+        scaled = transform.scale_in(data)
+        got = transform.forward_1d(scaled)
+        expected = (dct_matrix() @ data.T).T * (1 << transform.data_frac_bits)
+        assert np.abs(got - expected).max() < 2 * (
+            1 << transform.data_frac_bits)
+
+    def test_inverse_undoes_forward(self, transform, rng):
+        data = rng.integers(-128, 128, (6, POINTS))
+        scaled = transform.scale_in(data)
+        back = transform.scale_out(transform.inverse_1d(
+            transform.forward_1d(scaled)))
+        assert np.abs(back - data).max() <= 1
+
+    def test_2d_roundtrip(self, transform, rng):
+        blocks = rng.integers(-128, 128, (4, POINTS, POINTS))
+        scaled = transform.scale_in(blocks)
+        back = transform.scale_out(transform.inverse_2d(
+            transform.forward_2d(scaled)))
+        assert np.abs(back - blocks).max() <= 1
+
+    def test_dc_coefficient(self, transform):
+        flat = transform.scale_in(np.full((1, POINTS), 64))
+        out = transform.forward_1d(flat)
+        expected_dc = 64 * np.sqrt(8) * (1 << transform.data_frac_bits)
+        assert abs(out[0, 0] - expected_dc) < (
+            1 << transform.data_frac_bits)
+        assert np.abs(out[0, 1:]).max() <= 2 * (
+            1 << transform.data_frac_bits)
+
+    def test_scale_roundtrip(self, transform):
+        vals = np.array([-3, 0, 5])
+        assert np.array_equal(transform.scale_out(transform.scale_in(vals)),
+                              vals)
+
+    def test_arithmetic_is_pluggable(self, rng):
+        calls = []
+
+        class Spy:
+            def mul(self, a, b):
+                calls.append("mul")
+                return np.asarray(a, dtype=np.int64) * b
+
+            def add(self, a, b):
+                calls.append("add")
+                return np.asarray(a, dtype=np.int64) + b
+
+        transform = FixedPointTransform8(arithmetic=Spy())
+        transform.forward_1d(np.zeros((1, POINTS), dtype=np.int64))
+        # one batched mul + 3 adder-tree levels
+        assert calls == ["mul", "add", "add", "add"]
+
+
+class TestMicroarchitectures:
+    def test_idct_block_structure(self):
+        micro = idct_microarchitecture(width=16)
+        names = [b.name for b in micro.blocks]
+        assert names == ["mult", "acc"]
+        assert micro.block("mult").component.width == 16
+        assert micro.block("mult").instances == POINTS
+
+    def test_dct_variant_renamed(self):
+        micro = dct_microarchitecture(width=16)
+        assert micro.name.startswith("dct8")
+
+    def test_multiplier_is_critical_component(self, lib):
+        micro = idct_microarchitecture(width=16)
+        constraint = micro.timing_constraint_ps(lib, effort="high")
+        timing = micro.timing(lib, constraint_ps=constraint,
+                              effort="high")
+        assert timing["mult"].fresh_ps > timing["acc"].fresh_ps
+        assert constraint == pytest.approx(timing["mult"].fresh_ps)
+
+    def test_metadata_carried(self):
+        micro = idct_microarchitecture(width=16, coeff_bits=11)
+        assert micro.metadata["coeff_bits"] == 11
+        assert micro.metadata["points"] == POINTS

@@ -1,0 +1,88 @@
+"""Tests for the degradation-aware cell library (the [4]/[9] artifact)."""
+
+import pytest
+
+from repro.aging import DEFAULT_BTI
+from repro.cells import DegradationAwareLibrary, STRESS_GRID, nangate45
+
+
+@pytest.fixture(scope="module")
+def degraded(lib):
+    return DegradationAwareLibrary(lib, lifetimes=(1.0, 10.0))
+
+
+class TestTables:
+    def test_grid_matches_released_library_format(self):
+        # 11x11 stress combinations, as in the paper's reference [9].
+        assert STRESS_GRID.shape == (11,)
+        assert STRESS_GRID[0] == 0.0 and STRESS_GRID[-1] == 1.0
+
+    def test_table_shape(self, degraded):
+        table = degraded.table("NAND2_X1", 10.0)
+        assert table.shape == (11, 11)
+
+    def test_table_corner_values_match_closed_form(self, degraded):
+        table = degraded.table("INV_X1", 10.0)
+        cell = degraded.library["INV_X1"]
+        exact = DEFAULT_BTI.cell_multiplier(1.0, 1.0, 10.0,
+                                            wp=cell.wp, wn=cell.wn)
+        assert table[10, 10] == pytest.approx(exact)
+        assert table[0, 0] == pytest.approx(1.0)
+
+    def test_tables_shared_across_drive_variants(self, degraded):
+        assert degraded.table("NAND2_X1", 10.0) is \
+            degraded.table("NAND2_X4", 10.0)
+
+    def test_untabulated_lifetime_rejected(self, degraded):
+        with pytest.raises(KeyError, match="not tabulated"):
+            degraded.table("INV_X1", 3.0)
+
+    def test_requires_at_least_one_lifetime(self, lib):
+        with pytest.raises(ValueError):
+            DegradationAwareLibrary(lib, lifetimes=())
+
+
+class TestLookup:
+    def test_fresh_lookup_is_identity(self, degraded):
+        assert degraded.multiplier("INV_X1", 1.0, 1.0, 0) == 1.0
+
+    def test_on_grid_lookup_is_exact(self, degraded):
+        for sp in (0.0, 0.5, 1.0):
+            for sn in (0.0, 0.5, 1.0):
+                approx = degraded.multiplier("NOR2_X1", sp, sn, 10.0)
+                exact = degraded.exact_multiplier("NOR2_X1", sp, sn, 10.0)
+                assert approx == pytest.approx(exact, rel=1e-12)
+
+    def test_off_grid_interpolation_is_tight(self, degraded):
+        # The multiplier surface is smooth, so bilinear interpolation on
+        # an 11x11 grid must be accurate to well under a percent of the
+        # multiplier value.
+        err = degraded.max_interpolation_error("XOR2_X1", 10.0, samples=41)
+        assert err < 1e-2
+
+    def test_lookup_monotone_in_stress(self, degraded):
+        values = [degraded.multiplier("AND2_X1", s, s, 10.0)
+                  for s in STRESS_GRID]
+        assert values == sorted(values)
+
+    def test_out_of_range_stress_rejected(self, degraded):
+        with pytest.raises(ValueError):
+            degraded.multiplier("INV_X1", 1.2, 0.5, 10.0)
+
+    def test_asymmetric_cells_distinguish_networks(self, degraded):
+        # NOR2 is pMOS-dominated; pMOS-only stress must hurt more than
+        # nMOS-only stress.
+        p_only = degraded.multiplier("NOR2_X1", 1.0, 0.0, 10.0)
+        n_only = degraded.multiplier("NOR2_X1", 0.0, 1.0, 10.0)
+        assert p_only > n_only
+
+
+class TestIntegrationWithSTA:
+    def test_sta_accepts_degradation_tables(self, lib, adder8):
+        from repro.aging import worst_case
+        from repro.sta import critical_path_delay
+        degraded = DegradationAwareLibrary(lib, lifetimes=(10.0,))
+        closed = critical_path_delay(adder8, lib, scenario=worst_case(10))
+        tabled = critical_path_delay(adder8, lib, scenario=worst_case(10),
+                                     degradation=degraded)
+        assert tabled == pytest.approx(closed, rel=1e-9)

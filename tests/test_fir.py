@@ -1,0 +1,142 @@
+"""Tests for the FIR filter case study (signals, filter, microarch)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import ComponentArithmetic, TruncatedArithmetic
+from repro.media import SIGNAL_NAMES, all_signals, make_signal
+from repro.quality import snr_db
+from repro.rtl import (FixedPointFIR, Multiplier, fir_microarchitecture,
+                       lowpass_taps)
+
+
+class TestSignals:
+    def test_all_names(self):
+        signals = all_signals(samples=512)
+        assert set(signals) == set(SIGNAL_NAMES)
+        for name, wave in signals.items():
+            assert wave.shape == (512,)
+            assert np.abs(wave).max() < 2 ** 15, name
+            assert np.abs(wave).max() > 2 ** 10, name
+
+    def test_deterministic(self):
+        assert np.array_equal(make_signal("speech", 256),
+                              make_signal("speech", 256))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_signal("whale_song")
+
+    def test_noise_is_broadband(self):
+        wave = make_signal("noise", 2048).astype(float)
+        spectrum = np.abs(np.fft.rfft(wave))
+        low = spectrum[:len(spectrum) // 4].sum()
+        high = spectrum[3 * len(spectrum) // 4:].sum()
+        assert high > 0.3 * low   # energy everywhere
+
+    def test_tone_is_narrowband(self):
+        wave = make_signal("tone", 2048).astype(float)
+        spectrum = np.abs(np.fft.rfft(wave))
+        peak = spectrum.argmax()
+        assert spectrum[peak] > 10 * np.median(spectrum + 1)
+
+
+class TestTaps:
+    def test_unity_dc_gain(self):
+        taps = lowpass_taps(16, coeff_bits=9)
+        assert taps.sum() == pytest.approx(1 << 9, abs=4)
+
+    def test_symmetric(self):
+        taps = lowpass_taps(17)
+        assert np.array_equal(taps, taps[::-1])
+
+    def test_lowpass_attenuates_high_band(self):
+        taps = lowpass_taps(32, cutoff=0.2).astype(float) / (1 << 9)
+        freqs = np.fft.rfft(taps, 512)
+        response = np.abs(freqs)
+        assert response[:20].mean() > 5 * response[-100:].mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lowpass_taps(1)
+        with pytest.raises(ValueError):
+            lowpass_taps(8, cutoff=1.5)
+
+
+class TestFilter:
+    @pytest.fixture(scope="class")
+    def fir(self):
+        return FixedPointFIR(lowpass_taps(16))
+
+    def test_output_shape(self, fir):
+        signal = make_signal("tone", 1024)
+        assert fir.filter(signal).shape == signal.shape
+
+    def test_dc_passthrough(self, fir):
+        signal = np.full(256, 1000, dtype=np.int64)
+        out = fir.filter(signal)
+        # After the warm-up transient, DC passes at unity gain.
+        assert np.abs(out[64:] - 1000).max() <= 16
+
+    def test_highpass_rejection(self, fir):
+        alternating = 2000 * np.where(np.arange(512) % 2 == 0, 1, -1)
+        out = fir.filter(alternating)
+        assert np.abs(out[64:]).max() < 200   # Nyquist tone suppressed
+
+    def test_matches_numpy_convolution(self, fir):
+        signal = make_signal("music", 512)
+        expected = np.convolve(signal, fir.taps.astype(float),
+                               mode="full")[:512] / (1 << fir.coeff_bits)
+        got = fir.filter(signal)
+        assert np.abs(got - expected).max() <= len(fir)  # rounding only
+
+    def test_linearity_of_exact_filter(self, fir, rng):
+        a = rng.integers(-1000, 1000, 256)
+        b = rng.integers(-1000, 1000, 256)
+        both = fir.filter(a + b)
+        separate = fir.filter(a) + fir.filter(b)
+        assert np.abs(both - separate).max() <= len(fir)
+
+
+class TestApproximateFilter:
+    def test_truncation_degrades_gracefully(self):
+        taps = lowpass_taps(16)
+        signal = make_signal("speech", 2048)
+        reference = FixedPointFIR(taps).filter(signal)
+        snrs = []
+        for drop in (6, 9, 11):
+            arithmetic = ComponentArithmetic(
+                mul_component=Multiplier(32, precision=32 - drop))
+            out = FixedPointFIR(taps, arithmetic=arithmetic).filter(signal)
+            snrs.append(snr_db(reference, out))
+        assert snrs == sorted(snrs, reverse=True)
+        assert snrs[0] > 30.0      # mild truncation is nearly free
+        assert snrs[-1] < snrs[0]  # deep truncation costs fidelity
+
+    def test_component_and_value_truncation_agree(self):
+        taps = lowpass_taps(16)
+        signal = make_signal("chirp", 1024)
+        drop = 8
+        by_component = FixedPointFIR(taps, arithmetic=ComponentArithmetic(
+            mul_component=Multiplier(32, precision=32 - drop)))
+        by_values = FixedPointFIR(taps, arithmetic=TruncatedArithmetic(
+            mul_drop_bits=drop))
+        assert np.array_equal(by_component.filter(signal),
+                              by_values.filter(signal))
+
+
+class TestFirMicroarchitecture:
+    def test_structure(self):
+        micro = fir_microarchitecture(width=16, taps=12)
+        assert [b.name for b in micro.blocks] == ["mult", "acc"]
+        assert micro.block("mult").instances == 12
+        assert micro.metadata["taps"] == 12
+
+    def test_flow_applies(self, lib):
+        from repro.aging import worst_case
+        from repro.core import remove_guardband
+        micro = fir_microarchitecture(width=10, taps=8)
+        report = remove_guardband(micro, lib, worst_case(10),
+                                  effort="high")
+        assert report.meets_constraint
+        assert report.outcome.decisions["mult"].approximated

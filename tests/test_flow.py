@@ -1,0 +1,104 @@
+"""Tests for the end-to-end flows (guardband removal, baseline compare)."""
+
+import pytest
+
+from repro.aging import balance_case, worst_case
+from repro.core import (AgingApproximationLibrary, Block, Microarchitecture,
+                        compare_with_baseline, design_delay_ps,
+                        remove_guardband)
+from repro.rtl import Adder, Multiplier
+
+
+def mini_micro(width=10):
+    return Microarchitecture("mini", [
+        Block(name="mult", component=Multiplier(width), instances=2),
+        Block(name="acc", component=Adder(width), instances=1),
+    ])
+
+
+@pytest.fixture(scope="module")
+def report(lib):
+    return remove_guardband(mini_micro(), lib, worst_case(10),
+                            report_scenarios=[worst_case(1),
+                                              balance_case(10)],
+                            effort="high")
+
+
+class TestRemoveGuardband:
+    def test_constraint_positive(self, report):
+        assert report.constraint_ps > 0
+
+    def test_all_scenarios_tabulated(self, report):
+        expected = {"fresh", "10y_worst", "1y_worst", "10y_balance"}
+        assert set(report.original_delays_ps) == expected
+        assert set(report.approximated_delays_ps) == expected
+
+    def test_original_design_violates(self, report):
+        assert report.original_delays_ps["10y_worst"] > \
+            report.constraint_ps
+
+    def test_approximated_design_meets_everywhere(self, report):
+        assert report.meets_constraint
+        for delay in report.approximated_delays_ps.values():
+            assert delay <= report.constraint_ps * (1 + 1e-9)
+
+    def test_fresh_approximated_is_faster(self, report):
+        assert report.approximated_delays_ps["fresh"] < \
+            report.original_delays_ps["fresh"]
+
+    def test_outcome_embedded(self, report):
+        assert report.outcome.validated
+        assert report.outcome.decisions["mult"].approximated
+
+    def test_reuses_supplied_library(self, lib):
+        store = AgingApproximationLibrary()
+        remove_guardband(mini_micro(), lib, worst_case(10),
+                         approx_library=store, effort="high")
+        assert len(store) >= 1
+
+
+class TestDesignDelay:
+    def test_design_delay_is_max_block(self, lib):
+        micro = mini_micro()
+        micro.synthesize(lib, effort="high")
+        from repro.sta import critical_path_delay
+        expected = max(critical_path_delay(b.netlist, lib)
+                       for b in micro.blocks)
+        assert design_delay_ps(micro, lib, effort="high") == \
+            pytest.approx(expected)
+
+    def test_design_delay_grows_with_age(self, lib):
+        micro = mini_micro()
+        fresh = design_delay_ps(micro, lib, effort="high")
+        aged = design_delay_ps(micro, lib, worst_case(10), effort="high")
+        assert aged > fresh
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, lib, report):
+        return compare_with_baseline(mini_micro(), report.outcome, lib,
+                                     worst_case(10), effort="high",
+                                     activity_count=128)
+
+    def test_reports_have_consistent_clocks(self, comparison, report):
+        assert comparison.ours.clock_ps == pytest.approx(
+            report.constraint_ps)
+        assert comparison.baseline.clock_ps >= comparison.ours.clock_ps
+
+    def test_paper_direction_of_savings(self, comparison):
+        ratios = comparison.ratios
+        # Fig. 8(c): ours is faster, smaller, cheaper on every axis.
+        assert ratios["frequency"] >= 1.0
+        assert ratios["area"] < 1.0
+        assert ratios["leakage"] < 1.0
+        assert ratios["energy"] < 1.0
+
+    def test_baseline_guardband_nonnegative(self, comparison):
+        assert comparison.baseline_guardband_ps >= 0.0
+
+    def test_power_reports_positive(self, comparison):
+        for rep in (comparison.ours, comparison.baseline):
+            assert rep.area_um2 > 0
+            assert rep.leakage_nw > 0
+            assert rep.dynamic_uw > 0

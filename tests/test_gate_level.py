@@ -1,0 +1,128 @@
+"""Tests for the gate-level (timing-error) arithmetic models."""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.approx import GateLevelArithmetic, TimedComponentModel
+from repro.rtl import Adder, KoggeStoneAdder, Multiplier
+
+
+@pytest.fixture(scope="module")
+def fresh_adder_model(lib):
+    return TimedComponentModel(Adder(8), lib)
+
+
+class TestTimedComponentModel:
+    def test_fresh_model_is_exact(self, lib, fresh_adder_model, rng):
+        component = fresh_adder_model.component
+        a, b = component.random_operands(500, rng=rng)
+        assert np.array_equal(fresh_adder_model.apply(a, b),
+                              component.exact(a, b))
+
+    def test_default_clock_is_fresh_critical_path(self, fresh_adder_model):
+        assert fresh_adder_model.t_clock_ps == \
+            pytest.approx(fresh_adder_model.fresh_delay_ps)
+
+    def test_explicit_clock(self, lib):
+        model = TimedComponentModel(Adder(8), lib, t_clock_ps=123.0)
+        assert model.t_clock_ps == 123.0
+
+    def test_preserves_operand_shape(self, lib, fresh_adder_model, rng):
+        a = rng.integers(-100, 100, (4, 5))
+        b = rng.integers(-100, 100, (4, 5))
+        out = fresh_adder_model.apply(a, b)
+        assert out.shape == (4, 5)
+
+    def test_error_statistics_fields(self, lib, fresh_adder_model, rng):
+        component = fresh_adder_model.component
+        a, b = component.random_operands(300, rng=rng)
+        stats = fresh_adder_model.error_statistics(a, b)
+        assert stats["cycles"] == 300
+        assert stats["error_rate"] == 0.0
+        assert stats["max_abs_error"] == 0
+
+    def test_aged_prefix_component_errs(self, lib, rng):
+        model = TimedComponentModel(KoggeStoneAdder(32), lib,
+                                    scenario=worst_case(10))
+        a, b = model.component.random_operands(4000, rng=rng)
+        stats = model.error_statistics(a, b)
+        assert stats["error_rate"] > 0.01
+        assert stats["max_abs_error"] > 0
+
+    def test_tight_clock_forces_errors(self, lib, rng):
+        # Clocking any component at half its critical path must break it.
+        model = TimedComponentModel(Adder(8), lib)
+        tight = TimedComponentModel(Adder(8), lib,
+                                    t_clock_ps=model.fresh_delay_ps / 2)
+        a, b = model.component.random_operands(1000, rng=rng)
+        assert tight.error_statistics(a, b)["error_rate"] > 0.05
+
+
+class TestGateLevelArithmetic:
+    def test_fallback_paths_are_exact(self, rng):
+        model = GateLevelArithmetic()
+        a = rng.integers(-100, 100, 50)
+        b = rng.integers(-100, 100, 50)
+        assert np.array_equal(model.mul(a, b), a * b)
+        assert np.array_equal(model.add(a, b), a + b)
+
+    def test_mul_routes_through_component(self, lib, rng):
+        mul_model = TimedComponentModel(Multiplier(6), lib)
+        model = GateLevelArithmetic(mul_model=mul_model)
+        a = rng.integers(-32, 32, 100)
+        b = rng.integers(-32, 32, 100)
+        assert np.array_equal(model.mul(a, b), a * b)  # fresh -> exact
+
+    def test_add_routes_through_component(self, lib,
+                                          fresh_adder_model, rng):
+        model = GateLevelArithmetic(add_model=fresh_adder_model)
+        a = rng.integers(-50, 50, 100)
+        b = rng.integers(-50, 50, 100)
+        assert np.array_equal(model.add(a, b), a + b)
+
+    def test_label_mentions_scenarios(self, lib):
+        aged = TimedComponentModel(Adder(8), lib, scenario=worst_case(10))
+        model = GateLevelArithmetic(mul_model=aged)
+        assert "10y_worst" in model.label
+        fresh = GateLevelArithmetic(
+            add_model=TimedComponentModel(Adder(8), lib))
+        assert "fresh" in fresh.label
+
+
+class TestTimedDatapath:
+    def test_shared_clock_is_slowest_fresh_cp(self, lib):
+        from repro.approx import timed_datapath_arithmetic
+        from repro.rtl import Multiplier
+        arith = timed_datapath_arithmetic(lib, mul_component=Multiplier(8),
+                                          add_component=Adder(8))
+        assert arith.mul_model.t_clock_ps == arith.add_model.t_clock_ps
+        assert arith.mul_model.t_clock_ps == pytest.approx(
+            max(arith.mul_model.fresh_delay_ps,
+                arith.add_model.fresh_delay_ps))
+
+    def test_explicit_clock(self, lib):
+        from repro.approx import timed_datapath_arithmetic
+        arith = timed_datapath_arithmetic(lib, add_component=Adder(8),
+                                          t_clock_ps=500.0)
+        assert arith.add_model.simulator.t_clock_ps == 500.0
+        assert arith.mul_model is None
+
+    def test_requires_a_component(self, lib):
+        from repro.approx import timed_datapath_arithmetic
+        with pytest.raises(ValueError):
+            timed_datapath_arithmetic(lib)
+
+    def test_generous_shared_clock_keeps_adder_exact(self, lib, rng):
+        # The adder runs far below the multiplier's clock, so it never
+        # errs even when aged - the situation inside the IDCT.
+        from repro.aging import worst_case
+        from repro.approx import timed_datapath_arithmetic
+        from repro.rtl import Multiplier
+        adder = Adder(8)
+        arith = timed_datapath_arithmetic(lib, mul_component=Multiplier(8),
+                                          add_component=adder,
+                                          scenario=worst_case(10))
+        a = rng.integers(-100, 100, 500)
+        b = rng.integers(-100, 100, 500)
+        assert np.array_equal(arith.add(a, b), adder.exact(a, b))

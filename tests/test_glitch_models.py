@@ -1,0 +1,74 @@
+"""Tests for the timed simulator's selectable glitch models."""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.rtl import KoggeStoneAdder
+from repro.sim import TimedSimulator, int_to_bits
+from repro.sta import analyze
+from repro.synth import synthesize_netlist
+
+
+@pytest.fixture(scope="module")
+def setup(lib):
+    component = KoggeStoneAdder(16)
+    netlist = synthesize_netlist(component, lib, effort="ultra")
+    report = analyze(netlist, lib)
+    a, b = component.random_operands(3000, rng=5)
+    bits = np.concatenate([int_to_bits(a, 16), int_to_bits(b, 16)],
+                          axis=1)
+    return netlist, report.critical_path_ps, bits
+
+
+class TestGlitchModels:
+    def test_unknown_model_rejected(self, lib, setup):
+        netlist, t_clock, __ = setup
+        with pytest.raises(ValueError, match="glitch_model"):
+            TimedSimulator(netlist, lib, t_clock, glitch_model="exact")
+
+    def test_models_bracket_each_other(self, lib, setup):
+        netlist, t_clock, bits = setup
+        scenario = worst_case(10)
+        rates = {}
+        arrivals = {}
+        for model in TimedSimulator.GLITCH_MODELS:
+            sim = TimedSimulator(netlist, lib, t_clock,
+                                 scenario=scenario, glitch_model=model)
+            result = sim.run_stream(bits)
+            rates[model] = result.error_rate
+            arrivals[model] = float(result.arrivals.mean())
+        assert rates["optimistic"] <= rates["sensitization"] \
+            <= rates["pessimistic"]
+        assert arrivals["optimistic"] <= arrivals["sensitization"] \
+            <= arrivals["pessimistic"]
+
+    def test_settled_values_identical_across_models(self, lib, setup):
+        netlist, t_clock, bits = setup
+        outs = []
+        for model in TimedSimulator.GLITCH_MODELS:
+            sim = TimedSimulator(netlist, lib, t_clock,
+                                 glitch_model=model)
+            outs.append(sim.run_stream(bits).settled)
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[1], outs[2])
+
+    def test_pessimistic_tracks_static_arrivals_on_toggles(self, lib,
+                                                           setup):
+        netlist, t_clock, bits = setup
+        scenario = worst_case(10)
+        report = analyze(netlist, lib, scenario=scenario)
+        sim = TimedSimulator(netlist, lib, t_clock, scenario=scenario,
+                             glitch_model="pessimistic")
+        result = sim.run_stream(bits)
+        static = np.array([report.arrivals[n]
+                           for n in netlist.primary_outputs])
+        # Pessimistic arrivals still cannot exceed static STA.
+        assert (result.arrivals <= static[None, :] + 1e-2).all()
+
+    def test_fresh_clean_under_all_models(self, lib, setup):
+        netlist, t_clock, bits = setup
+        for model in TimedSimulator.GLITCH_MODELS:
+            sim = TimedSimulator(netlist, lib, t_clock,
+                                 glitch_model=model)
+            assert sim.run_stream(bits).error_rate == 0.0

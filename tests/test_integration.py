@@ -1,0 +1,124 @@
+"""End-to-end integration tests retelling the paper's story at small scale.
+
+The narrative, on laptop-sized components:
+
+1. a fresh circuit at its own f_max works perfectly;
+2. remove the guardband and let it age -> nondeterministic timing errors
+   appear and image quality collapses (motivational study);
+3. run the paper's flow: characterize, pick a reduced precision,
+   validate -> the aged, truncated circuit at the *original* clock is
+   timing-clean and its (bounded, deterministic) approximation error is
+   the only quality cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.approx import (ComponentArithmetic, GateLevelArithmetic,
+                          TimedComponentModel)
+from repro.core import (AgingApproximationLibrary, Block, Microarchitecture,
+                        characterize, remove_guardband)
+from repro.media import TransformCodec, make_image
+from repro.quality import psnr_db
+from repro.rtl import Adder, KoggeStoneAdder, Multiplier, WallaceMultiplier
+from repro.sta import critical_path_delay
+from repro.synth import synthesize_netlist
+
+
+class TestMotivationalStudy:
+    """Section II at small scale."""
+
+    def test_fresh_circuit_is_clean_but_aged_circuit_errs(self, lib, rng):
+        component = KoggeStoneAdder(32)
+        fresh = TimedComponentModel(component, lib)
+        aged = TimedComponentModel(component, lib, scenario=worst_case(10),
+                                   t_clock_ps=fresh.t_clock_ps)
+        a, b = component.random_operands(4000, rng=rng)
+        assert fresh.error_statistics(a, b)["error_rate"] == 0.0
+        assert aged.error_statistics(a, b)["error_rate"] > 0.01
+
+    def test_aged_image_chain_collapses(self, lib):
+        image = make_image("akiyo", 32)
+        baseline = psnr_db(image, TransformCodec().roundtrip(image))
+        mult = WallaceMultiplier(32, final_adder="ks")
+        aged = TimedComponentModel(mult, lib, scenario=worst_case(10))
+        codec = TransformCodec(
+            decode_arithmetic=GateLevelArithmetic(mul_model=aged))
+        degraded = psnr_db(image, codec.roundtrip(image))
+        assert baseline > 40.0
+        assert degraded < baseline - 15.0
+
+
+class TestGuardbandConversion:
+    """Sections IV-V at small scale."""
+
+    @pytest.fixture(scope="class")
+    def flow_report(self, lib):
+        micro = Microarchitecture("mini_idct", [
+            Block(name="mult", component=Multiplier(12), instances=4),
+            Block(name="acc", component=Adder(12), instances=3),
+        ])
+        return remove_guardband(micro, lib, worst_case(10), effort="high")
+
+    def test_flow_restores_timing(self, flow_report, lib):
+        assert flow_report.meets_constraint
+        assert flow_report.outcome.validated
+
+    def test_truncated_component_is_timing_clean_when_aged(self, lib,
+                                                           flow_report,
+                                                           rng):
+        decision = flow_report.outcome.decisions["mult"]
+        assert decision.approximated
+        reduced = Multiplier(12, precision=decision.chosen_precision)
+        model = TimedComponentModel(
+            reduced, lib, scenario=worst_case(10),
+            t_clock_ps=flow_report.constraint_ps, effort="high")
+        a, b = reduced.random_operands(2000, rng=rng)
+        result = model.apply_detailed(a, b)
+        assert not result.violations.any()
+        # The only deviation from exact is the deterministic truncation.
+        from repro.sim import bits_to_int
+        sampled = bits_to_int(result.sampled)
+        assert np.array_equal(sampled, reduced.approximate(a, b))
+
+    def test_deterministic_error_bound_holds_under_aging(self, lib,
+                                                         flow_report, rng):
+        decision = flow_report.outcome.decisions["mult"]
+        reduced = Multiplier(12, precision=decision.chosen_precision)
+        model = TimedComponentModel(
+            reduced, lib, scenario=worst_case(10),
+            t_clock_ps=flow_report.constraint_ps, effort="high")
+        a, b = reduced.random_operands(1000, rng=rng)
+        out = model.apply(a, b)
+        err = np.abs(out - reduced.exact(a, b))
+        assert err.max() <= reduced.max_error_bound()
+
+
+class TestCharacterizationConsistency:
+    def test_library_prediction_matches_direct_synthesis(self, lib):
+        """A characterized delay must equal re-synthesizing the variant."""
+        entry = characterize(Adder(10), lib, scenarios=[worst_case(10)],
+                             precisions=[10, 7], effort="high")
+        direct = synthesize_netlist(Adder(10, precision=7), lib,
+                                    effort="high")
+        assert entry.fresh_ps[7] == pytest.approx(
+            critical_path_delay(direct, lib))
+        assert entry.aged_ps[(7, "10y_worst")] == pytest.approx(
+            critical_path_delay(direct, lib, scenario=worst_case(10)))
+
+    def test_quality_of_flow_choice_beats_timing_errors(self, lib):
+        """The deterministic approximation must beat the chaos it
+        replaces: truncated PSNR >> aged timing-error PSNR."""
+        image = make_image("salesman", 32)
+        aged_mult = TimedComponentModel(
+            WallaceMultiplier(32, final_adder="ks"), lib,
+            scenario=worst_case(10))
+        chaotic = psnr_db(image, TransformCodec(
+            decode_arithmetic=GateLevelArithmetic(
+                mul_model=aged_mult)).roundtrip(image))
+        truncated = psnr_db(image, TransformCodec(
+            decode_arithmetic=ComponentArithmetic(
+                mul_component=Multiplier(32,
+                                         precision=24))).roundtrip(image))
+        assert truncated > chaotic + 10.0

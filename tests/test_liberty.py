@@ -1,0 +1,67 @@
+"""Tests for the Liberty-style library export."""
+
+import pytest
+
+from repro.aging import DEFAULT_BTI, worst_case
+from repro.cells import (DegradationAwareLibrary, degradation_tables_text,
+                         read_liberty_cells, to_liberty)
+
+
+class TestLibertyExport:
+    def test_every_cell_present(self, lib):
+        cells = read_liberty_cells(to_liberty(lib))
+        assert set(cells) == {c.name for c in lib.cells()}
+
+    def test_fresh_attributes_roundtrip(self, lib):
+        cells = read_liberty_cells(to_liberty(lib))
+        for cell in lib.cells():
+            parsed = cells[cell.name]
+            assert parsed["area"] == pytest.approx(cell.area, abs=1e-3)
+            assert parsed["cell_leakage_power"] == pytest.approx(
+                cell.leakage_nw, abs=1e-3)
+            assert parsed["intrinsic_rise"] == pytest.approx(
+                cell.intrinsic_ps, abs=1e-3)
+            assert parsed["aging_delay_derate"] == pytest.approx(1.0)
+
+    def test_aged_export_scales_timing(self, lib):
+        fresh = read_liberty_cells(to_liberty(lib))
+        aged = read_liberty_cells(to_liberty(lib,
+                                             scenario=worst_case(10)))
+        for name, parsed in aged.items():
+            assert parsed["aging_delay_derate"] > 1.1
+            assert parsed["intrinsic_rise"] == pytest.approx(
+                fresh[name]["intrinsic_rise"]
+                * parsed["aging_delay_derate"], rel=1e-3)
+
+    def test_header_mentions_scenario(self, lib):
+        text = to_liberty(lib, scenario=worst_case(10))
+        assert 'library ("repro45_10y_worst")' in text
+        assert 'nom_voltage : %.2f;' % DEFAULT_BTI.vdd in text
+
+
+class TestDegradationTables:
+    def test_dump_contains_every_kind_once(self, lib):
+        degraded = DegradationAwareLibrary(lib, lifetimes=(10.0,))
+        text = degradation_tables_text(degraded, 10.0)
+        for kind in lib.kinds():
+            assert text.count("\n%s:" % kind) == 1
+
+    def test_dump_has_11x11_grid_per_kind(self, lib):
+        degraded = DegradationAwareLibrary(lib, lifetimes=(10.0,))
+        text = degradation_tables_text(degraded, 10.0)
+        block = text.split("\nINV:")[1].split(":")[0]
+        data_rows = [line for line in block.splitlines()
+                     if line.strip().endswith(tuple("0123456789"))]
+        # 11 stress rows, each with a label plus 11 multiplier columns.
+        assert len(data_rows) == 11
+        assert all(len(row.split()) == 12 for row in data_rows)
+
+    def test_dump_grid_matches_table(self, lib):
+        degraded = DegradationAwareLibrary(lib, lifetimes=(10.0,))
+        text = degradation_tables_text(degraded, 10.0)
+        block = text.split("\nNAND2:")[1].splitlines()
+        last_row = [line for line in block
+                    if line.strip().startswith("100%")][0]
+        corner = float(last_row.split()[-1])
+        assert corner == pytest.approx(
+            degraded.multiplier("NAND2_X1", 1.0, 1.0, 10.0), abs=1e-4)

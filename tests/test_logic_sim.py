@@ -1,0 +1,114 @@
+"""Tests for the vectorized functional simulator and bit codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import NetlistBuilder
+from repro.rtl import Adder
+from repro.sim import (all_net_values, bits_to_int, compile_netlist,
+                       evaluate, int_to_bits)
+
+
+class TestBitCodecs:
+    def test_int_to_bits_lsb_first(self):
+        bits = int_to_bits(np.array([5]), 4)
+        assert bits.tolist() == [[1, 0, 1, 0]]
+
+    def test_negative_twos_complement(self):
+        bits = int_to_bits(np.array([-1]), 4)
+        assert bits.tolist() == [[1, 1, 1, 1]]
+        bits = int_to_bits(np.array([-8]), 4)
+        assert bits.tolist() == [[0, 0, 0, 1]]
+
+    def test_bits_to_int_signed(self):
+        assert bits_to_int(np.array([[1, 1, 1, 1]]))[0] == -1
+        assert bits_to_int(np.array([[0, 0, 0, 1]]))[0] == -8
+
+    def test_bits_to_int_unsigned(self):
+        assert bits_to_int(np.array([[1, 1, 1, 1]]), signed=False)[0] == 15
+
+    @given(st.lists(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+                    min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(bits_to_int(int_to_bits(arr, 32)), arr)
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_unsigned_roundtrip(self, value):
+        arr = np.array([value], dtype=np.int64)
+        back = bits_to_int(int_to_bits(arr, 16), signed=False)
+        assert back[0] == value
+
+    def test_wraparound_modulo(self):
+        # Values outside the width wrap modulo 2**width.
+        arr = np.array([17], dtype=np.int64)
+        back = bits_to_int(int_to_bits(arr, 4))
+        assert back[0] == 1
+
+
+class TestCompilation:
+    def test_compiled_op_count(self, lib, adder8):
+        compiled = compile_netlist(adder8, lib)
+        assert len(compiled.ops) == adder8.num_gates
+        assert len(compiled.pi_slots) == 16
+        assert len(compiled.po_slots) == 8
+
+    def test_last_use_never_frees_outputs(self, lib, adder8):
+        compiled = compile_netlist(adder8, lib)
+        protected = set(compiled.po_slots) | set(compiled.pi_slots) | {0, 1}
+        for dead in compiled.last_use:
+            assert not (set(dead) & protected)
+
+    def test_shape_validation(self, lib, adder8):
+        compiled = compile_netlist(adder8, lib)
+        with pytest.raises(ValueError, match="shape"):
+            evaluate(compiled, np.zeros((4, 3), dtype=np.uint8))
+
+
+class TestEvaluation:
+    def test_adder_matches_golden(self, lib, adder8, rng):
+        compiled = compile_netlist(adder8, lib)
+        component = Adder(8)
+        a, b = component.random_operands(500, rng=rng)
+        bits = np.concatenate([int_to_bits(a, 8), int_to_bits(b, 8)], axis=1)
+        out = bits_to_int(evaluate(compiled, bits))
+        assert np.array_equal(out, component.exact(a, b))
+
+    def test_release_flag_equivalence(self, lib, adder8, rng):
+        compiled = compile_netlist(adder8, lib)
+        bits = rng.integers(0, 2, (64, 16)).astype(np.uint8)
+        assert np.array_equal(evaluate(compiled, bits, release=True),
+                              evaluate(compiled, bits, release=False))
+
+    def test_constants_available(self, lib):
+        builder = NetlistBuilder(name="c")
+        a = builder.inputs(1, "a")[0]
+        out = builder.or2(a, builder.const1)
+        net = builder.outputs([out])
+        compiled = compile_netlist(net, lib)
+        result = evaluate(compiled, np.array([[0], [1]], dtype=np.uint8))
+        assert result[:, 0].tolist() == [1, 1]
+
+    def test_all_net_values_includes_internal_nets(self, lib):
+        builder = NetlistBuilder(name="i")
+        a, b = builder.inputs(2, "x")
+        mid = builder.xor2(a, b)
+        out = builder.inv(mid)
+        net = builder.outputs([out])
+        compiled = compile_netlist(net, lib)
+        values = all_net_values(compiled,
+                                np.array([[1, 0]], dtype=np.uint8))
+        assert values[0, compiled.slot_of[mid]] == 1
+        assert values[0, compiled.slot_of[out]] == 0
+
+    def test_multi_output_ordering(self, lib):
+        builder = NetlistBuilder(name="mo")
+        a = builder.inputs(1, "a")[0]
+        inv = builder.inv(a)
+        net = builder.outputs([a, inv])
+        compiled = compile_netlist(net, lib)
+        out = evaluate(compiled, np.array([[1]], dtype=np.uint8))
+        assert out[0].tolist() == [1, 0]

@@ -1,0 +1,89 @@
+"""Functional tests for the fused multiply-accumulate unit."""
+
+import numpy as np
+import pytest
+
+from repro.rtl import MultiplyAccumulate
+from repro.synth import synthesize_netlist
+
+from helpers import run_netlist
+
+
+def test_exhaustive_2bit(lib):
+    component = MultiplyAccumulate(2)
+    a = np.repeat(np.arange(-2, 2), 4 * 16)
+    b = np.tile(np.repeat(np.arange(-2, 2), 16), 4)
+    c = np.tile(np.arange(-8, 8), 16)
+    assert np.array_equal(run_netlist(component, lib, (a, b, c)),
+                          component.exact(a, b, c))
+
+
+@pytest.mark.parametrize("width", [3, 4, 6])
+def test_random_widths(lib, width, rng):
+    component = MultiplyAccumulate(width)
+    a, b, c = component.random_operands(300, rng=rng,
+                                        distribution="uniform")
+    assert np.array_equal(run_netlist(component, lib, (a, b, c)),
+                          component.exact(a, b, c))
+
+
+def test_wraparound_accumulate(lib):
+    component = MultiplyAccumulate(4)
+    # a*b + c overflows the 8-bit result and must wrap.
+    a = np.array([7], dtype=np.int64)
+    b = np.array([7], dtype=np.int64)
+    c = np.array([127], dtype=np.int64)
+    netlist_result = run_netlist(component, lib, (a, b, c))
+    assert np.array_equal(netlist_result, component.exact(a, b, c))
+    assert netlist_result[0] == ((49 + 127 + 128) % 256) - 128
+
+
+def test_zero_product_passthrough(lib, rng):
+    component = MultiplyAccumulate(4)
+    zeros = np.zeros(50, dtype=np.int64)
+    c = rng.integers(-128, 128, 50)
+    assert np.array_equal(run_netlist(component, lib, (zeros, zeros, c)), c)
+
+
+def test_operand_metadata():
+    component = MultiplyAccumulate(8)
+    assert component.operand_widths == [8, 8, 16]
+    assert component.output_width == 16
+    assert component.operand_names == ["a", "b", "c"]
+    assert component.family == "mac"
+
+
+class TestTruncation:
+    def test_truncated_netlist_matches_approximate(self, lib, rng):
+        component = MultiplyAccumulate(4, precision=2)
+        ops = component.random_operands(300, rng=rng,
+                                        distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, ops),
+                              component.approximate(*ops))
+
+    def test_truncation_applies_to_all_operands(self, rng):
+        component = MultiplyAccumulate(8, precision=5)
+        a = np.array([3], dtype=np.int64)   # fully truncated away
+        b = np.array([5], dtype=np.int64)
+        c = np.array([7], dtype=np.int64)
+        assert component.approximate(a, b, c)[0] == 0
+
+    def test_error_bound(self, rng):
+        component = MultiplyAccumulate(8, precision=6)
+        a, b, c = component.random_operands(1000, rng=rng,
+                                            distribution="uniform")
+        # Restrict to cases without wraparound aliasing.
+        exact = (a.astype(np.int64) * b + c)
+        ok = np.abs(exact) < (1 << 15) - component.max_error_bound()
+        err = np.abs(component.exact(a, b, c)
+                     - component.approximate(a, b, c))
+        assert err[ok].max() <= component.max_error_bound()
+
+    def test_mac_deeper_or_equal_to_multiplier(self, lib):
+        from repro.rtl import Multiplier
+        from repro.sta import critical_path_delay
+        mac_net = synthesize_netlist(MultiplyAccumulate(8), lib,
+                                     effort="high")
+        mul_net = synthesize_netlist(Multiplier(8), lib, effort="high")
+        assert critical_path_delay(mac_net, lib) >= \
+            0.95 * critical_path_delay(mul_net, lib)

@@ -1,0 +1,153 @@
+"""Tests for the synthetic image substrate and the DCT block codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import ComponentArithmetic, TruncatedArithmetic
+from repro.media import (IMAGE_NAMES, TransformCodec, all_images, blockize,
+                         deblockize, make_image, roundtrip_psnr)
+from repro.quality import psnr_db
+from repro.rtl import Multiplier
+
+
+class TestImages:
+    def test_all_names_present(self):
+        assert len(IMAGE_NAMES) == 9
+        for name in IMAGE_NAMES:
+            img = make_image(name, size=32)
+            assert img.shape == (32, 32)
+            assert img.dtype == np.uint8
+
+    def test_deterministic(self):
+        a = make_image("akiyo", size=64)
+        b = make_image("akiyo", size=64)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_texture(self):
+        a = make_image("mobile", size=64, seed=1)
+        b = make_image("mobile", size=64, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown image"):
+            make_image("lenna")
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(ValueError):
+            make_image("akiyo", size=30)
+
+    def test_all_images_helper(self):
+        imgs = all_images(size=16)
+        assert set(imgs) == set(IMAGE_NAMES)
+
+    def test_mobile_has_most_high_frequency_energy(self):
+        # 'mobile' is the paper's stress case: most AC energy.
+        def ac_energy(img):
+            f = np.fft.fft2(img.astype(float))
+            f[0, 0] = 0
+            return float(np.abs(f).sum())
+        energies = {n: ac_energy(make_image(n, 64)) for n in IMAGE_NAMES}
+        assert max(energies, key=energies.get) == "mobile"
+
+    def test_images_use_dynamic_range(self):
+        for name in IMAGE_NAMES:
+            img = make_image(name, 64)
+            assert img.max() - img.min() > 80, name
+
+
+class TestBlocking:
+    def test_blockize_shape(self):
+        img = np.arange(32 * 16).reshape(32, 16) % 256
+        blocks, shape = blockize(img)
+        assert blocks.shape == (8, 8, 8)
+        assert shape == (32, 16)
+
+    def test_roundtrip_identity(self, rng):
+        img = rng.integers(0, 256, (24, 40))
+        blocks, shape = blockize(img)
+        assert np.array_equal(deblockize(blocks, shape), img)
+
+    def test_block_contents(self):
+        img = np.zeros((16, 16), dtype=int)
+        img[8:, 8:] = 7
+        blocks, __ = blockize(img)
+        assert (blocks[3] == 7).all()
+        assert (blocks[0] == 0).all()
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            blockize(np.zeros((10, 16)))
+
+    @given(h=st.sampled_from([8, 16, 24]), w=st.sampled_from([8, 16, 32]))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, h, w):
+        img = np.arange(h * w).reshape(h, w) % 251
+        blocks, shape = blockize(img)
+        assert np.array_equal(deblockize(blocks, shape), img)
+
+
+class TestCodec:
+    def test_exact_roundtrip_is_high_quality(self):
+        for name in ("akiyo", "mobile"):
+            value = roundtrip_psnr(make_image(name, 64))
+            assert value > 40.0, name
+
+    def test_exact_baseline_near_paper(self):
+        # Paper reports ~45 dB for the fresh fixed-point chain.
+        values = [roundtrip_psnr(make_image(n, 64)) for n in IMAGE_NAMES]
+        assert 42.0 < float(np.mean(values)) < 54.0
+
+    def test_decode_shape_matches(self):
+        img = make_image("suzie", 64)
+        codec = TransformCodec()
+        rec = codec.roundtrip(img)
+        assert rec.shape == img.shape
+        assert rec.dtype == np.uint8
+
+    def test_explicit_shape_decode(self):
+        img = make_image("miss", 32)
+        codec = TransformCodec()
+        coeffs = codec.encode(img)
+        rec = codec.decode(coeffs, shape=(32, 32))
+        assert rec.shape == (32, 32)
+
+    def test_quantization_trades_quality(self):
+        img = make_image("foreman", 64)
+        fine = roundtrip_psnr(img, quant_bits=0)
+        coarse = roundtrip_psnr(img, quant_bits=4)
+        assert fine > coarse
+
+    def test_truncation_degrades_gracefully(self):
+        img = make_image("akiyo", 64)
+        values = []
+        for drop in (0, 6, 9, 11):
+            arith = ComponentArithmetic(
+                mul_component=Multiplier(32, precision=32 - drop))
+            values.append(roundtrip_psnr(img, decode_arithmetic=arith))
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < values[0] - 10
+
+    def test_truncated_arithmetic_equivalent_to_component(self):
+        img = make_image("mother", 32)
+        drop = 8
+        by_component = TransformCodec(decode_arithmetic=ComponentArithmetic(
+            mul_component=Multiplier(32, precision=32 - drop)))
+        by_values = TransformCodec(
+            decode_arithmetic=TruncatedArithmetic(mul_drop_bits=drop))
+        assert np.array_equal(by_component.roundtrip(img),
+                              by_values.roundtrip(img))
+
+    def test_paper_quality_pattern_at_8_bit_truncation(self):
+        """Fig. 8(b) shape: ~8 dB average drop, mobile worst."""
+        arith = ComponentArithmetic(mul_component=Multiplier(32,
+                                                             precision=24))
+        fresh, approx = {}, {}
+        for name in IMAGE_NAMES:
+            img = make_image(name, 64)
+            fresh[name] = roundtrip_psnr(img)
+            approx[name] = roundtrip_psnr(img, decode_arithmetic=arith)
+        drop = np.mean([fresh[n] - approx[n] for n in IMAGE_NAMES])
+        assert 3.0 < drop < 15.0
+        assert min(approx, key=approx.get) in ("mobile", "carphone")
+        assert np.mean(list(approx.values())) > 30.0

@@ -1,0 +1,160 @@
+"""Tests for the microarchitecture model and the Fig. 6 flow."""
+
+import pytest
+
+from repro.aging import worst_case
+from repro.core import (AgingApproximationLibrary, Block, Microarchitecture,
+                        apply_aging_approximations)
+from repro.rtl import Adder, Multiplier
+from repro.sta import critical_path_delay
+
+
+def small_idct_like(width=10):
+    """Multiplier-dominated two-block design (small IDCT stand-in)."""
+    return Microarchitecture("mini", [
+        Block(name="mult", component=Multiplier(width), instances=2),
+        Block(name="acc", component=Adder(width), instances=1),
+    ])
+
+
+@pytest.fixture(scope="module")
+def mini(lib):
+    micro = small_idct_like()
+    micro.synthesize(lib, effort="high")
+    return micro
+
+
+class TestMicroarchitecture:
+    def test_duplicate_block_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Microarchitecture("bad", [
+                Block(name="x", component=Adder(4)),
+                Block(name="x", component=Adder(4)),
+            ])
+
+    def test_block_lookup(self, mini):
+        assert mini.block("mult").component.family == "multiplier"
+        with pytest.raises(KeyError):
+            mini.block("missing")
+
+    def test_constraint_is_slowest_block(self, lib, mini):
+        constraint = mini.timing_constraint_ps(lib, effort="high")
+        delays = [critical_path_delay(b.synthesized(lib, "high"), lib)
+                  for b in mini.blocks]
+        assert constraint == pytest.approx(max(delays))
+
+    def test_timing_rows(self, lib, mini):
+        timing = mini.timing(lib, scenario=worst_case(10), effort="high")
+        assert set(timing) == {"mult", "acc"}
+        mult = timing["mult"]
+        assert mult.aged_ps > mult.fresh_ps
+        assert mult.violates         # slowest block must violate
+        assert not timing["acc"].violates
+
+    def test_relative_slack_normalization(self, lib, mini):
+        constraint = mini.timing_constraint_ps(lib, effort="high")
+        timing = mini.timing(lib, scenario=worst_case(10),
+                             constraint_ps=constraint, effort="high")
+        for row in timing.values():
+            assert row.relative_slack == pytest.approx(
+                row.slack_ps / constraint)
+
+    def test_with_precisions_copies(self, mini):
+        derived = mini.with_precisions({"mult": 6})
+        assert derived.block("mult").component.precision == 6
+        assert derived.block("acc").component.precision == 10
+        assert mini.block("mult").component.precision == 10
+        assert derived.block("mult").netlist is None  # fresh synthesis
+
+    def test_area_rollup_counts_instances(self, lib, mini):
+        per_block = {b.name: b.synthesized(lib, "high").area(lib)
+                     for b in mini.blocks}
+        assert mini.area_um2(lib, effort="high") == pytest.approx(
+            2 * per_block["mult"] + per_block["acc"])
+
+    def test_iter_and_repr(self, mini):
+        assert [b.name for b in mini] == ["mult", "acc"]
+        assert "mult" in repr(mini)
+
+
+class TestApplyApproximations:
+    @pytest.fixture(scope="class")
+    def outcome(self, lib):
+        micro = small_idct_like()
+        store = AgingApproximationLibrary()
+        return apply_aging_approximations(micro, lib, worst_case(10),
+                                          store, effort="high"), micro
+
+    def test_violating_block_approximated(self, outcome):
+        result, __ = outcome
+        assert result.decisions["mult"].approximated
+        assert result.decisions["mult"].chosen_precision < 10
+
+    def test_healthy_block_untouched(self, outcome):
+        result, __ = outcome
+        assert not result.decisions["acc"].approximated
+        assert result.decisions["acc"].chosen_precision == 10
+
+    def test_validated_design_meets_constraint(self, outcome, lib):
+        result, __ = outcome
+        assert result.validated
+        assert result.residual_guardband_ps == 0.0
+        timing = result.design.timing(lib, scenario=worst_case(10),
+                                      constraint_ps=result.constraint_ps,
+                                      effort="high")
+        for row in timing.values():
+            assert row.slack_ps >= 0
+
+    def test_slacks_recorded(self, outcome):
+        result, __ = outcome
+        mult = result.decisions["mult"]
+        assert mult.slack_before_ps < 0
+        assert mult.slack_after_ps >= 0
+
+    def test_precision_map(self, outcome):
+        result, __ = outcome
+        pmap = result.precision_map
+        assert set(pmap) == {"mult", "acc"}
+        assert pmap["acc"] == 10
+
+    def test_library_filled_on_demand(self, lib):
+        micro = small_idct_like()
+        store = AgingApproximationLibrary()
+        apply_aging_approximations(micro, lib, worst_case(10), store,
+                                   effort="high")
+        assert "multiplier_w10" in store
+        assert "adder_w10" not in store  # never violated -> never needed
+
+    def test_invalid_rule_rejected(self, lib):
+        with pytest.raises(ValueError, match="rule"):
+            apply_aging_approximations(small_idct_like(), lib,
+                                       worst_case(10),
+                                       AgingApproximationLibrary(),
+                                       rule="bogus")
+
+    def test_relative_rule_is_more_conservative(self, lib):
+        store = AgingApproximationLibrary()
+        eq2 = apply_aging_approximations(small_idct_like(), lib,
+                                         worst_case(10), store,
+                                         effort="high", rule="eq2")
+        rel = apply_aging_approximations(small_idct_like(), lib,
+                                         worst_case(10), store,
+                                         effort="high", rule="relative")
+        assert rel.decisions["mult"].chosen_precision <= \
+            eq2.decisions["mult"].chosen_precision
+
+    def test_quality_check_backoff(self, lib):
+        store = AgingApproximationLibrary()
+        seen = []
+
+        def reject_everything(design):
+            seen.append(design)
+            return False
+
+        result = apply_aging_approximations(
+            small_idct_like(), lib, worst_case(10), store, effort="high",
+            quality_check=reject_everything, max_refinements=3)
+        # Quality can never be satisfied, so the flow must fall back to a
+        # residual guardband instead of looping forever.
+        assert len(seen) >= 1
+        assert not result.validated or result.residual_guardband_ps >= 0

@@ -1,0 +1,127 @@
+"""Functional tests for the signed multipliers (Baugh-Wooley + Wallace)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl import ArrayMultiplier, Multiplier, WallaceMultiplier
+from repro.synth import synthesize_netlist
+
+from helpers import run_netlist
+
+
+def test_exhaustive_4bit(lib):
+    component = Multiplier(4)
+    values = np.arange(-8, 8, dtype=np.int64)
+    a, b = np.meshgrid(values, values)
+    a, b = a.ravel(), b.ravel()
+    assert np.array_equal(run_netlist(component, lib, (a, b)),
+                          component.exact(a, b))
+
+
+def test_exhaustive_3bit_array(lib):
+    component = ArrayMultiplier(3)
+    values = np.arange(-4, 4, dtype=np.int64)
+    a, b = np.meshgrid(values, values)
+    a, b = a.ravel(), b.ravel()
+    assert np.array_equal(run_netlist(component, lib, (a, b)),
+                          component.exact(a, b))
+
+
+@pytest.mark.parametrize("width", [2, 5, 8])
+def test_random_widths(lib, width, rng):
+    component = Multiplier(width)
+    a, b = component.random_operands(200, rng=rng, distribution="uniform")
+    assert np.array_equal(run_netlist(component, lib, (a, b)),
+                          component.exact(a, b))
+
+
+def test_wide_multiplier(lib, rng):
+    component = Multiplier(16)
+    a, b = component.random_operands(150, rng=rng)
+    assert np.array_equal(run_netlist(component, lib, (a, b)),
+                          component.exact(a, b))
+
+
+def test_extreme_values(lib):
+    component = Multiplier(8)
+    corner = np.array([-128, -128, 127, 127, -128, 0, -1],
+                      dtype=np.int64)
+    other = np.array([-128, 127, 127, -128, 1, 0, -1], dtype=np.int64)
+    assert np.array_equal(run_netlist(component, lib, (corner, other)),
+                          component.exact(corner, other))
+
+
+def test_ks_final_adder_variant(lib, rng):
+    component = WallaceMultiplier(8, final_adder="ks")
+    a, b = component.random_operands(200, rng=rng, distribution="uniform")
+    assert np.array_equal(run_netlist(component, lib, (a, b)),
+                          component.exact(a, b))
+
+
+def test_invalid_final_adder():
+    with pytest.raises(ValueError):
+        WallaceMultiplier(8, final_adder="rca")
+
+
+def test_with_precision_preserves_final_adder():
+    base = WallaceMultiplier(16, final_adder="ks")
+    cut = base.with_precision(12)
+    assert cut.final_adder == "ks"
+    assert cut.precision == 12
+
+
+@given(a=st.integers(-(1 << 15), (1 << 15) - 1),
+       b=st.integers(-(1 << 15), (1 << 15) - 1))
+@settings(max_examples=40, deadline=None)
+def test_exact_is_true_product(a, b):
+    component = Multiplier(16)
+    assert int(component.exact(np.array([a]), np.array([b]))[0]) == a * b
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("precision", [6, 4, 2])
+    def test_truncated_netlist_matches_approximate(self, lib, precision,
+                                                   rng):
+        component = Multiplier(6, precision=precision)
+        a, b = component.random_operands(300, rng=rng,
+                                         distribution="uniform")
+        assert np.array_equal(run_netlist(component, lib, (a, b)),
+                              component.approximate(a, b))
+
+    def test_truncation_shrinks_netlist(self, lib):
+        full = synthesize_netlist(Multiplier(8), lib, effort="high")
+        cut = synthesize_netlist(Multiplier(8, precision=5), lib,
+                                 effort="high")
+        assert cut.num_gates < full.num_gates
+        assert cut.area(lib) < full.area(lib)
+
+    def test_error_bound_holds(self, rng):
+        component = Multiplier(10, precision=7)
+        a, b = component.random_operands(2000, rng=rng,
+                                         distribution="uniform")
+        err = np.abs(component.exact(a, b) - component.approximate(a, b))
+        assert err.max() <= component.max_error_bound()
+
+    def test_zero_drop_bound_is_zero(self):
+        assert Multiplier(8).max_error_bound() == 0
+
+
+class TestMetadata:
+    def test_output_width_doubles(self):
+        assert Multiplier(12).output_width == 24
+        assert Multiplier(12).operand_widths == [12, 12]
+
+    def test_array_and_wallace_agree(self, lib, rng):
+        wallace = Multiplier(5)
+        array = ArrayMultiplier(5)
+        a, b = wallace.random_operands(200, rng=rng,
+                                       distribution="uniform")
+        assert np.array_equal(run_netlist(wallace, lib, (a, b)),
+                              run_netlist(array, lib, (a, b)))
+
+    def test_array_is_deeper_than_wallace(self, lib):
+        from repro.sta import logic_depth
+        wal = synthesize_netlist(Multiplier(8), lib, effort="high")
+        arr = synthesize_netlist(ArrayMultiplier(8), lib, effort="high")
+        assert logic_depth(arr) > logic_depth(wal)

@@ -1,0 +1,228 @@
+"""Unit tests for the netlist graph substrate."""
+
+import pytest
+
+from repro.netlist import (CONST0, CONST1, Gate, Netlist, NetlistBuilder,
+                           NetlistError, const_value, is_const)
+
+
+def build_chain(length=3):
+    """INV chain of the given length."""
+    net = Netlist("chain")
+    a = net.add_input("a")
+    cur = a
+    for __ in range(length):
+        cur = net.add_gate("INV_X1", (cur,))
+    net.set_outputs([cur])
+    return net
+
+
+class TestConstants:
+    def test_const_ids_are_reserved(self):
+        assert CONST0 == 0
+        assert CONST1 == 1
+
+    def test_is_const(self):
+        assert is_const(CONST0)
+        assert is_const(CONST1)
+        assert not is_const(2)
+
+    def test_const_value(self):
+        assert const_value(CONST0) == 0
+        assert const_value(CONST1) == 1
+
+    def test_const_value_rejects_regular_net(self):
+        with pytest.raises(ValueError):
+            const_value(5)
+
+    def test_fresh_netlist_cannot_drive_constants(self):
+        net = Netlist()
+        a = net.add_input("a")
+        with pytest.raises(NetlistError):
+            net.add_gate("INV_X1", (a,), output=CONST0)
+
+
+class TestGate:
+    def test_kind_strips_drive_suffix(self):
+        gate = Gate(uid=0, cell="NAND2_X2", inputs=(2, 3), output=4)
+        assert gate.kind == "NAND2"
+        assert gate.drive == 2
+
+    def test_kind_without_suffix(self):
+        gate = Gate(uid=0, cell="WEIRD", inputs=(2,), output=3)
+        assert gate.kind == "WEIRD"
+        assert gate.drive == 1
+
+    def test_with_cell_preserves_identity(self):
+        gate = Gate(uid=7, cell="INV_X1", inputs=(2,), output=3, name="g")
+        resized = gate.with_cell("INV_X4")
+        assert resized.uid == 7
+        assert resized.cell == "INV_X4"
+        assert resized.inputs == (2,)
+        assert resized.output == 3
+
+
+class TestConstruction:
+    def test_new_nets_are_unique(self):
+        net = Netlist()
+        ids = [net.new_net() for __ in range(100)]
+        assert len(set(ids)) == 100
+        assert CONST0 not in ids and CONST1 not in ids
+
+    def test_add_inputs_names_lsb_first(self):
+        net = Netlist()
+        nets = net.add_inputs(3, "a")
+        assert net.net_names[nets[0]] == "a[0]"
+        assert net.net_names[nets[2]] == "a[2]"
+
+    def test_single_driver_enforced(self):
+        net = Netlist()
+        a = net.add_input("a")
+        out = net.add_gate("INV_X1", (a,))
+        with pytest.raises(NetlistError):
+            net.add_gate("BUF_X1", (a,), output=out)
+
+    def test_driver_of(self):
+        net = build_chain(1)
+        out = net.primary_outputs[0]
+        assert net.driver_of(out).kind == "INV"
+        assert net.driver_of(net.primary_inputs[0]) is None
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self):
+        net = build_chain(5)
+        order = net.topological_gates()
+        seen = set(net.primary_inputs) | {CONST0, CONST1}
+        for gate in order:
+            assert all(inp in seen for inp in gate.inputs)
+            seen.add(gate.output)
+
+    def test_topological_order_cached_and_invalidated(self):
+        net = build_chain(3)
+        first = net.topological_gates()
+        assert net.topological_gates() is first
+        net.add_gate("INV_X1", (net.primary_outputs[0],))
+        assert len(net.topological_gates()) == 4
+
+    def test_duplicate_input_pins_order_correctly(self):
+        # Regression: a gate reading one net on two pins must not have
+        # its dependency count decremented twice (found by fuzzing).
+        net = Netlist()
+        a, b = net.add_input("a"), net.add_input("b")
+        late = net.new_net("late")
+        mux_out = net.add_gate("MUX2_X1", (late, b, b))
+        # The driver of `late` is declared AFTER its reader.
+        net.add_gate("INV_X1", (a,), output=late)
+        net.set_outputs([mux_out])
+        order = net.topological_gates()
+        assert [g.kind for g in order] == ["INV", "MUX2"]
+        net.validate()
+
+    def test_cycle_detected(self):
+        net = Netlist()
+        a = net.add_input("a")
+        n1 = net.new_net()
+        n2 = net.new_net()
+        gate1 = Gate(uid=0, cell="AND2_X1", inputs=(a, n2), output=n1)
+        gate2 = Gate(uid=1, cell="INV_X1", inputs=(n1,), output=n2)
+        net.gates = [gate1, gate2]
+        net._driver = {n1: gate1, n2: gate2}
+        net.set_outputs([n2])
+        with pytest.raises(NetlistError, match="cycle"):
+            net.topological_gates()
+
+    def test_undriven_input_detected(self):
+        net = Netlist()
+        dangling = net.new_net()
+        net.add_gate("INV_X1", (dangling,))
+        with pytest.raises(NetlistError, match="undriven"):
+            net.topological_gates()
+
+    def test_validate_undriven_output(self):
+        net = Netlist()
+        net.add_input("a")
+        net.set_outputs([net.new_net()])
+        with pytest.raises(NetlistError, match="undriven"):
+            net.validate()
+
+    def test_validate_ok_on_builder_output(self):
+        net = build_chain(4)
+        assert net.validate()
+
+
+class TestQueries:
+    def test_fanout_map(self):
+        net = Netlist()
+        a = net.add_input("a")
+        o1 = net.add_gate("INV_X1", (a,))
+        o2 = net.add_gate("BUF_X1", (a,))
+        net.set_outputs([o1, o2])
+        fan = net.fanout_map()
+        assert len(fan[a]) == 2
+
+    def test_cell_histogram(self):
+        net = build_chain(3)
+        assert net.cell_histogram() == {"INV_X1": 3}
+
+    def test_nets_includes_everything(self):
+        net = build_chain(2)
+        nets = net.nets()
+        assert CONST0 in nets and CONST1 in nets
+        assert set(net.primary_inputs) <= nets
+        assert set(net.primary_outputs) <= nets
+
+    def test_area_and_leakage(self, lib):
+        net = build_chain(4)
+        assert net.area(lib) == pytest.approx(4 * lib["INV_X1"].area)
+        assert net.leakage(lib) == pytest.approx(4 * lib["INV_X1"].leakage_nw)
+
+    def test_load_caps_accumulate_fanout(self, lib):
+        net = Netlist()
+        a = net.add_input("a")
+        stem = net.add_gate("INV_X1", (a,))
+        sinks = [net.add_gate("BUF_X1", (stem,)) for __ in range(3)]
+        net.set_outputs(sinks)
+        loads = net.load_caps(lib, wire_cap_ff=0.5)
+        stem_gate = net.driver_of(stem)
+        expected = 3 * (lib["BUF_X1"].input_cap_ff + 0.5)
+        assert loads[stem_gate.uid] == pytest.approx(expected)
+
+    def test_load_caps_primary_output_load(self, lib):
+        net = build_chain(1)
+        gate = net.gates[0]
+        loads = net.load_caps(lib, wire_cap_ff=0.5)
+        assert loads[gate.uid] == pytest.approx(lib.output_load_ff + 0.5)
+
+
+class TestMutation:
+    def test_copy_is_independent(self):
+        net = build_chain(3)
+        dup = net.copy()
+        dup.add_gate("INV_X1", (dup.primary_outputs[0],))
+        assert net.num_gates == 3
+        assert dup.num_gates == 4
+
+    def test_copy_preserves_uids_and_names(self):
+        net = build_chain(2)
+        dup = net.copy()
+        assert [g.uid for g in dup.gates] == [g.uid for g in net.gates]
+        assert dup.net_names == net.net_names
+
+    def test_rebuild_filters_gates(self):
+        net = build_chain(3)
+        net.rebuild(net.gates[:1])
+        assert net.num_gates == 1
+
+    def test_rebuild_rejects_duplicate_drivers(self):
+        net = build_chain(1)
+        gate = net.gates[0]
+        clone = Gate(uid=99, cell="BUF_X1", inputs=gate.inputs,
+                     output=gate.output)
+        with pytest.raises(NetlistError):
+            net.rebuild([gate, clone])
+
+    def test_repr_mentions_counts(self):
+        net = build_chain(2)
+        text = repr(net)
+        assert "gates=2" in text and "inputs=1" in text

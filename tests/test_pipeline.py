@@ -1,0 +1,82 @@
+"""Tests for the staged-datapath (pipeline) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.approx import TimedComponentModel
+from repro.rtl import Adder, Multiplier, WallaceMultiplier
+from repro.sim import TimedPipeline
+
+
+def mul_add_pipeline(lib, scenario=None, coeff=37, offset=5,
+                     mult_cls=Multiplier):
+    """Two-stage datapath: x -> x*coeff -> +offset."""
+    mul = TimedComponentModel(mult_cls(16), lib, scenario=scenario)
+    add = TimedComponentModel(Adder(32), lib, scenario=scenario)
+    stages = [
+        ("mult", mul, lambda d: (np.full_like(d, coeff), d)),
+        ("acc", add, lambda d: (d, np.full_like(d, offset))),
+    ]
+    return TimedPipeline(stages)
+
+
+class TestConstruction:
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            TimedPipeline([])
+
+    def test_shared_clock_is_slowest_stage(self, lib):
+        pipe = mul_add_pipeline(lib)
+        clocks = {model.t_clock_ps
+                  for __, model, __f in pipe._stages}
+        assert clocks == {pipe.t_clock_ps}
+        assert pipe.t_clock_ps == pytest.approx(
+            max(model.fresh_delay_ps for __, model, __f in pipe._stages))
+
+    def test_explicit_clock_applied(self, lib):
+        mul = TimedComponentModel(Multiplier(8), lib)
+        pipe = TimedPipeline([("m", mul, lambda d: (d, d))],
+                             t_clock_ps=999.0)
+        assert mul.simulator.t_clock_ps == 999.0
+
+    def test_latency(self, lib):
+        assert mul_add_pipeline(lib).latency_cycles == 2
+
+
+class TestExecution:
+    def test_fresh_pipeline_is_exact_and_clean(self, lib, rng):
+        pipe = mul_add_pipeline(lib)
+        x = rng.integers(-1000, 1000, 300)
+        run = pipe.run(x)
+        assert run.clean
+        assert np.array_equal(run.outputs, x * 37 + 5)
+        assert all(s.violation_rate == 0.0 for s in run.stages)
+        assert [s.name for s in run.stages] == ["mult", "acc"]
+
+    def test_stage_cycle_counts(self, lib, rng):
+        pipe = mul_add_pipeline(lib)
+        run = pipe.run(rng.integers(-100, 100, 128))
+        assert all(s.cycles == 128 for s in run.stages)
+
+    def test_aged_pipeline_localizes_errors(self, lib, rng):
+        # At the shared (multiplier) clock, the aged adder keeps huge
+        # slack: violations must be attributed to the multiplier stage.
+        pipe = mul_add_pipeline(lib, scenario=worst_case(10),
+                                mult_cls=lambda w: WallaceMultiplier(
+                                    w, final_adder="ks"))
+        x = rng.integers(-(1 << 14), 1 << 14, 4000)
+        run = pipe.run(x)
+        worst = run.worst_stage()
+        adder_stage = [s for s in run.stages if s.name == "acc"][0]
+        assert adder_stage.violation_rate == 0.0
+        if not run.clean:
+            assert worst.name == "mult"
+            assert worst.corruption_rate > 0.0
+
+    def test_multidimensional_input_flattened(self, lib, rng):
+        pipe = mul_add_pipeline(lib)
+        x = rng.integers(-50, 50, (4, 8))
+        run = pipe.run(x)
+        assert run.outputs.shape == (32,)
+        assert np.array_equal(run.outputs, x.reshape(-1) * 37 + 5)

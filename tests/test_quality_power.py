@@ -1,0 +1,129 @@
+"""Tests for quality metrics and power/energy models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power import PowerReport, dynamic_power_uw, power_report, savings
+from repro.quality import (ACCEPTABLE_PSNR_DB, error_rate, error_summary,
+                           is_acceptable_quality, max_abs_error,
+                           mean_abs_error, mse, psnr_db)
+from repro.rtl import Adder
+from repro.sim import operand_stream_bits, simulate_activity
+from repro.synth import synthesize_netlist
+
+
+class TestQualityMetrics:
+    def test_identical_inputs(self):
+        img = np.arange(64).reshape(8, 8)
+        assert mse(img, img) == 0.0
+        assert psnr_db(img, img) == float("inf")
+        assert error_rate(img, img) == 0.0
+
+    def test_known_psnr(self):
+        ref = np.zeros((10, 10))
+        test = np.full((10, 10), 16.0)
+        # MSE = 256 -> PSNR = 10*log10(255^2/256) ~ 24.05 dB
+        assert psnr_db(ref, test) == pytest.approx(24.05, abs=0.01)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(4), np.zeros(5))
+        with pytest.raises(ValueError):
+            error_rate(np.zeros(4), np.zeros(5))
+
+    def test_error_rate_counts_mismatches(self):
+        exact = np.array([1, 2, 3, 4])
+        observed = np.array([1, 0, 3, 0])
+        assert error_rate(exact, observed) == 0.5
+
+    def test_error_magnitudes(self):
+        exact = np.array([10, 20])
+        observed = np.array([12, 15])
+        assert mean_abs_error(exact, observed) == pytest.approx(3.5)
+        assert max_abs_error(exact, observed) == 5
+
+    def test_error_summary_bundle(self):
+        summary = error_summary(np.array([1, 2]), np.array([1, 4]))
+        assert set(summary) == {"error_rate", "mean_abs_error",
+                                "max_abs_error"}
+
+    def test_acceptability_threshold(self):
+        assert is_acceptable_quality(30.0)
+        assert is_acceptable_quality(45.0)
+        assert not is_acceptable_quality(29.9)
+        assert ACCEPTABLE_PSNR_DB == 30.0
+
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_psnr_nonnegative_for_8bit_data(self, pixels):
+        ref = np.array(pixels, dtype=float)
+        test = np.clip(ref + 1, 0, 255)
+        value = psnr_db(ref, test)
+        assert value > 0
+
+    def test_lower_noise_means_higher_psnr(self, rng):
+        ref = rng.integers(0, 256, (16, 16)).astype(float)
+        small = np.clip(ref + rng.normal(0, 2, ref.shape), 0, 255)
+        large = np.clip(ref + rng.normal(0, 20, ref.shape), 0, 255)
+        assert psnr_db(ref, small) > psnr_db(ref, large)
+
+
+class TestPowerModels:
+    @pytest.fixture(scope="class")
+    def activity(self, lib, adder8, rng=None):
+        component = Adder(8)
+        rng = np.random.default_rng(7)
+        a, b = component.random_operands(400, rng=rng)
+        bits = operand_stream_bits((a, b), component.operand_widths)
+        return simulate_activity(adder8, lib, bits)
+
+    def test_dynamic_power_positive(self, lib, adder8, activity):
+        power = dynamic_power_uw(adder8, lib, activity.toggle_rate, 100.0)
+        assert power > 0
+
+    def test_dynamic_power_scales_with_frequency(self, lib, adder8,
+                                                 activity):
+        slow = dynamic_power_uw(adder8, lib, activity.toggle_rate, 200.0)
+        fast = dynamic_power_uw(adder8, lib, activity.toggle_rate, 100.0)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_zero_activity_means_zero_dynamic(self, lib, adder8):
+        assert dynamic_power_uw(adder8, lib, {}, 100.0) == 0.0
+
+    def test_power_report_roll_up(self, lib, adder8, activity):
+        report = power_report(adder8, lib, activity.toggle_rate, 100.0)
+        assert report.area_um2 == pytest.approx(adder8.area(lib))
+        assert report.leakage_nw == pytest.approx(adder8.leakage(lib))
+        assert report.frequency_ghz == pytest.approx(10.0)
+        assert report.total_power_uw == pytest.approx(
+            report.dynamic_uw + report.leakage_nw * 1e-3)
+        assert report.energy_per_cycle_fj == pytest.approx(
+            report.total_power_uw * 100.0 * 1e-3)
+
+    def test_savings_ratios(self):
+        ours = PowerReport(area_um2=80, leakage_nw=70, dynamic_uw=9,
+                           clock_ps=100)
+        base = PowerReport(area_um2=100, leakage_nw=100, dynamic_uw=10,
+                           clock_ps=110)
+        ratios = savings(ours, base)
+        assert ratios["frequency"] == pytest.approx(1.1)
+        assert ratios["area"] == pytest.approx(0.8)
+        assert ratios["leakage"] == pytest.approx(0.7)
+        assert ratios["dynamic"] == pytest.approx(0.9)
+        assert ratios["energy"] < 1.0
+
+    def test_smaller_netlist_uses_less_power(self, lib, rng):
+        component_full = Adder(16)
+        component_cut = Adder(16, precision=8)
+        full = synthesize_netlist(component_full, lib, effort="high")
+        cut = synthesize_netlist(component_cut, lib, effort="high")
+        a, b = component_full.random_operands(300, rng=rng)
+        bits = operand_stream_bits((a, b), component_full.operand_widths)
+        act_full = simulate_activity(full, lib, bits)
+        act_cut = simulate_activity(cut, lib, bits)
+        p_full = power_report(full, lib, act_full.toggle_rate, 100.0)
+        p_cut = power_report(cut, lib, act_cut.toggle_rate, 100.0)
+        assert p_cut.dynamic_uw < p_full.dynamic_uw
+        assert p_cut.leakage_nw < p_full.leakage_nw
+        assert p_cut.area_um2 < p_full.area_um2

@@ -1,0 +1,153 @@
+"""Tests for aging-aware static timing analysis."""
+
+import pytest
+
+from repro.aging import balance_case, gate_delays, guardband_ps, worst_case
+from repro.netlist import NetlistBuilder
+from repro.sta import (analyze, critical_path, critical_path_delay,
+                       logic_depth, per_output_arrivals)
+from repro.synth.sizing import gate_slacks, required_times
+
+
+def chain_netlist(length):
+    builder = NetlistBuilder(name="chain%d" % length)
+    a = builder.inputs(1, "a")[0]
+    cur = a
+    for __ in range(length):
+        cur = builder.inv(cur)
+    return builder.outputs([cur])
+
+
+def diamond_netlist():
+    """Two reconvergent paths of different depth."""
+    builder = NetlistBuilder(name="diamond")
+    a, b = builder.inputs(2, "x")
+    short = builder.inv(a)
+    long = builder.inv(builder.inv(builder.inv(b)))
+    out = builder.and2(short, long)
+    return builder.outputs([out])
+
+
+class TestArrivals:
+    def test_chain_delay_accumulates(self, lib):
+        net = chain_netlist(4)
+        report = analyze(net, lib)
+        arrivals = [report.arrivals[g.output]
+                    for g in net.topological_gates()]
+        assert arrivals == sorted(arrivals)
+        assert report.critical_path_ps == pytest.approx(arrivals[-1])
+
+    def test_longer_chain_is_slower(self, lib):
+        assert critical_path_delay(chain_netlist(8), lib) > \
+            critical_path_delay(chain_netlist(4), lib)
+
+    def test_inputs_arrive_at_zero(self, lib):
+        net = diamond_netlist()
+        report = analyze(net, lib)
+        for pi in net.primary_inputs:
+            assert report.arrivals[pi] == 0.0
+
+    def test_diamond_takes_long_branch(self, lib):
+        net = diamond_netlist()
+        report = analyze(net, lib)
+        path = critical_path(net, report)
+        assert path.depth == 4  # 3 inverters + AND
+
+    def test_po_that_is_pi_has_zero_arrival(self, lib):
+        builder = NetlistBuilder(name="wire")
+        a = builder.inputs(1, "a")[0]
+        net = builder.outputs([a])
+        assert critical_path_delay(net, lib) == 0.0
+
+
+class TestAgingAwareness:
+    def test_aged_is_slower(self, lib, adder8):
+        fresh = critical_path_delay(adder8, lib)
+        aged = critical_path_delay(adder8, lib, scenario=worst_case(10))
+        assert aged > fresh
+
+    def test_aging_monotone_in_time_and_stress(self, lib, adder8):
+        d1w = critical_path_delay(adder8, lib, scenario=worst_case(1))
+        d10w = critical_path_delay(adder8, lib, scenario=worst_case(10))
+        d10b = critical_path_delay(adder8, lib, scenario=balance_case(10))
+        assert d1w < d10w
+        assert d10b < d10w
+
+    def test_guardband_matches_difference(self, lib, adder8):
+        scenario = worst_case(10)
+        gb = guardband_ps(adder8, lib, scenario)
+        fresh = critical_path_delay(adder8, lib)
+        aged = critical_path_delay(adder8, lib, scenario=scenario)
+        assert gb == pytest.approx(aged - fresh)
+        assert gb > 0
+
+    def test_every_gate_delay_scales_up(self, lib, adder8):
+        fresh = gate_delays(adder8, lib)
+        aged = gate_delays(adder8, lib, scenario=worst_case(10))
+        for uid in fresh:
+            assert aged[uid] > fresh[uid]
+
+    def test_worst_case_bounded_by_max_multiplier(self, lib, adder8):
+        from repro.aging import DEFAULT_BTI
+        fresh = critical_path_delay(adder8, lib)
+        aged = critical_path_delay(adder8, lib, scenario=worst_case(10))
+        worst_mult = max(
+            DEFAULT_BTI.cell_multiplier(1, 1, 10, wp=c.wp, wn=c.wn)
+            for c in lib)
+        assert aged <= fresh * worst_mult * (1 + 1e-9)
+
+    def test_report_metadata(self, lib, adder8):
+        report = analyze(adder8, lib, scenario=worst_case(10))
+        assert report.scenario_label == "10y_worst"
+        assert analyze(adder8, lib).scenario_label == "fresh"
+
+    def test_slack_sign(self, lib, adder8):
+        report = analyze(adder8, lib, scenario=worst_case(10))
+        fresh_cp = critical_path_delay(adder8, lib)
+        assert report.slack_ps(fresh_cp) < 0
+        assert report.slack_ps(report.critical_path_ps) == pytest.approx(0)
+
+
+class TestPathExtraction:
+    def test_path_delay_matches_report(self, lib, adder8):
+        report = analyze(adder8, lib)
+        path = critical_path(adder8, report)
+        assert path.delay_ps == pytest.approx(report.critical_path_ps)
+        total = sum(report.gate_delays[uid] for uid in path.gates)
+        assert total == pytest.approx(path.delay_ps)
+
+    def test_path_is_connected(self, lib, adder8):
+        report = analyze(adder8, lib)
+        path = critical_path(adder8, report)
+        gates = {g.uid: g for g in adder8.gates}
+        for i, uid in enumerate(path.gates):
+            assert gates[uid].output == path.nets[i + 1]
+            assert path.nets[i] in gates[uid].inputs
+
+    def test_logic_depth(self, lib):
+        assert logic_depth(chain_netlist(6)) == 6
+        assert logic_depth(diamond_netlist()) == 4
+
+    def test_per_output_arrivals_sorted(self, lib, adder8):
+        report = analyze(adder8, lib)
+        rows = per_output_arrivals(adder8, report)
+        delays = [r[2] for r in rows]
+        assert delays == sorted(delays, reverse=True)
+        assert len(rows) == len(adder8.primary_outputs)
+
+
+class TestRequiredTimes:
+    def test_required_times_bound_arrivals(self, lib, adder8):
+        report = analyze(adder8, lib)
+        cp = report.critical_path_ps
+        required = required_times(adder8, report, cp)
+        for net, req in required.items():
+            assert report.arrivals[net] <= req + 1e-9
+
+    def test_critical_gates_have_zero_slack(self, lib, adder8):
+        report = analyze(adder8, lib)
+        cp = report.critical_path_ps
+        slacks = gate_slacks(adder8, report, cp)
+        assert min(slacks.values()) == pytest.approx(0.0, abs=1e-9)
+        path = critical_path(adder8, report)
+        assert slacks[path.gates[-1]] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,99 @@
+"""Tests for timing-wall statistics and the SSIM metric."""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.media import make_image
+from repro.quality import psnr_db, ssim
+from repro.rtl import Adder, Multiplier, RippleCarryAdder
+from repro.sta import (TimingWallReport, output_arrival_spread,
+                       timing_wall)
+from repro.synth import synthesize_netlist
+
+
+class TestTimingWall:
+    def test_slacks_nonnegative(self, lib, adder8):
+        wall = timing_wall(adder8, lib)
+        assert wall.critical_path_ps > 0
+        assert all(s >= -1e-9 for s in wall.slacks_ps)
+        assert len(wall.slacks_ps) == adder8.num_gates
+
+    def test_critical_gate_has_zero_slack(self, lib, adder8):
+        wall = timing_wall(adder8, lib)
+        assert min(wall.slacks_ps) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fraction_within_monotone(self, lib, adder8):
+        wall = timing_wall(adder8, lib)
+        fractions = [wall.fraction_within(m)
+                     for m in (0.01, 0.1, 0.5, 1.0)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_empty_report(self):
+        wall = TimingWallReport(critical_path_ps=10.0, slacks_ps=[])
+        assert wall.fraction_within(0.5) == 0.0
+
+    def test_histogram_sums_to_gate_count(self, lib, adder8):
+        wall = timing_wall(adder8, lib)
+        __, counts = wall.histogram(bins=7)
+        assert counts.sum() == len(wall.slacks_ps)
+
+    def test_text_histogram_renders(self, lib, adder8):
+        wall = timing_wall(adder8, lib)
+        text = wall.text_histogram(bins=4)
+        assert text.count("\n") == 3
+        assert "#" in text
+
+    def test_performance_sizing_flattens_the_wall(self, lib):
+        component = Multiplier(12)
+        plain = timing_wall(
+            synthesize_netlist(component, lib, effort="high"), lib)
+        sized = timing_wall(
+            synthesize_netlist(component, lib, effort="ultra"), lib)
+        # More of the sized design crowds the near-critical region.
+        assert sized.fraction_within(0.2) > plain.fraction_within(0.2)
+
+    def test_output_arrival_spread_normalized(self, lib, adder8):
+        spread = output_arrival_spread(adder8, lib,
+                                       scenario=worst_case(10))
+        values = list(spread.values())
+        assert max(values) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+
+
+class TestSsim:
+    def test_identity(self):
+        img = make_image("miss", 32).astype(float)
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self, rng):
+        img = make_image("miss", 32).astype(float)
+        mild = np.clip(img + rng.normal(0, 4, img.shape), 0, 255)
+        harsh = np.clip(img + rng.normal(0, 40, img.shape), 0, 255)
+        assert 1.0 > ssim(img, mild) > ssim(img, harsh)
+
+    def test_constant_shift_barely_hurts_ssim(self):
+        # SSIM is less sensitive to luminance shifts than PSNR.
+        img = make_image("miss", 32).astype(float)
+        shifted = np.clip(img + 8, 0, 255)
+        assert ssim(img, shifted) > 0.9
+        assert psnr_db(img, shifted) < 32.0
+
+    def test_structure_loss_detected(self, rng):
+        img = make_image("mobile", 32).astype(float)
+        shuffled = rng.permutation(img.ravel()).reshape(img.shape)
+        assert ssim(img, shuffled) < 0.2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((16, 16)), np.zeros((16, 8)))
+
+    def test_tiny_image_rejected(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)))
+
+    def test_range(self, rng):
+        a = rng.integers(0, 256, (24, 24)).astype(float)
+        b = rng.integers(0, 256, (24, 24)).astype(float)
+        assert -1.0 <= ssim(a, b) <= 1.0

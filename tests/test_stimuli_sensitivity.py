@@ -1,0 +1,83 @@
+"""Tests for the stimulus generators and the K-sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.core import precision_sensitivity
+from repro.core.sensitivity import SensitivityReport
+from repro.rtl import Adder
+from repro.sim import STIMULUS_NAMES, make_stimulus
+
+
+class TestStimuli:
+    @pytest.mark.parametrize("name", STIMULUS_NAMES)
+    def test_in_range_and_deterministic(self, name):
+        a, b = make_stimulus(name, 12, 500, seed=3)
+        a2, b2 = make_stimulus(name, 12, 500, seed=3)
+        assert np.array_equal(a, a2) and np.array_equal(b, b2)
+        lo, hi = -(1 << 11), (1 << 11) - 1
+        for ops in (a, b):
+            assert ops.shape == (500,)
+            assert ops.min() >= lo and ops.max() <= hi
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_stimulus("pink_noise", 8, 10)
+
+    def test_sparse_is_mostly_zero(self):
+        a, b = make_stimulus("sparse", 16, 2000, seed=1)
+        assert (a == 0).mean() > 0.7
+        assert (b == 0).mean() > 0.7
+
+    def test_bursty_has_low_toggle_rate(self):
+        a, __ = make_stimulus("bursty", 16, 2048, seed=1)
+        changes = (a[1:] != a[:-1]).mean()
+        assert changes < 0.1
+
+    def test_sign_alternating_flips_every_cycle(self):
+        a, b = make_stimulus("sign_alternating", 16, 100, seed=1)
+        nonzero = (a[:-1] != 0) & (a[1:] != 0)
+        assert (np.sign(a[:-1]) != np.sign(a[1:]))[nonzero].all()
+
+    def test_gray_toggles_one_bit(self):
+        a, __ = make_stimulus("gray", 10, 512)
+        xored = (a[1:] ^ a[:-1]) & ((1 << 10) - 1)
+        pop = np.array([bin(int(v)).count("1") for v in xored])
+        assert (pop == 1).all()
+
+    def test_walking_ones_single_bit_set(self):
+        a, __ = make_stimulus("walking_ones", 8, 64)
+        for value in a:
+            pattern = int(value) & 0xFF
+            assert bin(pattern).count("1") == 1
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def report(self, lib):
+        return precision_sensitivity(
+            Adder(12), lib, worst_case(10),
+            factors=(0.6, 1.0, 1.4, 1.8),
+            precisions=range(12, 4, -1), effort="high")
+
+    def test_nominal_matches_factor_one(self, report):
+        assert report.nominal_k == report.k_by_factor[1.0]
+        assert report.nominal_k is not None
+
+    def test_worse_model_never_needs_less_truncation(self, report):
+        assert report.monotone()
+        assert report.k_by_factor[1.8] is None or \
+            report.k_by_factor[1.8] <= report.nominal_k
+
+    def test_gentler_model_never_needs_more(self, report):
+        assert report.k_by_factor[0.6] >= report.nominal_k
+
+    def test_tolerated_overshoot_at_least_nominal(self, report):
+        tol = report.tolerated_overshoot()
+        assert tol is not None and tol >= 1.0
+
+    def test_not_compensable_reported_as_none(self):
+        rep = SensitivityReport("10y_worst", nominal_k=None,
+                                k_by_factor={1.0: None})
+        assert rep.tolerated_overshoot() is None

@@ -1,0 +1,92 @@
+"""Tests for stress annotations and aging scenarios."""
+
+import pytest
+
+from repro.aging import (ActualStress, BALANCE, NONE, WORST, AgingScenario,
+                         balance_case, fresh, stress_histogram, worst_case)
+from repro.netlist import NetlistBuilder
+
+
+def tiny_netlist():
+    builder = NetlistBuilder(name="tiny")
+    a, b = builder.inputs(2, "x")
+    out = builder.and2(a, b)
+    return builder.outputs([out])
+
+
+class TestUniformStress:
+    def test_worst_is_full_stress(self):
+        assert WORST.gate_stress(object()) == (1.0, 1.0)
+
+    def test_balance_is_half_stress(self):
+        assert BALANCE.gate_stress(object()) == (0.5, 0.5)
+
+    def test_none_is_zero(self):
+        assert NONE.gate_stress(object()) == (0.0, 0.0)
+
+
+class TestActualStress:
+    def test_from_signal_probabilities(self):
+        net = tiny_netlist()
+        a, b = net.primary_inputs
+        gate = net.gates[0]
+        probs = {a: 1.0, b: 0.5, gate.output: 0.5}
+        ann = ActualStress.from_signal_probabilities(net, probs)
+        sp, sn = ann.gate_stress(gate)
+        # mean input p1 = 0.75 -> nMOS stress 0.75, pMOS 0.25
+        assert sn == pytest.approx(0.75)
+        assert sp == pytest.approx(0.25)
+
+    def test_constants_have_implied_probabilities(self):
+        from repro.netlist import CONST1
+        builder = NetlistBuilder(name="c")
+        a = builder.inputs(1, "a")[0]
+        out = builder.netlist.add_gate("AND2_X1", (a, CONST1))
+        net = builder.outputs([out])
+        ann = ActualStress.from_signal_probabilities(net, {a: 0.0})
+        sp, sn = ann.gate_stress(net.gates[0])
+        assert sn == pytest.approx(0.5)   # mean of 0.0 and 1.0
+
+    def test_missing_gate_uses_default(self):
+        ann = ActualStress(per_gate={}, label="x")
+
+        class FakeGate:
+            uid = 123
+        assert ann.gate_stress(FakeGate()) == (0.5, 0.5)
+
+    def test_stress_samples_flatten_both_networks(self):
+        ann = ActualStress(per_gate={0: (0.2, 0.8), 1: (0.4, 0.6)})
+        samples = sorted(ann.stress_samples())
+        assert samples == [0.2, 0.4, 0.6, 0.8]
+
+    def test_histogram_covers_unit_interval(self):
+        ann = ActualStress(per_gate={i: (i / 10.0, 1 - i / 10.0)
+                                     for i in range(11)})
+        edges, counts = stress_histogram(ann, bins=10)
+        assert len(edges) == 11
+        assert counts.sum() == 22
+        assert edges[0] == 0.0 and edges[-1] == 1.0
+
+
+class TestScenarios:
+    def test_labels(self):
+        assert worst_case(10).label == "10y_worst"
+        assert balance_case(1).label == "1y_balance"
+        assert fresh().label == "fresh"
+        assert worst_case(0.5).label == "0.5y_worst"
+
+    def test_fresh_flag(self):
+        assert fresh().is_fresh
+        assert not worst_case(1).is_fresh
+
+    def test_gate_stress_delegates(self):
+        scenario = AgingScenario(10.0, BALANCE)
+        assert scenario.gate_stress(object()) == (0.5, 0.5)
+
+    def test_str_is_label(self):
+        assert str(worst_case(3)) == "3y_worst"
+
+    def test_actual_scenario_label(self):
+        ann = ActualStress(per_gate={}, label="idct")
+        scenario = AgingScenario(10.0, ann)
+        assert scenario.label == "10y_idct"

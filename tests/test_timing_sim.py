@@ -1,0 +1,156 @@
+"""Tests for the vectorized timed simulator (timing-error model)."""
+
+import numpy as np
+import pytest
+
+from repro.aging import worst_case
+from repro.rtl import Adder, KoggeStoneAdder, Multiplier
+from repro.sim import TimedSimulator, int_to_bits, max_frequency_ghz
+from repro.sta import analyze, critical_path_delay
+from repro.synth import synthesize_netlist
+
+
+def make_sim(lib, netlist, t_clock=None, scenario=None):
+    if t_clock is None:
+        t_clock = critical_path_delay(netlist, lib)
+    return TimedSimulator(netlist, lib, t_clock, scenario=scenario)
+
+
+def operand_bits(component, operands):
+    parts = [int_to_bits(np.asarray(v), w)
+             for v, w in zip(operands, component.operand_widths)]
+    return np.concatenate(parts, axis=1)
+
+
+class TestFreshBehaviour:
+    def test_fresh_at_own_clock_never_violates(self, lib, adder8,
+                                               adder8_component, rng):
+        sim = make_sim(lib, adder8)
+        a, b = adder8_component.random_operands(2000, rng=rng)
+        result = sim.run_stream(operand_bits(adder8_component, (a, b)))
+        assert not result.violations.any()
+        assert result.error_rate == 0.0
+
+    def test_settled_matches_functional(self, lib, adder8,
+                                        adder8_component, rng):
+        sim = make_sim(lib, adder8)
+        a, b = adder8_component.random_operands(500, rng=rng)
+        result = sim.run_stream(operand_bits(adder8_component, (a, b)))
+        from repro.sim import bits_to_int
+        assert np.array_equal(bits_to_int(result.settled),
+                              adder8_component.exact(a, b))
+
+    def test_generous_clock_samples_settled(self, lib, adder8,
+                                            adder8_component, rng):
+        sim = make_sim(lib, adder8, t_clock=1e6, scenario=worst_case(10))
+        a, b = adder8_component.random_operands(500, rng=rng)
+        result = sim.run_stream(operand_bits(adder8_component, (a, b)))
+        assert np.array_equal(result.sampled, result.settled)
+
+    def test_no_transition_means_zero_arrival(self, lib, adder8,
+                                              adder8_component):
+        sim = make_sim(lib, adder8)
+        bits = operand_bits(adder8_component,
+                            (np.array([5, 5]), np.array([3, 3])))
+        result = sim.run_bits(bits, bits)
+        assert result.arrivals.max() == 0.0
+
+
+class TestArrivalBounds:
+    def test_dynamic_bounded_by_static(self, lib, rng):
+        """Property: dynamic arrivals never exceed aging-aware STA."""
+        for component in (Adder(8), Multiplier(6)):
+            net = synthesize_netlist(component, lib, effort="high")
+            scenario = worst_case(10)
+            report = analyze(net, lib, scenario=scenario)
+            sim = TimedSimulator(net, lib, report.critical_path_ps,
+                                 scenario=scenario)
+            ops = component.random_operands(1000, rng=rng)
+            result = sim.run_stream(operand_bits(component, ops))
+            static = np.array([report.arrivals[n]
+                               for n in net.primary_outputs])
+            assert (result.arrivals <= static[None, :] + 1e-3).all()
+
+    def test_aging_increases_arrivals(self, lib, adder8,
+                                      adder8_component, rng):
+        a, b = adder8_component.random_operands(500, rng=rng)
+        bits = operand_bits(adder8_component, (a, b))
+        fresh = make_sim(lib, adder8).run_stream(bits)
+        aged = make_sim(lib, adder8,
+                        scenario=worst_case(10)).run_stream(bits)
+        moved = fresh.arrivals > 0
+        assert (aged.arrivals[moved] > fresh.arrivals[moved]).all()
+
+    def test_arrival_scale_matches_aging_multiplier(self, lib, adder8,
+                                                    adder8_component, rng):
+        from repro.aging import DEFAULT_BTI
+        a, b = adder8_component.random_operands(300, rng=rng)
+        bits = operand_bits(adder8_component, (a, b))
+        fresh = make_sim(lib, adder8).run_stream(bits)
+        aged = make_sim(lib, adder8,
+                        scenario=worst_case(10)).run_stream(bits)
+        mult = DEFAULT_BTI.cell_multiplier(1, 1, 10)
+        moved = fresh.arrivals > 1.0
+        ratio = aged.arrivals[moved] / fresh.arrivals[moved]
+        assert ratio.min() > 1.0
+        assert ratio.max() < mult * 1.05
+
+
+class TestTimingErrors:
+    def test_aged_prefix_adder_errs_at_fresh_clock(self, lib, rng):
+        component = KoggeStoneAdder(32)
+        net = synthesize_netlist(component, lib, effort="ultra")
+        t_clock = critical_path_delay(net, lib)
+        sim = TimedSimulator(net, lib, t_clock, scenario=worst_case(10))
+        a, b = component.random_operands(4000, rng=rng)
+        result = sim.run_stream(operand_bits(component, (a, b)))
+        assert result.error_rate > 0.01
+
+    def test_errors_monotone_in_lifetime(self, lib, rng):
+        component = KoggeStoneAdder(32)
+        net = synthesize_netlist(component, lib, effort="ultra")
+        t_clock = critical_path_delay(net, lib)
+        a, b = component.random_operands(4000, rng=rng)
+        bits = operand_bits(component, (a, b))
+        rates = []
+        for years in (1, 10):
+            sim = TimedSimulator(net, lib, t_clock,
+                                 scenario=worst_case(years))
+            rates.append(sim.run_stream(bits).error_rate)
+        assert rates[0] <= rates[1]
+
+    def test_sampled_differs_only_on_late_changed_bits(self, lib, rng):
+        component = KoggeStoneAdder(32)
+        net = synthesize_netlist(component, lib, effort="ultra")
+        t_clock = critical_path_delay(net, lib)
+        sim = TimedSimulator(net, lib, t_clock, scenario=worst_case(10))
+        a, b = component.random_operands(2000, rng=rng)
+        result = sim.run_stream(operand_bits(component, (a, b)))
+        wrong = result.sampled != result.settled
+        assert (wrong <= result.violations).all()
+
+
+class TestBatching:
+    def test_batched_equals_unbatched(self, lib, adder8,
+                                      adder8_component, rng):
+        a, b = adder8_component.random_operands(300, rng=rng)
+        bits = operand_bits(adder8_component, (a, b))
+        big = TimedSimulator(adder8, lib, 50.0, scenario=worst_case(10),
+                             max_batch=1 << 20).run_stream(bits)
+        small = TimedSimulator(adder8, lib, 50.0, scenario=worst_case(10),
+                               max_batch=64).run_stream(bits)
+        assert np.array_equal(big.sampled, small.sampled)
+        assert np.allclose(big.arrivals, small.arrivals)
+
+    def test_shape_mismatch_rejected(self, lib, adder8):
+        sim = make_sim(lib, adder8)
+        with pytest.raises(ValueError):
+            sim.run_bits(np.zeros((3, 16), dtype=np.uint8),
+                         np.zeros((4, 16), dtype=np.uint8))
+
+
+def test_max_frequency_conversion():
+    assert max_frequency_ghz(1000.0) == pytest.approx(1.0)
+    assert max_frequency_ghz(500.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        max_frequency_ghz(0.0)

@@ -1,0 +1,108 @@
+"""Tests for Verilog and SDF interchange."""
+
+import numpy as np
+import pytest
+
+from repro.aging import gate_delays, worst_case
+from repro.netlist import NetlistBuilder, from_verilog, to_verilog
+from repro.rtl import Adder, Multiplier
+from repro.sta import (critical_path_delay, from_sdf, gate_delays_from_sdf,
+                       to_sdf)
+from repro.synth import synthesize_netlist
+
+from helpers import run_netlist
+
+
+class TestVerilogExport:
+    def test_contains_module_and_ports(self, lib, adder8):
+        text = to_verilog(adder8, module_name="adder8")
+        assert "module adder8 (" in text
+        assert text.count("input wire") == 16
+        assert text.count("output wire") == 8
+        assert "endmodule" in text
+
+    def test_every_gate_emitted(self, adder8):
+        text = to_verilog(adder8)
+        for gate in adder8.gates:
+            assert "g%d (" % gate.uid in text
+        assert text.count(".Y(") == adder8.num_gates
+
+    def test_constants_as_literals(self, lib):
+        builder = NetlistBuilder(name="c")
+        a = builder.inputs(1, "a")[0]
+        out = builder.and2(a, builder.const0)
+        net = builder.outputs([out])
+        assert "1'b0" in to_verilog(net)
+
+    def test_sanitizes_names(self, lib):
+        builder = NetlistBuilder(name="weird design!")
+        a = builder.inputs(1, "a[0]")[0]
+        net = builder.outputs([builder.inv(a)])
+        text = to_verilog(net)
+        assert "a[0]" not in text.split("//")[1]
+        assert "module weird_design_" in text
+
+
+class TestVerilogRoundtrip:
+    @pytest.mark.parametrize("component", [Adder(8), Adder(8, precision=5),
+                                           Multiplier(4)])
+    def test_functional_equivalence(self, lib, component, rng):
+        net = synthesize_netlist(component, lib, effort="high")
+        back = from_verilog(to_verilog(net))
+        assert back.num_gates == net.num_gates
+        ops = component.random_operands(300, rng=rng,
+                                        distribution="uniform")
+        assert np.array_equal(
+            run_netlist(component, lib, ops, netlist=net),
+            run_netlist(component, lib, ops, netlist=back))
+
+    def test_timing_preserved(self, lib, adder8):
+        back = from_verilog(to_verilog(adder8))
+        assert critical_path_delay(back, lib) == pytest.approx(
+            critical_path_delay(adder8, lib))
+
+    def test_passthrough_output(self, lib):
+        builder = NetlistBuilder(name="wire")
+        a = builder.inputs(1, "a")[0]
+        net = builder.outputs([a, builder.inv(a)])
+        back = from_verilog(to_verilog(net))
+        assert back.primary_outputs[0] == back.primary_inputs[0]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="module"):
+            from_verilog("this is not verilog")
+
+    def test_rejects_missing_output_pin(self):
+        text = ("module m (\n  input wire a,\n  output wire y_0\n);\n"
+                "  INV_X1 g0 (\n    .A(a)\n  );\n"
+                "  assign y_0 = a;\nendmodule\n")
+        with pytest.raises(ValueError, match="output pin"):
+            from_verilog(text)
+
+
+class TestSdf:
+    def test_header_mentions_scenario(self, lib, adder8):
+        text = to_sdf(adder8, lib, scenario=worst_case(10))
+        assert '(PROCESS "aging:10y_worst")' in text
+        assert '(SDFVERSION "3.0")' in text
+
+    def test_every_instance_annotated(self, lib, adder8):
+        text = to_sdf(adder8, lib)
+        parsed = from_sdf(text)
+        assert set(parsed) == {g.uid for g in adder8.gates}
+        for gate in adder8.gates:
+            assert len(parsed[gate.uid]) == len(gate.inputs)
+
+    def test_delays_roundtrip_exactly(self, lib, adder8):
+        scenario = worst_case(10)
+        parsed = gate_delays_from_sdf(to_sdf(adder8, lib,
+                                             scenario=scenario))
+        golden = gate_delays(adder8, lib, scenario=scenario)
+        for uid, delay in golden.items():
+            assert parsed[uid] == pytest.approx(delay, abs=1e-3)
+
+    def test_aged_sdf_is_slower(self, lib, adder8):
+        fresh = gate_delays_from_sdf(to_sdf(adder8, lib))
+        aged = gate_delays_from_sdf(to_sdf(adder8, lib,
+                                           scenario=worst_case(10)))
+        assert all(aged[uid] > fresh[uid] for uid in fresh)

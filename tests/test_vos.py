@@ -1,0 +1,90 @@
+"""Tests for the voltage-overscaling model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aging import DEFAULT_BTI
+from repro.power import (critical_voltage, delay_multiplier,
+                         operating_point, timing_equivalent_clock,
+                         vos_sweep)
+
+
+class TestDelayMultiplier:
+    def test_nominal_is_identity(self):
+        assert delay_multiplier(DEFAULT_BTI.vdd) == pytest.approx(1.0)
+
+    def test_undervolting_slows(self):
+        assert delay_multiplier(1.0) > 1.0
+        assert delay_multiplier(0.8) > delay_multiplier(1.0)
+
+    def test_overvolting_speeds_up(self):
+        assert delay_multiplier(1.2) < 1.0
+
+    def test_aging_compounds_with_undervolting(self):
+        dvth = DEFAULT_BTI.delta_vth(1.0, 10.0)
+        assert delay_multiplier(0.9, dvth=dvth) > delay_multiplier(0.9)
+
+    def test_no_overdrive_rejected(self):
+        with pytest.raises(ValueError, match="overdrive"):
+            delay_multiplier(DEFAULT_BTI.vth)
+
+    @given(vdd=st.floats(min_value=0.7, max_value=1.3))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_decreasing_in_vdd(self, vdd):
+        assert delay_multiplier(vdd) >= delay_multiplier(vdd + 0.01)
+
+
+class TestOperatingPoint:
+    def test_energy_scales_quadratically(self):
+        point = operating_point(DEFAULT_BTI.vdd / 2)
+        assert point.dynamic_ratio == pytest.approx(0.25)
+        assert point.energy_ratio == pytest.approx(0.25)
+
+    def test_leakage_scales_linearly(self):
+        assert operating_point(0.55).leakage_ratio == pytest.approx(0.5)
+
+    def test_sweep(self):
+        points = vos_sweep([1.1, 1.0, 0.9])
+        assert [p.vdd for p in points] == [1.1, 1.0, 0.9]
+        delays = [p.delay_multiplier for p in points]
+        assert delays == sorted(delays)
+
+
+class TestEquivalentClock:
+    def test_nominal_clock_unchanged(self):
+        assert timing_equivalent_clock(100.0, DEFAULT_BTI.vdd) == \
+            pytest.approx(100.0)
+
+    def test_undervolted_clock_tightens(self):
+        # Emulating a slower (undervolted) circuit at nominal delays
+        # means sampling earlier.
+        assert timing_equivalent_clock(100.0, 0.9) < 100.0
+
+
+class TestCriticalVoltage:
+    def test_inverts_delay_multiplier(self):
+        vdd = critical_voltage(120.0, 100.0)
+        assert delay_multiplier(vdd) == pytest.approx(1.2, abs=1e-2)
+        assert vdd < DEFAULT_BTI.vdd
+
+    def test_no_slack_means_nominal(self):
+        vdd = critical_voltage(100.0, 100.0)
+        assert vdd == pytest.approx(DEFAULT_BTI.vdd, abs=1e-3)
+
+    def test_impossible_clock_rejected(self):
+        with pytest.raises(ValueError):
+            critical_voltage(90.0, 100.0)
+
+    def test_aging_raises_critical_voltage(self):
+        dvth = DEFAULT_BTI.delta_vth(1.0, 10.0)
+        fresh = critical_voltage(130.0, 100.0)
+        aged = critical_voltage(130.0, 100.0, dvth=dvth)
+        assert aged > fresh
+
+    def test_aged_circuit_may_have_no_vos_headroom(self):
+        # The compounding of aging and undervolting: a clock the fresh
+        # circuit could meet at reduced Vdd becomes unreachable aged.
+        dvth = DEFAULT_BTI.delta_vth(1.0, 10.0)
+        assert critical_voltage(110.0, 100.0) < DEFAULT_BTI.vdd
+        with pytest.raises(ValueError):
+            critical_voltage(110.0, 100.0, dvth=dvth)
