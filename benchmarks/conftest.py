@@ -6,13 +6,31 @@ and prints the measured series next to the paper's reported values
 IDCT flow, characterizations) are session-scoped.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.aging import worst_case
 from repro.cells import default_library
 from repro.core import AgingApproximationLibrary, remove_guardband
+from repro.core import cache as cache_mod
 from repro.rtl import idct_microarchitecture
+
+
+@pytest.fixture(scope="session", autouse=True)
+def characterization_cache(tmp_path_factory):
+    """Session-wide ambient result cache for every characterization.
+
+    Figures that re-characterize the same components hit the cache
+    instead of re-synthesizing. Point ``REPRO_CACHE_DIR`` at a
+    persistent directory to also reuse results across benchmark runs;
+    by default a throwaway per-session directory is used.
+    """
+    root = os.environ.get(cache_mod.CACHE_DIR_ENV) \
+        or tmp_path_factory.mktemp("repro-cache")
+    with cache_mod.cache_enabled(str(root)) as cache:
+        yield cache
 
 
 @pytest.fixture(scope="session")

@@ -16,14 +16,19 @@ cell library, and prints plain-text reports (see :mod:`repro.report`).
 """
 
 import argparse
+import contextlib
 import sys
 
 from .aging import balance_case, worst_case
 from .cells import default_library
 from .core import AgingApproximationLibrary, characterize, remove_guardband
+from .core import cache as cache_mod
+from .core import instrument
 from .core.adaptive import plan_graceful_degradation
+from .core.parallel import resolve_jobs
 from .report import (characterization_report, flow_report_text,
-                     schedule_report_text, timing_report_text)
+                     instrumentation_report_text, schedule_report_text,
+                     timing_report_text)
 from .rtl import (Adder, BoothMultiplier, CarrySelectAdder, CarrySkipAdder,
                   KoggeStoneAdder, Multiplier, MultiplyAccumulate,
                   RippleCarryAdder, fir_microarchitecture,
@@ -66,16 +71,37 @@ def _component(args):
     return cls(args.width, precision=precision)
 
 
+@contextlib.contextmanager
+def _engine(args):
+    """Apply ``--cache-dir`` and emit ``--timings`` around a command."""
+    try:
+        resolve_jobs(getattr(args, "jobs", None))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    cache_dir = getattr(args, "cache_dir", None)
+    scope = (cache_mod.cache_enabled(cache_dir) if cache_dir
+             else contextlib.nullcontext(cache_mod.get_cache()))
+    with scope as cache:
+        with instrument.collect() as instr:
+            yield
+        if getattr(args, "timings", False):
+            print()
+            print(instrumentation_report_text(
+                instr, cache.stats if cache is not None else None))
+
+
 def cmd_characterize(args):
     lib = default_library()
     component = _component(args)
     sweep = None
     if args.sweep_bits:
         sweep = range(args.width, args.width - args.sweep_bits - 1, -1)
-    entry = characterize(component, lib,
-                         scenarios=_scenarios(args.years, args.stress),
-                         precisions=sweep, effort=args.effort)
-    print(characterization_report(entry))
+    with _engine(args):
+        entry = characterize(component, lib,
+                             scenarios=_scenarios(args.years, args.stress),
+                             precisions=sweep, effort=args.effort,
+                             jobs=args.jobs)
+        print(characterization_report(entry))
     if args.output:
         store = (AgingApproximationLibrary.load(args.output)
                  if args.update else AgingApproximationLibrary())
@@ -115,20 +141,22 @@ def cmd_flow(args):
                          % (args.design, ", ".join(sorted(DESIGNS))))
     store = (AgingApproximationLibrary.load(args.library)
              if args.library else None)
-    report = remove_guardband(
-        micro, lib, worst_case(args.years[0]),
-        report_scenarios=[worst_case(y) for y in args.years[1:]],
-        approx_library=store, effort=args.effort)
-    print(flow_report_text(report))
+    with _engine(args):
+        report = remove_guardband(
+            micro, lib, worst_case(args.years[0]),
+            report_scenarios=[worst_case(y) for y in args.years[1:]],
+            approx_library=store, effort=args.effort, jobs=args.jobs)
+        print(flow_report_text(report))
     return 0 if report.meets_constraint else 1
 
 
 def cmd_schedule(args):
     lib = default_library()
     micro = DESIGNS[args.design](width=args.width)
-    schedule = plan_graceful_degradation(micro, lib, args.years,
-                                         effort=args.effort)
-    print(schedule_report_text(schedule))
+    with _engine(args):
+        schedule = plan_graceful_degradation(micro, lib, args.years,
+                                             effort=args.effort)
+        print(schedule_report_text(schedule))
     return 0
 
 
@@ -171,6 +199,14 @@ def build_parser():
                        default="worst")
         p.add_argument("--effort", default="ultra",
                        choices=("low", "medium", "high", "ultra"))
+        p.add_argument("--jobs", type=int, default=None,
+                       help="characterization worker processes "
+                            "(default: $REPRO_JOBS or 1; 0 = one per CPU)")
+        p.add_argument("--cache-dir", default=None,
+                       help="characterization result cache directory "
+                            "(default: $REPRO_CACHE_DIR, else disabled)")
+        p.add_argument("--timings", action="store_true",
+                       help="print per-stage timing and cache statistics")
         if design:
             p.add_argument("--design", default="idct",
                            help="idct | dct | fir")

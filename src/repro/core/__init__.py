@@ -15,6 +15,10 @@ from .flow import (BaselineComparison, GuardbandRemovalReport,
                    microarchitecture_power, remove_guardband)
 from .adaptive import PrecisionSchedule, plan_graceful_degradation
 from .sensitivity import SensitivityReport, precision_sensitivity
+from . import instrument
+from .cache import (CharacterizationCache, CacheStats, cache_enabled,
+                    get_cache, set_cache, synthesize_netlist_memoized)
+from .parallel import resolve_jobs
 
 __all__ = [
     "AgingScenario", "FRESH", "ONE_YEAR_BALANCE", "ONE_YEAR_WORST",
@@ -29,4 +33,7 @@ __all__ = [
     "design_delay_ps", "microarchitecture_power", "remove_guardband",
     "PrecisionSchedule", "plan_graceful_degradation",
     "SensitivityReport", "precision_sensitivity",
+    "CharacterizationCache", "CacheStats", "cache_enabled", "get_cache",
+    "set_cache", "synthesize_netlist_memoized", "resolve_jobs",
+    "instrument",
 ]

@@ -1,0 +1,408 @@
+"""Content-addressed on-disk cache for characterization results.
+
+Characterizing one ``(component, precision)`` point means a full
+synthesis run plus one aging-aware STA per scenario — seconds of work
+that is bit-identical every time because the whole flow is
+deterministic. This module keys each point by a **stable fingerprint**
+of everything the result depends on:
+
+* the component spec (class, family, width, precision),
+* the synthesis effort,
+* the cell-library contents (every cell's electrical parameters, plus
+  the library-level load/voltage settings),
+* the BTI model parameters and the optional degradation-aware library,
+* the aging-scenario parameters (lifetime, stress annotation — for
+  actual-case specs, a digest of the stimulus operand streams).
+
+Entries store the :class:`~repro.synth.synthesize.SynthesisResult`
+headline metrics and the per-scenario aged delays as JSON — *not* the
+netlist — so a warm cache answers a repeated ``characterize()`` without
+synthesizing anything. Changing any fingerprinted input (a cell's
+drive resistance, the BTI prefactor, the effort knob ...) changes the
+key and transparently invalidates the entry. Corrupted or truncated
+entry files are treated as misses and discarded.
+
+An **ambient cache** (configured with :func:`set_cache`, the
+``REPRO_CACHE_DIR`` environment variable, or the CLI ``--cache-dir``
+flag) is picked up by :func:`~repro.core.characterize.characterize`
+and everything built on it, so deep flows hit the cache without
+plumbing a handle through every call.
+
+A second, in-process layer — :func:`synthesize_netlist_memoized` —
+memoizes synthesized *netlists* by the same content fingerprints for
+consumers that need the gate-level structure itself (e.g.
+``Block.synthesized``), where a metrics-only disk entry cannot help.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from . import instrument
+
+#: Bump when the entry layout changes; old entries become misses.
+CACHE_SCHEMA = 1
+
+#: Environment variable naming the ambient cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# ---------------------------------------------------------------------------
+# fingerprinting
+# ---------------------------------------------------------------------------
+
+def _canonical(obj):
+    """Reduce *obj* to a canonical JSON-serializable structure."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(),
+                                                         key=lambda i: str(i[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        return {"__ndarray__": hashlib.sha256(arr.tobytes()).hexdigest(),
+                "dtype": str(arr.dtype), "shape": list(arr.shape)}
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError("cannot fingerprint %r of type %s" % (obj, type(obj)))
+
+
+def fingerprint(payload):
+    """SHA-256 hex digest of the canonical JSON form of *payload*."""
+    text = json.dumps(_canonical(payload), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def library_fingerprint(library):
+    """Content fingerprint of a cell library.
+
+    Covers every cell's electrical parameters and the library-level
+    load/voltage settings; cached on the library instance (libraries are
+    built once and never mutated in this codebase).
+    """
+    cached = library.__dict__.get("_content_fingerprint")
+    if cached is not None:
+        return cached
+    cells = []
+    for cell in sorted(library, key=lambda c: c.name):
+        cells.append({
+            "name": cell.name, "kind": cell.kind, "drive": cell.drive,
+            "n_inputs": cell.n_inputs, "area": cell.area,
+            "leakage_nw": cell.leakage_nw,
+            "input_cap_ff": cell.input_cap_ff,
+            "intrinsic_ps": cell.intrinsic_ps, "drive_res": cell.drive_res,
+            "wp": cell.wp, "wn": cell.wn,
+        })
+    fp = fingerprint({
+        "name": library.name,
+        "output_load_ff": library.output_load_ff,
+        "wire_cap_ff": library.wire_cap_ff,
+        "vdd": library.vdd, "vth": library.vth,
+        "cells": cells,
+    })
+    library.__dict__["_content_fingerprint"] = fp
+    return fp
+
+
+def bti_fingerprint(bti):
+    """Fingerprint of a :class:`~repro.aging.bti.BTIModel`."""
+    return fingerprint(dataclasses.asdict(bti))
+
+
+def degradation_fingerprint(degradation):
+    """Fingerprint of an optional degradation-aware library."""
+    if degradation is None:
+        return "none"
+    return fingerprint({
+        "lifetimes": list(degradation.lifetimes),
+        "bti": bti_fingerprint(degradation.bti),
+        "library": library_fingerprint(degradation.library),
+    })
+
+
+def component_fingerprint(component, precision=None):
+    """Fingerprint of a component spec at *precision* (default: its own)."""
+    return fingerprint({
+        "class": "%s.%s" % (type(component).__module__,
+                            type(component).__qualname__),
+        "family": component.family,
+        "width": component.width,
+        "precision": component.precision if precision is None else precision,
+    })
+
+
+def scenario_fingerprint(spec):
+    """Fingerprint of a scenario / actual-case spec's *parameters*.
+
+    Combined with the point key (which pins the component variant), this
+    uniquely determines one aged delay: an
+    :class:`~repro.core.characterize.ActualCaseSpec` is fingerprinted by
+    its stimulus operand streams, and the stress extracted from them on
+    a fixed variant is deterministic.
+    """
+    # Import here: characterize imports this module at its own top level.
+    from .characterize import ActualCaseSpec
+    from ..aging.stress import ActualStress, UniformStress
+
+    if isinstance(spec, ActualCaseSpec):
+        return fingerprint({
+            "kind": "actual_case", "years": spec.years, "label": spec.label,
+            "operands": [np.asarray(op) for op in spec.operands],
+        })
+    stress = spec.stress
+    if isinstance(stress, UniformStress):
+        return fingerprint({"kind": "uniform", "years": spec.years,
+                            "s": stress.s, "label": stress.label})
+    if isinstance(stress, ActualStress):
+        per_gate = sorted((int(uid), list(sn)) for uid, sn
+                          in stress.per_gate.items())
+        return fingerprint({"kind": "actual", "years": spec.years,
+                            "label": stress.label,
+                            "default": list(stress.default),
+                            "per_gate": per_gate})
+    raise TypeError("cannot fingerprint scenario %r" % (spec,))
+
+
+def point_key(component, precision, effort, library, bti, degradation):
+    """Cache key of one ``(component, precision)`` characterization point."""
+    return fingerprint({
+        "schema": CACHE_SCHEMA,
+        "component": component_fingerprint(component, precision),
+        "effort": effort,
+        "library": library_fingerprint(library),
+        "bti": bti_fingerprint(bti),
+        "degradation": degradation_fingerprint(degradation),
+    })
+
+
+# ---------------------------------------------------------------------------
+# the on-disk store
+# ---------------------------------------------------------------------------
+
+#: Metric fields every entry must carry to count as a hit.
+METRIC_FIELDS = ("delay_ps", "area_um2", "leakage_nw", "gates", "depth")
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`CharacterizationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def merge(self, other):
+        """Fold another stats record (or its dict form) into this one."""
+        if isinstance(other, dict):
+            other = CacheStats(**other)
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.errors += other.errors
+        return self
+
+    def as_dict(self):
+        return dataclasses.asdict(self)
+
+
+class CharacterizationCache:
+    """Content-addressed JSON store of characterization points.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — one file per point, whose
+    ``metrics`` dict holds the synthesis headline numbers and whose
+    ``aged`` dict maps scenario fingerprints to ``{"label", "delay_ps"}``
+    records. Writes are atomic (temp file + ``os.replace``) so a crashed
+    or concurrent run never leaves a torn entry; unreadable entries are
+    deleted and treated as misses.
+    """
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        self.stats = CacheStats()
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def load(self, key):
+        """Return the entry stored under *key*, or None (recording a miss).
+
+        A corrupted entry (bad JSON, wrong schema, missing fields) is
+        removed so the follow-up store starts clean.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+            if (entry.get("schema") != CACHE_SCHEMA
+                    or not isinstance(entry.get("metrics"), dict)
+                    or not isinstance(entry.get("aged"), dict)
+                    or any(f not in entry["metrics"]
+                           for f in METRIC_FIELDS)):
+                raise ValueError("malformed cache entry")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, key):
+        """Like :meth:`load` but without touching the hit/miss counters."""
+        stats = dataclasses.replace(self.stats)
+        entry = self.load(key)
+        self.stats = stats
+        return entry
+
+    def store(self, key, metrics, aged, meta=None):
+        """Write (or extend) the entry under *key* atomically.
+
+        Parameters
+        ----------
+        metrics:
+            Dict with at least :data:`METRIC_FIELDS`.
+        aged:
+            Map scenario fingerprint -> ``{"label", "delay_ps"}``; merged
+            over whatever the existing entry already holds.
+        meta:
+            Optional human-readable context (component name, precision,
+            effort) stored alongside for debuggability.
+        """
+        entry = self.peek(key)
+        if entry is None:
+            entry = {"schema": CACHE_SCHEMA, "metrics": dict(metrics),
+                     "aged": {}, "meta": dict(meta or {})}
+        else:
+            entry["metrics"] = dict(metrics)
+            if meta:
+                entry.setdefault("meta", {}).update(meta)
+        entry["aged"].update(aged)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return entry
+
+    def __repr__(self):
+        return "CharacterizationCache(%r, %r)" % (self.root, self.stats)
+
+
+# ---------------------------------------------------------------------------
+# ambient cache configuration
+# ---------------------------------------------------------------------------
+
+#: Sentinel: "use the ambient cache" (module default for ``cache=`` params).
+AMBIENT = object()
+
+_configured = AMBIENT          # AMBIENT means "fall back to the env var"
+_env_caches = {}               # cache dir -> CharacterizationCache
+
+
+def get_cache():
+    """Return the ambient cache, or None when caching is disabled.
+
+    Resolution order: an explicit :func:`set_cache` configuration wins;
+    otherwise ``REPRO_CACHE_DIR`` names the directory; otherwise caching
+    is off.
+    """
+    if _configured is not AMBIENT:
+        return _configured
+    root = os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        return None
+    if root not in _env_caches:
+        _env_caches[root] = CharacterizationCache(root)
+    return _env_caches[root]
+
+
+def set_cache(cache):
+    """Configure the ambient cache; returns the previous configuration.
+
+    Accepts a :class:`CharacterizationCache`, a directory path, None
+    (disable caching) or :data:`AMBIENT` (defer to ``REPRO_CACHE_DIR``).
+    """
+    global _configured
+    previous = _configured
+    if cache is None or cache is AMBIENT \
+            or isinstance(cache, CharacterizationCache):
+        _configured = cache
+    else:
+        _configured = CharacterizationCache(cache)
+    return previous
+
+
+@contextmanager
+def cache_enabled(cache):
+    """Scoped :func:`set_cache`: yields the active cache, then restores."""
+    previous = set_cache(cache)
+    try:
+        yield get_cache()
+    finally:
+        set_cache(previous)
+
+
+def resolve_cache(cache):
+    """Normalize a ``cache=`` argument to an instance or None."""
+    if cache is AMBIENT:
+        return get_cache()
+    if cache is None or isinstance(cache, CharacterizationCache):
+        return cache
+    return CharacterizationCache(cache)
+
+
+# ---------------------------------------------------------------------------
+# in-process synthesized-netlist memo
+# ---------------------------------------------------------------------------
+
+#: Keep the memo bounded; a sweep touches a few dozen variants at most.
+_NETLIST_MEMO_LIMIT = 256
+_netlist_memo = {}
+
+
+def synthesize_netlist_memoized(component, library, effort="ultra"):
+    """Synthesize *component* once per content fingerprint per process.
+
+    Returns the shared optimized netlist for repeated requests with an
+    identical (component spec, effort, library contents) triple — the
+    in-memory complement of the on-disk metrics cache for callers that
+    need the gate-level structure (lazy ``Block.synthesized``, repeated
+    flow validations). Callers must treat the result as read-only.
+    """
+    from ..synth.synthesize import synthesize_netlist
+
+    key = (component_fingerprint(component), effort,
+           library_fingerprint(library))
+    netlist = _netlist_memo.get(key)
+    if netlist is not None:
+        instrument.current().count(instrument.COUNT_NETLIST_MEMO_HITS)
+        return netlist
+    if len(_netlist_memo) >= _NETLIST_MEMO_LIMIT:
+        _netlist_memo.clear()
+    with instrument.current().stage(instrument.STAGE_SYNTHESIZE):
+        netlist = synthesize_netlist(component, library, effort=effort)
+    _netlist_memo[key] = netlist
+    return netlist
+
+
+def clear_netlist_memo():
+    """Drop every memoized synthesized netlist (mainly for tests)."""
+    _netlist_memo.clear()

@@ -15,6 +15,12 @@ Actual-case aging is supported via :class:`ActualCaseSpec`: the given
 stimulus operands are gate-level simulated on *each* precision variant
 (a one-time effort, as the paper stresses) to extract per-gate stress
 annotations.
+
+The sweep itself runs through the characterization engine: every
+``(precision, scenarios)`` point is an independent task that consults
+the content-addressed result cache (:mod:`repro.core.cache`), records
+per-stage timings (:mod:`repro.core.instrument`), and can fan out over
+a process pool (:mod:`repro.core.parallel`, ``jobs=1`` serial default).
 """
 
 from dataclasses import dataclass, field
@@ -26,6 +32,9 @@ from ..sim.activity import extract_stress, operand_stream_bits
 from ..sta.sta import critical_path_delay
 from ..synth.synthesize import synthesize
 from ..sta.paths import logic_depth
+from . import cache as cache_mod
+from . import instrument
+from .parallel import map_tasks, resolve_jobs
 
 
 @dataclass(frozen=True)
@@ -214,8 +223,98 @@ def component_key(component):
     return "%s_w%d" % (component.family, component.width)
 
 
+def _characterize_point(task):
+    """Characterize one ``(component, precision)`` point.
+
+    Module-level so the process-pool path can pickle it; ``jobs=1`` runs
+    it inline. Consults the on-disk cache when a root is given and
+    reports its own stage timings and cache accounting back to the
+    parent (workers cannot share the parent's ambient collectors).
+    """
+    component = task["component"]
+    precision = task["precision"]
+    library = task["library"]
+    effort = task["effort"]
+    bti = task["bti"]
+    degradation = task["degradation"]
+    scenarios = task["scenarios"]        # [(spec, label, fingerprint)]
+    key = task["key"]
+    cache_root = task["cache_root"]
+
+    instr = instrument.Instrumentation()
+    store = (cache_mod.CharacterizationCache(cache_root)
+             if cache_root else None)
+    entry = store.load(key) if store is not None else None
+    if entry is not None \
+            and all(fp in entry["aged"] for __s, __l, fp in scenarios):
+        # Full hit: every requested scenario already characterized.
+        instr.count(instrument.COUNT_CACHE_HITS)
+        metrics = entry["metrics"]
+        aged = [(label, entry["aged"][fp]["delay_ps"])
+                for __spec, label, fp in scenarios]
+        return {"precision": precision, "metrics": metrics, "aged": aged,
+                "instr": instr.summary(),
+                "cache_stats": store.stats.as_dict()}
+
+    if store is not None:
+        if entry is not None:
+            # Partial entry: the netlist must be rebuilt for the missing
+            # scenarios, so reclassify load()'s optimistic hit.
+            store.stats.hits -= 1
+            store.stats.misses += 1
+        instr.count(instrument.COUNT_CACHE_MISSES)
+
+    variant = component.with_precision(precision)
+    with instr.stage(instrument.STAGE_SYNTHESIZE):
+        result = synthesize(variant, library, effort=effort)
+    netlist = result.netlist
+    metrics = {
+        "delay_ps": result.delay_ps,
+        "area_um2": result.area_um2,
+        "leakage_nw": result.leakage_nw,
+        "gates": result.final_gates,
+        "depth": logic_depth(netlist),
+    }
+    aged = []
+    new_aged = {}
+    for spec, label, fp in scenarios:
+        if entry is not None and fp in entry["aged"]:
+            aged.append((label, entry["aged"][fp]["delay_ps"]))
+            continue
+        if isinstance(spec, ActualCaseSpec):
+            with instr.stage(instrument.STAGE_STRESS):
+                bits = operand_stream_bits(spec.operands,
+                                           variant.operand_widths)
+                annotation = extract_stress(netlist, library, bits,
+                                            label=spec.label)
+            scenario = AgingScenario(spec.years, annotation)
+        else:
+            scenario = spec
+        with instr.stage(instrument.STAGE_STA):
+            delay = critical_path_delay(netlist, library,
+                                        scenario=scenario, bti=bti,
+                                        degradation=degradation)
+        aged.append((label, delay))
+        new_aged[fp] = {"label": label, "delay_ps": delay}
+    if store is not None:
+        store.store(key, metrics, new_aged,
+                    meta={"component": variant.name,
+                          "precision": precision, "effort": effort})
+    return {"precision": precision, "metrics": metrics, "aged": aged,
+            "instr": instr.summary(),
+            "cache_stats": store.stats.as_dict()
+            if store is not None else None}
+
+
+def _scenario_label(spec):
+    """Characterization-table label of a scenario or actual-case spec."""
+    return (spec.scenario_label if isinstance(spec, ActualCaseSpec)
+            else spec.label)
+
+
 def characterize(component, library, scenarios, precisions=None,
-                 effort="ultra", bti=DEFAULT_BTI, degradation=None):
+                 effort="ultra", bti=DEFAULT_BTI, degradation=None,
+                 jobs=None, cache=cache_mod.AMBIENT):
     """Characterize *component* across precisions and aging scenarios.
 
     Parameters
@@ -233,6 +332,15 @@ def characterize(component, library, scenarios, precisions=None,
         Precisions to sweep; default ``width .. width-12`` (descending).
     effort:
         Synthesis effort for every variant.
+    jobs:
+        Worker processes for the sweep. None defers to ``REPRO_JOBS``
+        (default 1, the deterministic serial path); 0 means one per
+        CPU. The parallel result is identical to the serial one.
+    cache:
+        Result cache: the ambient cache by default (see
+        :func:`repro.core.cache.set_cache` / ``REPRO_CACHE_DIR``), an
+        explicit :class:`~repro.core.cache.CharacterizationCache` or
+        directory path, or None to bypass caching.
 
     Returns
     -------
@@ -242,35 +350,48 @@ def characterize(component, library, scenarios, precisions=None,
     if precisions is None:
         precisions = list(range(width, max(width - 12, 1) - 1, -1))
     precisions = sorted(set(precisions), reverse=True)
+    scenarios = list(scenarios)
 
+    store = cache_mod.resolve_cache(cache)
+    cache_root = store.root if store is not None else None
+    # Fingerprint shared inputs once (operand streams can be large).
+    scenario_specs = [(spec, _scenario_label(spec),
+                       cache_mod.scenario_fingerprint(spec))
+                      for spec in scenarios]
+    tasks = [{
+        "component": component,
+        "precision": precision,
+        "library": library,
+        "effort": effort,
+        "bti": bti,
+        "degradation": degradation,
+        "scenarios": scenario_specs,
+        "key": cache_mod.point_key(component, precision, effort, library,
+                                   bti, degradation),
+        "cache_root": cache_root,
+    } for precision in precisions]
+
+    results = map_tasks(_characterize_point, tasks, jobs=resolve_jobs(jobs))
+
+    instr = instrument.current()
     fresh_ps, area, leakage, gates, depth = {}, {}, {}, {}, {}
     aged_ps = {}
     labels = []
-    for precision in precisions:
-        variant = component.with_precision(precision)
-        result = synthesize(variant, library, effort=effort)
-        netlist = result.netlist
-        fresh_ps[precision] = result.delay_ps
-        area[precision] = result.area_um2
-        leakage[precision] = result.leakage_nw
-        gates[precision] = result.final_gates
-        depth[precision] = logic_depth(netlist)
-        for spec in scenarios:
-            if isinstance(spec, ActualCaseSpec):
-                bits = operand_stream_bits(spec.operands,
-                                           variant.operand_widths)
-                annotation = extract_stress(netlist, library, bits,
-                                            label=spec.label)
-                scenario = AgingScenario(spec.years, annotation)
-                label = spec.scenario_label
-            else:
-                scenario = spec
-                label = spec.label
+    for point in results:
+        precision = point["precision"]
+        metrics = point["metrics"]
+        fresh_ps[precision] = metrics["delay_ps"]
+        area[precision] = metrics["area_um2"]
+        leakage[precision] = metrics["leakage_nw"]
+        gates[precision] = metrics["gates"]
+        depth[precision] = metrics["depth"]
+        for label, delay in point["aged"]:
             if label not in labels:
                 labels.append(label)
-            aged_ps[(precision, label)] = critical_path_delay(
-                netlist, library, scenario=scenario, bti=bti,
-                degradation=degradation)
+            aged_ps[(precision, label)] = delay
+        instr.merge(point["instr"])
+        if store is not None and point["cache_stats"] is not None:
+            store.stats.merge(point["cache_stats"])
 
     return ComponentCharacterization(
         key=component_key(component), family=component.family, width=width,

@@ -64,7 +64,7 @@ def design_delay_ps(micro, library, scenario=None, effort="ultra",
 
 def remove_guardband(micro, library, design_scenario, report_scenarios=(),
                      approx_library=None, effort="ultra", bti=DEFAULT_BTI,
-                     degradation=None, quality_check=None):
+                     degradation=None, quality_check=None, jobs=None):
     """Convert *micro*'s aging guardband into approximations and report.
 
     Parameters
@@ -81,6 +81,9 @@ def remove_guardband(micro, library, design_scenario, report_scenarios=(),
         Pre-built :class:`~repro.core.library.
         AgingApproximationLibrary`; a fresh one is created (and filled
         on demand) when omitted.
+    jobs:
+        Worker processes for on-the-fly characterizations (None defers
+        to ``REPRO_JOBS``; 1 is the deterministic serial default).
 
     Returns
     -------
@@ -90,7 +93,8 @@ def remove_guardband(micro, library, design_scenario, report_scenarios=(),
         approx_library = AgingApproximationLibrary()
     outcome = apply_aging_approximations(
         micro, library, design_scenario, approx_library, effort=effort,
-        bti=bti, degradation=degradation, quality_check=quality_check)
+        bti=bti, degradation=degradation, quality_check=quality_check,
+        jobs=jobs)
 
     scenarios = [None, design_scenario] + list(report_scenarios)
     original, approximated = {}, {}

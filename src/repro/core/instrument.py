@@ -1,0 +1,134 @@
+"""Per-stage timing instrumentation for the characterization engine.
+
+The characterization flow has three expensive stages — synthesis,
+actual-case stress extraction and aging-aware STA — plus the result
+cache sitting in front of them. This module collects lightweight
+``perf_counter`` spans and event counters around those stages so a run
+can report *where* its wall time went and how effective the cache was,
+without any third-party profiler.
+
+Collection is ambient: :func:`current` returns the innermost active
+:class:`Instrumentation`, so deeply nested flows (``remove_guardband``
+-> ``apply_aging_approximations`` -> ``characterize``) record into one
+collector without threading it through every signature. Wrap a region
+with :func:`collect` to capture its spans in a fresh collector::
+
+    from repro.core import instrument
+    with instrument.collect() as instr:
+        characterize(component, lib, scenarios=[worst_case(10)])
+    print(instr.summary())
+
+Worker processes of the parallel engine build their own collector and
+ship its :meth:`~Instrumentation.summary` back to the parent, which
+folds it in with :meth:`~Instrumentation.merge`.
+"""
+
+import time
+from contextlib import contextmanager
+
+#: Canonical stage names used by the characterization engine.
+STAGE_SYNTHESIZE = "synthesize"
+STAGE_STRESS = "stress_extraction"
+STAGE_STA = "sta"
+
+#: Canonical counter names.
+COUNT_CACHE_HITS = "cache_hits"
+COUNT_CACHE_MISSES = "cache_misses"
+COUNT_NETLIST_MEMO_HITS = "netlist_memo_hits"
+
+
+class Instrumentation:
+    """Accumulates per-stage wall time and named event counters."""
+
+    def __init__(self):
+        self._stages = {}     # name -> [calls, seconds]
+        self._counters = {}   # name -> count
+
+    # -- recording ---------------------------------------------------------
+    @contextmanager
+    def stage(self, name):
+        """Context manager timing one span of *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def add_time(self, name, seconds, calls=1):
+        """Fold *seconds* (over *calls* spans) into stage *name*."""
+        entry = self._stages.setdefault(name, [0, 0.0])
+        entry[0] += calls
+        entry[1] += seconds
+
+    def count(self, name, n=1):
+        """Increment counter *name* by *n*."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    # -- reporting ---------------------------------------------------------
+    def stage_seconds(self, name):
+        """Total seconds spent in stage *name* (0.0 when never entered)."""
+        return self._stages.get(name, (0, 0.0))[1]
+
+    def stage_calls(self, name):
+        """Number of spans recorded for stage *name*."""
+        return self._stages.get(name, (0, 0.0))[0]
+
+    def counter(self, name):
+        """Current value of counter *name* (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def summary(self):
+        """Machine-readable snapshot.
+
+        Returns ``{"stages": {name: {"calls": int, "seconds": float}},
+        "counters": {name: int}}`` — plain JSON-serializable data, also
+        the wire format workers use to report back to the parent.
+        """
+        return {
+            "stages": {name: {"calls": calls, "seconds": seconds}
+                       for name, (calls, seconds) in self._stages.items()},
+            "counters": dict(self._counters),
+        }
+
+    def merge(self, summary):
+        """Fold a :meth:`summary` dict (e.g. from a worker) into this one."""
+        for name, entry in summary.get("stages", {}).items():
+            self.add_time(name, entry["seconds"], calls=entry["calls"])
+        for name, value in summary.get("counters", {}).items():
+            self.count(name, value)
+        return self
+
+    def reset(self):
+        """Drop all recorded spans and counters."""
+        self._stages.clear()
+        self._counters.clear()
+
+    def __repr__(self):
+        total = sum(seconds for __, seconds in self._stages.values())
+        return "Instrumentation(stages=%d, total=%.3fs)" % (
+            len(self._stages), total)
+
+
+#: Ambient collector stack; the bottom element is the process-wide root.
+_STACK = [Instrumentation()]
+
+
+def current():
+    """Return the innermost active collector (never None)."""
+    return _STACK[-1]
+
+
+@contextmanager
+def collect(instr=None):
+    """Route ambient instrumentation into *instr* for the enclosed region.
+
+    A fresh :class:`Instrumentation` is created when *instr* is omitted;
+    either way the active collector is yielded and restored on exit.
+    """
+    if instr is None:
+        instr = Instrumentation()
+    _STACK.append(instr)
+    try:
+        yield instr
+    finally:
+        _STACK.pop()

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..aging.bti import DEFAULT_BTI
 from ..sta.sta import critical_path_delay
-from ..synth.synthesize import synthesize_netlist
+from .cache import synthesize_netlist_memoized
 
 
 @dataclass
@@ -51,10 +51,17 @@ class Block:
     netlist: Optional[object] = None
 
     def synthesized(self, library, effort="ultra"):
-        """Return (building lazily) the synthesized netlist."""
+        """Return (building lazily) the synthesized netlist.
+
+        Backed by the process-wide content-addressed netlist memo, so
+        the many block copies a flow creates (``with_precisions``,
+        validation rounds, delay reports) share one synthesis run per
+        distinct (component, effort, library) triple. The shared netlist
+        must be treated as read-only.
+        """
         if self.netlist is None:
-            self.netlist = synthesize_netlist(self.component, library,
-                                              effort=effort)
+            self.netlist = synthesize_netlist_memoized(
+                self.component, library, effort=effort)
         return self.netlist
 
     def with_component(self, component):
@@ -218,7 +225,7 @@ class ApproximationOutcome:
 def apply_aging_approximations(micro, library, scenario, approx_library,
                                effort="ultra", bti=DEFAULT_BTI,
                                degradation=None, max_refinements=8,
-                               quality_check=None, rule="eq2"):
+                               quality_check=None, rule="eq2", jobs=None):
     """Convert aging guardbands of *micro* into precision reductions.
 
     Parameters
@@ -239,6 +246,10 @@ def apply_aging_approximations(micro, library, scenario, approx_library,
         flow backs off one precision step on the most-approximated block
         (the paper's "if final quality is not sufficient, precision can
         be increased and a resulting guardband be similarly added").
+    jobs:
+        Worker processes for on-the-fly characterizations (forwarded to
+        :func:`~repro.core.characterize.characterize`; None defers to
+        ``REPRO_JOBS``).
     rule:
         Precision-selection rule for violating blocks.
 
@@ -280,14 +291,15 @@ def apply_aging_approximations(micro, library, scenario, approx_library,
         if entry is None:
             entry = characterize(blk.component, library,
                                  scenarios=[scenario], effort=effort,
-                                 bti=bti, degradation=degradation)
+                                 bti=bti, degradation=degradation,
+                                 jobs=jobs)
             approx_library.add(entry)
         elif not entry.has_scenario(scenario.label):
             # Cached entry from another lifetime/stress: extend it.
             entry.merge(characterize(
                 blk.component, library, scenarios=[scenario],
                 precisions=entry.precisions, effort=effort, bti=bti,
-                degradation=degradation))
+                degradation=degradation, jobs=jobs))
         if rule == "relative":
             # Paper's literal relative-slack rule: pick P_j with
             # t_Cj(Aging, P_j) <= (1 + relSlack) * t_Cj(noAging, N_j).

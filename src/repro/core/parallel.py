@@ -1,0 +1,60 @@
+"""Process-pool fan-out for the characterization sweep.
+
+The precision sweep is embarrassingly parallel: every ``(precision,
+scenarios)`` point is an independent synthesize + STA pipeline over
+picklable inputs (components, cell libraries, scenarios and BTI models
+are all plain data). This module maps a point worker over
+``concurrent.futures.ProcessPoolExecutor`` while keeping a
+**deterministic serial fallback** as the default: ``jobs=1`` runs the
+worker inline in submission order, and the parallel path preserves that
+order on collection, so both produce byte-for-byte identical results.
+
+Job-count resolution: an explicit ``jobs=`` argument wins; otherwise
+the ``REPRO_JOBS`` environment variable; otherwise 1 (serial).
+``jobs=0`` / ``REPRO_JOBS=0`` means "one worker per CPU".
+"""
+
+import os
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs=None):
+    """Normalize a ``jobs=`` argument to a positive worker count.
+
+    ``None`` defers to ``REPRO_JOBS`` (default 1); 0 expands to the CPU
+    count; negative values are rejected.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError("%s must be an integer, got %r"
+                             % (JOBS_ENV, raw))
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0, got %d" % jobs)
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def map_tasks(worker, tasks, jobs=1):
+    """Apply *worker* to every task, serially or over a process pool.
+
+    Results come back in task order either way. *worker* must be a
+    module-level function and *tasks* picklable when ``jobs > 1``.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, tasks))

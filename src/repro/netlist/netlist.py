@@ -39,6 +39,10 @@ class Netlist:
         self.gates = []
         self._driver = {}      # net id -> Gate
         self._topo_cache = None
+        #: monotonically increasing structural-mutation counter; lets
+        #: consumers (e.g. the compiled-program memo) key derived
+        #: artifacts to one structural state of the netlist.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -50,6 +54,7 @@ class Netlist:
         if name is not None:
             self.net_names[net] = name
         self._topo_cache = None
+        self._version += 1
         return net
 
     def new_nets(self, count, prefix=None):
@@ -70,6 +75,7 @@ class Netlist:
     def set_outputs(self, nets, prefix=None):
         """Register *nets* (LSB first) as the primary outputs."""
         self.primary_outputs = list(nets)
+        self._version += 1
         if prefix is not None:
             for i, net in enumerate(nets):
                 self.net_names.setdefault(net, "%s[%d]" % (prefix, i))
@@ -103,6 +109,7 @@ class Netlist:
         self.gates.append(gate)
         self._driver[output] = gate
         self._topo_cache = None
+        self._version += 1
         return output
 
     # ------------------------------------------------------------------
@@ -265,6 +272,7 @@ class Netlist:
         if len(self._driver) != len(self.gates):
             raise NetlistError("rebuild produced multiply-driven nets")
         self._topo_cache = None
+        self._version += 1
 
     def copy(self):
         """Return a deep-enough copy (gates are re-created, ids preserved)."""

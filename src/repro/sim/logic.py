@@ -47,8 +47,42 @@ class CompiledNetlist:
     last_use: List[List[int]]
 
 
-def compile_netlist(netlist, library):
-    """Lower *netlist* into a :class:`CompiledNetlist` program."""
+#: Per-netlist memo bound (several libraries may compile one netlist).
+_COMPILE_MEMO_LIMIT = 8
+
+
+def compile_netlist(netlist, library, memo=True):
+    """Lower *netlist* into a :class:`CompiledNetlist` program.
+
+    The lowering is memoized on the netlist instance (keyed by library
+    identity and the netlist's structural state), so the activity
+    extractor and the timed simulator share one compiled program instead
+    of lowering the same netlist twice. Structural mutations (``rebuild``,
+    ``add_gate``, ``set_outputs``) change the key and recompile; pass
+    ``memo=False`` to force a fresh lowering.
+    """
+    if not memo:
+        return _compile_netlist(netlist, library)
+    # The netlist's mutation counter covers every structural change
+    # (add_gate, rebuild, set_outputs, new nets). Cell *resizing*
+    # mutates gates in place without bumping it, but preserves logic
+    # functions, so a memoized program stays valid across it.
+    token = (id(library), getattr(netlist, "_version", None),
+             len(netlist.gates))
+    cache = getattr(netlist, "_compiled_memo", None)
+    if cache is None:
+        cache = {}
+        netlist._compiled_memo = cache
+    compiled = cache.get(token)
+    if compiled is None:
+        if len(cache) >= _COMPILE_MEMO_LIMIT:
+            cache.clear()
+        compiled = _compile_netlist(netlist, library)
+        cache[token] = compiled
+    return compiled
+
+
+def _compile_netlist(netlist, library):
     order = netlist.topological_gates()
     slot_of = {CONST0: 0, CONST1: 1}
     for net in netlist.primary_inputs:

@@ -1,0 +1,264 @@
+"""Tests for the content-addressed characterization cache."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.aging import worst_case
+from repro.aging.bti import BTIModel
+from repro.cells import nangate45
+from repro.cells.degradation import DegradationAwareLibrary
+from repro.core import (ActualCaseSpec, CharacterizationCache, characterize,
+                        cache_enabled, get_cache, set_cache)
+from repro.core import cache as cache_mod
+from repro.rtl import Adder, Multiplier
+
+
+PRECISIONS = [8, 7, 6]
+SCENARIOS = [worst_case(10)]
+
+
+def small_characterize(lib, cache, **overrides):
+    kwargs = dict(scenarios=SCENARIOS, precisions=PRECISIONS,
+                  effort="high", cache=cache)
+    kwargs.update(overrides)
+    return characterize(Adder(8), lib, **kwargs)
+
+
+def entries_equal(a, b):
+    return (a.key == b.key and a.precisions == b.precisions
+            and a.scenario_labels == b.scenario_labels
+            and a.fresh_ps == b.fresh_ps and a.aged_ps == b.aged_ps
+            and a.area_um2 == b.area_um2 and a.leakage_nw == b.leakage_nw
+            and a.gates == b.gates and a.depth == b.depth)
+
+
+class TestHitMiss:
+    def test_cold_run_misses_then_warm_run_hits(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        first = small_characterize(lib, cache)
+        assert cache.stats.misses == len(PRECISIONS)
+        assert cache.stats.hits == 0
+        assert cache.stats.stores == len(PRECISIONS)
+
+        warm = CharacterizationCache(tmp_path)
+        second = small_characterize(lib, warm)
+        assert warm.stats.hits == len(PRECISIONS)
+        assert warm.stats.misses == 0
+        assert entries_equal(first, second)
+
+    def test_cached_result_identical_to_uncached(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        cached = small_characterize(lib, CharacterizationCache(tmp_path))
+        plain = small_characterize(lib, None)
+        assert entries_equal(cached, plain)
+
+    def test_cache_disabled_writes_nothing(self, lib, tmp_path):
+        small_characterize(lib, None)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_new_scenario_extends_entry(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        both = [worst_case(10), worst_case(1)]
+        extended = small_characterize(
+            lib, CharacterizationCache(tmp_path), scenarios=both)
+        assert extended.scenario_labels == ["10y_worst", "1y_worst"]
+        # Third run over both scenarios is now a pure hit.
+        warm = CharacterizationCache(tmp_path)
+        again = small_characterize(lib, warm, scenarios=both)
+        assert warm.stats.hits == len(PRECISIONS)
+        assert warm.stats.misses == 0
+        assert entries_equal(extended, again)
+
+    def test_partial_entry_reuses_stored_aged_delay(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        first = small_characterize(lib, cache)
+        both = [worst_case(10), worst_case(1)]
+        mixed = CharacterizationCache(tmp_path)
+        extended = small_characterize(lib, mixed, scenarios=both)
+        # Re-synthesis was needed, so the points count as misses ...
+        assert mixed.stats.misses == len(PRECISIONS)
+        # ... but the 10y delays come out identical to the stored ones.
+        for p in PRECISIONS:
+            assert extended.aged_ps[(p, "10y_worst")] == \
+                first.aged_ps[(p, "10y_worst")]
+
+
+class TestInvalidation:
+    def test_library_change_invalidates(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        other_lib = nangate45(drives=(1, 2))
+        fresh = CharacterizationCache(tmp_path)
+        small_characterize(other_lib, fresh)
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == len(PRECISIONS)
+
+    def test_bti_change_invalidates(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        fresh = CharacterizationCache(tmp_path)
+        small_characterize(lib, fresh,
+                           bti=BTIModel(prefactor_v=2.2e-3))
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == len(PRECISIONS)
+
+    def test_effort_change_invalidates(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        fresh = CharacterizationCache(tmp_path)
+        small_characterize(lib, fresh, effort="low")
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == len(PRECISIONS)
+
+    def test_degradation_library_keys_separately(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        degr = DegradationAwareLibrary(lib, lifetimes=(10.0,))
+        fresh = CharacterizationCache(tmp_path)
+        small_characterize(lib, fresh, degradation=degr)
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == len(PRECISIONS)
+
+    def test_actual_case_operands_fingerprinted(self, lib, rng, tmp_path):
+        component = Adder(8)
+        a, b = component.random_operands(64, rng=rng)
+        spec = ActualCaseSpec(10, "actual", (a, b))
+        cache = CharacterizationCache(tmp_path)
+        characterize(component, lib, scenarios=[spec], precisions=[8, 7],
+                     effort="high", cache=cache)
+        # Same operands: hit. Different operands: miss.
+        warm = CharacterizationCache(tmp_path)
+        characterize(component, lib, scenarios=[spec], precisions=[8, 7],
+                     effort="high", cache=warm)
+        assert warm.stats.hits == 2
+        other = ActualCaseSpec(10, "actual", (a + 1, b))
+        cold = CharacterizationCache(tmp_path)
+        characterize(component, lib, scenarios=[other], precisions=[8, 7],
+                     effort="high", cache=cold)
+        assert cold.stats.hits == 0
+
+
+class TestCorruption:
+    def warm(self, lib, tmp_path):
+        small_characterize(lib, CharacterizationCache(tmp_path))
+        files = sorted(tmp_path.rglob("*.json"))
+        assert len(files) == len(PRECISIONS)
+        return files
+
+    def test_garbage_entries_recovered(self, lib, tmp_path):
+        files = self.warm(lib, tmp_path)
+        for path in files:
+            path.write_text("{ not json !!")
+        cache = CharacterizationCache(tmp_path)
+        entry = small_characterize(lib, cache)
+        assert cache.stats.errors == len(PRECISIONS)
+        assert cache.stats.misses == len(PRECISIONS)
+        assert entries_equal(entry, small_characterize(lib, None))
+        # The corrupted files were rewritten; a follow-up run hits.
+        again = CharacterizationCache(tmp_path)
+        small_characterize(lib, again)
+        assert again.stats.hits == len(PRECISIONS)
+
+    def test_wrong_schema_is_a_miss(self, lib, tmp_path):
+        files = self.warm(lib, tmp_path)
+        entry = json.loads(files[0].read_text())
+        entry["schema"] = 999
+        files[0].write_text(json.dumps(entry))
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == len(PRECISIONS) - 1
+
+    def test_missing_metric_fields_is_a_miss(self, lib, tmp_path):
+        files = self.warm(lib, tmp_path)
+        entry = json.loads(files[0].read_text())
+        del entry["metrics"]["depth"]
+        files[0].write_text(json.dumps(entry))
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        assert cache.stats.misses == 1
+
+
+class TestAmbientCache:
+    def test_set_cache_round_trip(self, lib, tmp_path):
+        previous = set_cache(str(tmp_path))
+        try:
+            active = get_cache()
+            assert isinstance(active, CharacterizationCache)
+            small_characterize(lib, cache_mod.AMBIENT)
+            assert active.stats.misses == len(PRECISIONS)
+        finally:
+            set_cache(previous)
+
+    def test_cache_enabled_scopes_and_restores(self, lib, tmp_path):
+        before = get_cache()
+        with cache_enabled(str(tmp_path)) as cache:
+            assert get_cache() is cache
+            small_characterize(lib, cache_mod.AMBIENT)
+            assert cache.stats.misses == len(PRECISIONS)
+        assert get_cache() is before
+
+    def test_env_var_enables_cache(self, lib, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path))
+        with cache_enabled(cache_mod.AMBIENT):
+            cache = get_cache()
+            assert cache is not None
+            assert cache.root == str(tmp_path)
+
+    def test_explicit_none_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path))
+        with cache_enabled(None):
+            assert get_cache() is None
+
+
+class TestFingerprints:
+    def test_library_fingerprint_content_addressed(self):
+        a = nangate45()
+        b = nangate45()
+        assert cache_mod.library_fingerprint(a) == \
+            cache_mod.library_fingerprint(b)
+        c = nangate45(drives=(1,))
+        assert cache_mod.library_fingerprint(a) != \
+            cache_mod.library_fingerprint(c)
+
+    def test_component_fingerprint_separates_families(self):
+        assert cache_mod.component_fingerprint(Adder(8)) != \
+            cache_mod.component_fingerprint(Multiplier(8))
+        assert cache_mod.component_fingerprint(Adder(8)) != \
+            cache_mod.component_fingerprint(Adder(8, precision=6))
+        assert cache_mod.component_fingerprint(Adder(8)) == \
+            cache_mod.component_fingerprint(Adder(8))
+
+    def test_scenario_fingerprint_stable(self):
+        assert cache_mod.scenario_fingerprint(worst_case(10)) == \
+            cache_mod.scenario_fingerprint(worst_case(10))
+        assert cache_mod.scenario_fingerprint(worst_case(10)) != \
+            cache_mod.scenario_fingerprint(worst_case(1))
+
+
+class TestWarmSpeedup:
+    def test_mult16_second_run_5x_faster(self, lib, tmp_path):
+        """Acceptance: warm-cache rerun of the 16-bit multiplier default
+        sweep is at least 5x faster than the cold run."""
+        component = Multiplier(16)
+        start = time.perf_counter()
+        cold = characterize(component, lib, scenarios=[worst_case(10)],
+                            cache=CharacterizationCache(tmp_path))
+        cold_s = time.perf_counter() - start
+
+        warm_cache = CharacterizationCache(tmp_path)
+        start = time.perf_counter()
+        warm = characterize(component, lib, scenarios=[worst_case(10)],
+                            cache=warm_cache)
+        warm_s = time.perf_counter() - start
+
+        assert warm_cache.stats.hits == len(cold.precisions)
+        assert warm_cache.stats.misses == 0
+        assert entries_equal(cold, warm)
+        assert cold_s >= 5.0 * warm_s, \
+            "cold %.3fs vs warm %.3fs (< 5x)" % (cold_s, warm_s)

@@ -112,3 +112,40 @@ class TestEvaluation:
         compiled = compile_netlist(net, lib)
         out = evaluate(compiled, np.array([[1]], dtype=np.uint8))
         assert out[0].tolist() == [1, 0]
+
+
+class TestCompileMemo:
+    def test_same_netlist_and_library_share_program(self, lib, adder8):
+        first = compile_netlist(adder8, lib)
+        second = compile_netlist(adder8, lib)
+        assert first is second
+
+    def test_activity_and_timing_share_program(self, lib, adder8):
+        from repro.sim.activity import simulate_activity
+        from repro.sim.timing import TimedSimulator
+        bits = np.zeros((4, len(adder8.primary_inputs)), dtype=np.uint8)
+        simulate_activity(adder8, lib, bits)
+        sim = TimedSimulator(adder8, lib, t_clock_ps=1000.0)
+        assert sim.compiled is compile_netlist(adder8, lib)
+
+    def test_memo_bypass(self, lib, adder8):
+        memoized = compile_netlist(adder8, lib)
+        fresh = compile_netlist(adder8, lib, memo=False)
+        assert fresh is not memoized
+        assert fresh.ops == memoized.ops
+        assert fresh.pi_slots == memoized.pi_slots
+
+    def test_mutation_invalidates(self, lib):
+        netlist = Adder(4).build()
+        first = compile_netlist(netlist, lib)
+        netlist.add_gate("INV_X1", [netlist.primary_outputs[0]])
+        second = compile_netlist(netlist, lib)
+        assert second is not first
+        assert len(second.ops) == len(first.ops) + 1
+
+    def test_different_library_compiles_separately(self, adder8):
+        from repro.cells import nangate45
+        lib_a = nangate45()
+        lib_b = nangate45(drives=(1, 2))
+        assert compile_netlist(adder8, lib_a) is not \
+            compile_netlist(adder8, lib_b)

@@ -1,0 +1,178 @@
+"""Tests for the parallel characterization engine and its instrumentation."""
+
+import pytest
+
+from repro.aging import worst_case
+from repro.core import (ActualCaseSpec, CharacterizationCache, characterize,
+                        cache_enabled, instrument, resolve_jobs)
+from repro.core.parallel import JOBS_ENV, map_tasks
+from repro.report import instrumentation_report_text
+from repro.rtl import Adder, Multiplier
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "4")
+        assert resolve_jobs(None) == 4
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-2)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ValueError, match=JOBS_ENV):
+            resolve_jobs(None)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestMapTasks:
+    def test_serial_order(self):
+        assert map_tasks(_double, [3, 1, 2], jobs=1) == [6, 2, 4]
+
+    def test_parallel_preserves_order(self):
+        assert map_tasks(_double, list(range(10)), jobs=3) == \
+            [2 * i for i in range(10)]
+
+
+class TestParallelEquivalence:
+    def test_mult16_jobs4_equals_serial(self, lib):
+        """Acceptance: jobs=4 produces a ComponentCharacterization equal
+        to the serial (jobs=1) result on the 16-bit multiplier."""
+        component = Multiplier(16)
+        scenarios = [worst_case(10)]
+        serial = characterize(component, lib, scenarios=scenarios,
+                              jobs=1, cache=None)
+        parallel = characterize(component, lib, scenarios=scenarios,
+                                jobs=4, cache=None)
+        assert parallel.key == serial.key
+        assert parallel.precisions == serial.precisions
+        assert parallel.scenario_labels == serial.scenario_labels
+        assert parallel.fresh_ps == serial.fresh_ps
+        assert parallel.aged_ps == serial.aged_ps
+        assert parallel.area_um2 == serial.area_um2
+        assert parallel.leakage_nw == serial.leakage_nw
+        assert parallel.gates == serial.gates
+        assert parallel.depth == serial.depth
+
+    def test_parallel_with_actual_case_and_cache(self, lib, rng, tmp_path):
+        component = Adder(8)
+        a, b = component.random_operands(64, rng=rng)
+        scenarios = [worst_case(10), ActualCaseSpec(10, "nd", (a, b))]
+        serial = characterize(component, lib, scenarios=scenarios,
+                              precisions=[8, 7, 6], effort="high",
+                              jobs=1, cache=None)
+        cache = CharacterizationCache(tmp_path)
+        parallel = characterize(component, lib, scenarios=scenarios,
+                                precisions=[8, 7, 6], effort="high",
+                                jobs=2, cache=cache)
+        assert parallel.aged_ps == serial.aged_ps
+        assert cache.stats.misses == 3
+        # Parallel workers populated the shared cache for a serial rerun.
+        warm = CharacterizationCache(tmp_path)
+        rerun = characterize(component, lib, scenarios=scenarios,
+                             precisions=[8, 7, 6], effort="high",
+                             jobs=1, cache=warm)
+        assert warm.stats.hits == 3
+        assert rerun.aged_ps == serial.aged_ps
+
+
+class TestInstrumentation:
+    def test_stages_recorded(self, lib, rng):
+        component = Adder(8)
+        a, b = component.random_operands(64, rng=rng)
+        with instrument.collect() as instr:
+            characterize(component, lib,
+                         scenarios=[worst_case(10),
+                                    ActualCaseSpec(10, "nd", (a, b))],
+                         precisions=[8, 7], effort="high", cache=None)
+        summary = instr.summary()
+        assert summary["stages"][instrument.STAGE_SYNTHESIZE]["calls"] == 2
+        assert summary["stages"][instrument.STAGE_STA]["calls"] == 4
+        assert summary["stages"][instrument.STAGE_STRESS]["calls"] == 2
+        for entry in summary["stages"].values():
+            assert entry["seconds"] > 0
+
+    def test_cache_counters_surface(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        with instrument.collect() as instr:
+            characterize(Adder(8), lib, scenarios=[worst_case(10)],
+                         precisions=[8, 7], effort="high", cache=cache)
+        assert instr.counter(instrument.COUNT_CACHE_MISSES) == 2
+        with instrument.collect() as instr:
+            characterize(Adder(8), lib, scenarios=[worst_case(10)],
+                         precisions=[8, 7], effort="high",
+                         cache=CharacterizationCache(tmp_path))
+        assert instr.counter(instrument.COUNT_CACHE_HITS) == 2
+
+    def test_worker_timings_merged_from_parallel_run(self, lib):
+        with instrument.collect() as instr:
+            characterize(Adder(8), lib, scenarios=[worst_case(10)],
+                         precisions=[8, 7, 6], effort="high",
+                         jobs=3, cache=None)
+        summary = instr.summary()
+        assert summary["stages"][instrument.STAGE_SYNTHESIZE]["calls"] == 3
+
+    def test_merge_and_reset(self):
+        a = instrument.Instrumentation()
+        with a.stage("synthesize"):
+            pass
+        a.count("cache_hits", 2)
+        b = instrument.Instrumentation()
+        b.merge(a.summary())
+        b.merge(a.summary())
+        assert b.stage_calls("synthesize") == 2
+        assert b.counter("cache_hits") == 4
+        b.reset()
+        assert b.summary() == {"stages": {}, "counters": {}}
+
+    def test_report_text(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        with instrument.collect() as instr:
+            characterize(Adder(8), lib, scenarios=[worst_case(10)],
+                         precisions=[8, 7], effort="high", cache=cache)
+        text = instrumentation_report_text(instr, cache.stats)
+        assert "per-stage timing" in text
+        assert "synthesize" in text
+        assert "cache: 0 hits / 2 misses" in text
+
+
+class TestCLI:
+    def test_characterize_with_cache_jobs_timings(self, capsys, tmp_path):
+        from repro.cli import main
+        args = ["characterize", "--component", "adder", "--width", "8",
+                "--years", "10", "--sweep-bits", "2", "--effort", "high",
+                "--jobs", "1", "--cache-dir", str(tmp_path), "--timings"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "required precision" in out
+        assert "per-stage timing" in out
+        assert "misses" in out
+        # Warm rerun reports hits instead of misses.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "3 hits / 0 misses" in out
+
+    def test_flow_accepts_engine_flags(self, capsys, tmp_path):
+        from repro.cli import main
+        code = main(["flow", "--design", "fir", "--width", "10",
+                     "--years", "10", "--effort", "high",
+                     "--cache-dir", str(tmp_path), "--timings"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validated: True" in out
+        assert "per-stage timing" in out
