@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Benchmark: packed (64-way ``uint64``) vs bytes (``uint8``) logic sim.
+
+Times functional evaluation and activity extraction on the 16-bit
+multiplier — the component the paper hits with ~10^6 stimuli per
+characterization point — and records the result as
+``BENCH_logic_sim.json`` so the perf trajectory of the simulation
+engine is tracked over time.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_logic_sim.py --vectors 100000
+
+The script cross-checks that both engines are bit-identical on the
+benchmark workload before timing them, times each engine best-of-N,
+and measures peak traced memory (NumPy buffers register with
+``tracemalloc``) in a separate pass so tracing overhead never pollutes
+the timings.
+"""
+
+import argparse
+import json
+import platform
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.cells import default_library
+from repro.rtl import Multiplier
+from repro.sim import (compile_netlist, evaluate, evaluate_packed,
+                       operand_stream_bits, simulate_activity)
+from repro.synth import synthesize_netlist
+
+
+def best_time(fn, repeats):
+    """Best-of-*repeats* wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def traced_peak(fn):
+    """Peak traced allocation of one ``fn()`` call in bytes."""
+    tracemalloc.start()
+    try:
+        fn()
+        __current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vectors", type=int, default=100000,
+                        help="stimulus vectors (default 10^5)")
+    parser.add_argument("--width", type=int, default=16,
+                        help="multiplier operand width (default 16)")
+    parser.add_argument("--effort", default="high",
+                        help="synthesis effort (default high)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    parser.add_argument("--out", default="BENCH_logic_sim.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    lib = default_library()
+    component = Multiplier(args.width)
+    print("synthesizing %s (effort=%s)..." % (component.name, args.effort))
+    netlist = synthesize_netlist(component, lib, effort=args.effort)
+    compiled = compile_netlist(netlist, lib)
+
+    rng = np.random.default_rng(2017)
+    operands = component.random_operands(args.vectors, rng=rng)
+    bits = operand_stream_bits(operands, component.operand_widths)
+    print("%d gates, %d nets, %d vectors"
+          % (netlist.num_gates, compiled.slots, args.vectors))
+
+    # Correctness gate: never benchmark two engines that disagree.
+    sample = bits[:4096]
+    if not np.array_equal(evaluate(compiled, sample),
+                          evaluate_packed(compiled, sample)):
+        raise SystemExit("packed/bytes engines disagree on outputs")
+    ref = simulate_activity(netlist, lib, sample, engine="bytes")
+    got = simulate_activity(netlist, lib, sample, engine="packed")
+    if (ref.signal_probability != got.signal_probability
+            or ref.toggle_rate != got.toggle_rate):
+        raise SystemExit("packed/bytes engines disagree on activity")
+
+    results = {}
+    for label, fn in [
+        ("activity_bytes",
+         lambda: simulate_activity(netlist, lib, bits, engine="bytes")),
+        ("activity_packed",
+         lambda: simulate_activity(netlist, lib, bits, engine="packed")),
+        ("evaluate_bytes", lambda: evaluate(compiled, bits)),
+        ("evaluate_packed", lambda: evaluate_packed(compiled, bits)),
+    ]:
+        seconds = best_time(fn, args.repeats)
+        peak = traced_peak(fn)
+        results[label] = {"seconds": seconds, "peak_bytes": peak}
+        print("%-18s %8.3f s   peak %7.1f MiB"
+              % (label, seconds, peak / 2**20))
+
+    activity_speedup = (results["activity_bytes"]["seconds"]
+                        / results["activity_packed"]["seconds"])
+    activity_mem_ratio = (results["activity_bytes"]["peak_bytes"]
+                          / max(results["activity_packed"]["peak_bytes"], 1))
+    evaluate_speedup = (results["evaluate_bytes"]["seconds"]
+                        / results["evaluate_packed"]["seconds"])
+    print("activity: %.1fx faster, %.1fx less peak memory"
+          % (activity_speedup, activity_mem_ratio))
+    print("evaluate: %.1fx faster" % evaluate_speedup)
+
+    report = {
+        "benchmark": "logic_sim",
+        "component": component.name,
+        "width": args.width,
+        "effort": args.effort,
+        "vectors": args.vectors,
+        "gates": netlist.num_gates,
+        "nets": compiled.slots,
+        "repeats": args.repeats,
+        "results": results,
+        "activity_speedup": activity_speedup,
+        "activity_peak_memory_ratio": activity_mem_ratio,
+        "evaluate_speedup": evaluate_speedup,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "processor": platform.processor() or platform.machine(),
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -49,8 +49,8 @@ from .synth import (aging_aware_synthesize, synthesize, synthesize_netlist,
                     upsize_critical_paths)
 from .sta import analyze, critical_path, critical_path_delay, logic_depth
 from .sim import (EventSimulator, TimedSimulator, bits_to_int,
-                  compile_netlist, evaluate, extract_stress, int_to_bits,
-                  simulate_activity)
+                  compile_netlist, evaluate, evaluate_packed,
+                  extract_stress, int_to_bits, simulate_activity)
 from .approx import (ComponentArithmetic, ExactArithmetic,
                      GateLevelArithmetic, TimedComponentModel,
                      TruncatedArithmetic, truncate_lsbs)
@@ -89,7 +89,8 @@ __all__ = [
     "analyze", "critical_path", "critical_path_delay", "logic_depth",
     # sim
     "EventSimulator", "TimedSimulator", "bits_to_int", "compile_netlist",
-    "evaluate", "extract_stress", "int_to_bits", "simulate_activity",
+    "evaluate", "evaluate_packed", "extract_stress", "int_to_bits",
+    "simulate_activity",
     # approx
     "ComponentArithmetic", "ExactArithmetic", "GateLevelArithmetic",
     "TimedComponentModel", "TruncatedArithmetic", "truncate_lsbs",

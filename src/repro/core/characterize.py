@@ -240,6 +240,7 @@ def _characterize_point(task):
     scenarios = task["scenarios"]        # [(spec, label, fingerprint)]
     key = task["key"]
     cache_root = task["cache_root"]
+    engine = task.get("engine", "packed")
 
     instr = instrument.Instrumentation()
     store = (cache_mod.CharacterizationCache(cache_root)
@@ -286,7 +287,8 @@ def _characterize_point(task):
                 bits = operand_stream_bits(spec.operands,
                                            variant.operand_widths)
                 annotation = extract_stress(netlist, library, bits,
-                                            label=spec.label)
+                                            label=spec.label,
+                                            engine=engine)
             scenario = AgingScenario(spec.years, annotation)
         else:
             scenario = spec
@@ -314,7 +316,7 @@ def _scenario_label(spec):
 
 def characterize(component, library, scenarios, precisions=None,
                  effort="ultra", bti=DEFAULT_BTI, degradation=None,
-                 jobs=None, cache=cache_mod.AMBIENT):
+                 jobs=None, cache=cache_mod.AMBIENT, engine="packed"):
     """Characterize *component* across precisions and aging scenarios.
 
     Parameters
@@ -341,6 +343,11 @@ def characterize(component, library, scenarios, precisions=None,
         :func:`repro.core.cache.set_cache` / ``REPRO_CACHE_DIR``), an
         explicit :class:`~repro.core.cache.CharacterizationCache` or
         directory path, or None to bypass caching.
+    engine:
+        Functional-simulation engine for actual-case stress extraction:
+        ``"packed"`` (64-way bit-parallel, the default) or ``"bytes"``
+        (uint8 reference). Both are bit-identical, so the cache
+        fingerprint is engine-independent.
 
     Returns
     -------
@@ -351,6 +358,9 @@ def characterize(component, library, scenarios, precisions=None,
         precisions = list(range(width, max(width - 12, 1) - 1, -1))
     precisions = sorted(set(precisions), reverse=True)
     scenarios = list(scenarios)
+    if engine not in ("packed", "bytes"):
+        raise ValueError("engine must be 'packed' or 'bytes', got %r"
+                         % (engine,))
 
     store = cache_mod.resolve_cache(cache)
     cache_root = store.root if store is not None else None
@@ -369,6 +379,7 @@ def characterize(component, library, scenarios, precisions=None,
         "key": cache_mod.point_key(component, precision, effort, library,
                                    bti, degradation),
         "cache_root": cache_root,
+        "engine": engine,
     } for precision in precisions]
 
     results = map_tasks(_characterize_point, tasks, jobs=resolve_jobs(jobs))

@@ -1,20 +1,24 @@
 """Gate-level simulation: functional, timed (timing errors), event-driven."""
 
+from .bitpack import pack_bits, popcount, unpack_bits
 from .logic import (CompiledNetlist, compile_netlist, evaluate,
-                    all_net_values, int_to_bits, bits_to_int)
+                    evaluate_packed, all_net_values, all_net_values_packed,
+                    int_to_bits, bits_to_int)
 from .timing import TimedResult, TimedSimulator, max_frequency_ghz
 from .event import EventSimulator, Waveform
-from .activity import (ActivityReport, simulate_activity, extract_stress,
-                       operand_stream_bits)
+from .activity import (ENGINES, ActivityReport, simulate_activity,
+                       extract_stress, operand_stream_bits)
 from .pipeline import PipelineRun, StageReport, TimedPipeline
 from .stimuli import STIMULUS_NAMES, make_stimulus
 
 __all__ = [
-    "CompiledNetlist", "compile_netlist", "evaluate", "all_net_values",
+    "CompiledNetlist", "compile_netlist", "evaluate", "evaluate_packed",
+    "all_net_values", "all_net_values_packed",
+    "pack_bits", "unpack_bits", "popcount",
     "int_to_bits", "bits_to_int",
     "TimedResult", "TimedSimulator", "max_frequency_ghz",
     "EventSimulator", "Waveform",
-    "ActivityReport", "simulate_activity", "extract_stress",
+    "ENGINES", "ActivityReport", "simulate_activity", "extract_stress",
     "operand_stream_bits",
     "PipelineRun", "StageReport", "TimedPipeline",
     "STIMULUS_NAMES", "make_stimulus",

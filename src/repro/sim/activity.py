@@ -16,7 +16,14 @@ from typing import Dict
 import numpy as np
 
 from ..aging.stress import ActualStress
-from .logic import all_net_values, compile_netlist, int_to_bits
+from . import bitpack
+from .logic import (all_net_values, all_net_values_packed, compile_netlist,
+                    int_to_bits)
+
+#: Functional-simulation engines: ``"packed"`` (64 vectors per uint64
+#: word, popcount statistics — the default) and ``"bytes"`` (one bit
+#: per uint8 byte — the reference implementation).
+ENGINES = ("packed", "bytes")
 
 
 @dataclass
@@ -43,7 +50,62 @@ class ActivityReport:
                 for g in netlist.gates}
 
 
-def simulate_activity(netlist, library, pi_bits):
+def _byte_statistics(compiled, pi_bits):
+    """Reference statistics: materialize the full ``uint8`` net matrix."""
+    values = all_net_values(compiled, pi_bits)
+    p1 = values.mean(axis=0)
+    if values.shape[0] > 1:
+        toggles = (values[1:] != values[:-1]).mean(axis=0)
+    else:
+        toggles = np.zeros(values.shape[1])
+    return p1, toggles
+
+
+def _packed_statistics(compiled, pi_bits):
+    """Popcount statistics over packed words — internal nets never
+    unpack.
+
+    Per-slot ones counts come from ``popcount(w & valid)``; toggle
+    counts from ``popcount((w ^ (w << 1 | carry)) & valid')`` where the
+    1-bit shift across word boundaries aligns each vector with its
+    predecessor and ``valid'`` additionally drops bit 0 of word 0 (the
+    first vector has no predecessor).
+    """
+    batch = pi_bits.shape[0]
+    values = all_net_values_packed(compiled, pi_bits)  # (slots, words)
+    slots, words = values.shape
+    valid = np.full(words, bitpack.ALL_ONES, dtype=np.uint64)
+    valid[-1] = bitpack.tail_mask(batch)
+    valid[0] &= ~np.uint64(1)  # the first vector has no predecessor
+    ones = np.zeros(slots, dtype=np.int64)
+    flips = np.zeros(slots, dtype=np.int64)
+    # Reduce in slot blocks so the shift/XOR temporaries stay a small
+    # fraction of the packed matrix itself (the matrix dominates peak).
+    block = max(1, (1 << 21) // max(words * 8, 1))
+    for lo in range(0, slots, block):
+        chunk = values[lo:lo + block]
+        # Tail bits beyond the batch are masked in the last word only.
+        ones[lo:lo + block] = bitpack.popcount(chunk[:, :-1]).sum(
+            axis=1, dtype=np.int64)
+        ones[lo:lo + block] += bitpack.popcount(
+            chunk[:, -1] & bitpack.tail_mask(batch))
+        if batch > 1:
+            # Bit i of `shifted` becomes v[i] ^ v[i-1]: shift the
+            # stream up by one (carrying bit 63 across words) and XOR.
+            shifted = chunk << np.uint64(1)
+            if words > 1:
+                shifted[:, 1:] |= chunk[:, :-1] >> np.uint64(63)
+            shifted ^= chunk
+            shifted &= valid
+            flips[lo:lo + block] = bitpack.popcount(shifted).sum(
+                axis=1, dtype=np.int64)
+    p1 = ones / float(batch)
+    toggles = (flips / float(batch - 1) if batch > 1
+               else np.zeros(slots))
+    return p1, toggles
+
+
+def simulate_activity(netlist, library, pi_bits, engine="packed"):
     """Measure signal probabilities and toggle rates under *pi_bits*.
 
     Parameters
@@ -53,19 +115,27 @@ def simulate_activity(netlist, library, pi_bits):
     pi_bits:
         ``(vectors, n_pi)`` bit array; rows are applied as a time
         sequence, so toggle rates reflect consecutive-vector transitions.
+    engine:
+        ``"packed"`` (default) runs the 64-way bit-parallel engine and
+        reduces by popcount; ``"bytes"`` runs the ``uint8`` reference
+        engine. Both produce bit-identical statistics.
     """
+    if engine not in ENGINES:
+        raise ValueError("engine must be one of %r, got %r"
+                         % (ENGINES, engine))
     compiled = compile_netlist(netlist, library)
     pi_bits = np.asarray(pi_bits, dtype=np.uint8)
     if pi_bits.ndim != 2 or pi_bits.shape[1] != len(compiled.pi_slots):
         raise ValueError(
             "expected pi_bits of shape (vectors, %d), got %r"
             % (len(compiled.pi_slots), pi_bits.shape))
-    values = all_net_values(compiled, pi_bits)
-    p1 = values.mean(axis=0)
-    if values.shape[0] > 1:
-        toggles = (values[1:] != values[:-1]).mean(axis=0)
+    if pi_bits.shape[0] == 0:
+        p1 = np.zeros(compiled.slots)
+        toggles = np.zeros(compiled.slots)
+    elif engine == "bytes":
+        p1, toggles = _byte_statistics(compiled, pi_bits)
     else:
-        toggles = np.zeros(values.shape[1])
+        p1, toggles = _packed_statistics(compiled, pi_bits)
     signal_probability = {}
     toggle_rate = {}
     for net, slot in compiled.slot_of.items():
@@ -76,10 +146,11 @@ def simulate_activity(netlist, library, pi_bits):
                           vectors=int(pi_bits.shape[0]))
 
 
-def extract_stress(netlist, library, pi_bits, label="actual"):
+def extract_stress(netlist, library, pi_bits, label="actual",
+                   engine="packed"):
     """One-call helper: simulate activity and build an actual-case
     :class:`~repro.aging.stress.ActualStress` annotation (Fig. 3(c))."""
-    report = simulate_activity(netlist, library, pi_bits)
+    report = simulate_activity(netlist, library, pi_bits, engine=engine)
     return ActualStress.from_signal_probabilities(
         netlist, report.signal_probability, label=label)
 

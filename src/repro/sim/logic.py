@@ -2,18 +2,30 @@
 
 Netlists are compiled once into a flat "program" (a topologically ordered
 list of cell-function applications over integer-indexed value slots) and
-then evaluated over NumPy ``uint8`` arrays, so a whole batch of input
-vectors flows through every gate with one array operation. This is what
+then evaluated over a whole batch of input vectors at once. This is what
 makes million-vector experiments (the paper applies 10^6 stimuli to the
 adder/multiplier) tractable in Python.
+
+Two engines share the compiled program:
+
+* the **bytes** engine (:func:`evaluate` / :func:`all_net_values`)
+  stores one simulated bit per ``uint8`` byte — the simple reference
+  implementation;
+* the **packed** engine (:func:`evaluate_packed` /
+  :func:`all_net_values_packed`) packs 64 vectors per ``uint64`` word
+  (:mod:`repro.sim.bitpack`) and pushes each batch through full-word
+  bitwise kernels — 64 vectors per gate-op, an 8th of the memory
+  traffic.
 """
 
+import weakref
 from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np
 
 from ..netlist.net import CONST0, CONST1
+from . import bitpack
 
 
 @dataclass
@@ -36,6 +48,10 @@ class CompiledNetlist:
     last_use:
         For each op index, the list of slots that become dead after it —
         used to release batch memory early.
+    packed_funcs:
+        Per-op full-word kernels (``uint64`` bitwise forms of the byte
+        functions in ``ops``), aligned with ``ops``; used by the packed
+        engine.
     """
 
     netlist: object
@@ -45,6 +61,7 @@ class CompiledNetlist:
     pi_slots: List[int]
     po_slots: List[int]
     last_use: List[List[int]]
+    packed_funcs: List = None
 
 
 #: Per-netlist memo bound (several libraries may compile one netlist).
@@ -67,7 +84,16 @@ def compile_netlist(netlist, library, memo=True):
     # (add_gate, rebuild, set_outputs, new nets). Cell *resizing*
     # mutates gates in place without bumping it, but preserves logic
     # functions, so a memoized program stays valid across it.
-    token = (id(library), getattr(netlist, "_version", None),
+    #
+    # The library is keyed by weak reference, not id(): a collected
+    # library's id can be recycled by a new one, and a dead weakref
+    # never compares equal to a live one, so a recycled id cannot
+    # resurface a stale program.
+    try:
+        lib_key = weakref.ref(library)
+    except TypeError:  # un-weakref-able library stand-in (e.g. a dict)
+        lib_key = id(library)
+    token = (lib_key, getattr(netlist, "_version", None),
              len(netlist.gates))
     cache = getattr(netlist, "_compiled_memo", None)
     if cache is None:
@@ -76,9 +102,13 @@ def compile_netlist(netlist, library, memo=True):
     compiled = cache.get(token)
     if compiled is None:
         if len(cache) >= _COMPILE_MEMO_LIMIT:
-            cache.clear()
+            # Evict the least recently used entry only; hits below
+            # refresh an entry's insertion order.
+            cache.pop(next(iter(cache)))
         compiled = _compile_netlist(netlist, library)
         cache[token] = compiled
+    else:
+        cache[token] = cache.pop(token)
     return compiled
 
 
@@ -91,10 +121,14 @@ def _compile_netlist(netlist, library):
         slot_of.setdefault(gate.output, len(slot_of))
 
     ops = []
+    packed_funcs = []
     for gate in order:
-        func = library[gate.cell].function
+        cell = library[gate.cell]
+        func = cell.function
         ins = tuple(slot_of[n] for n in gate.inputs)
         ops.append((func, ins, slot_of[gate.output], gate.uid))
+        packed_funcs.append(bitpack.packed_cell_function(
+            cell.kind, arity=cell.n_inputs, reference=func))
 
     pi_slots = [slot_of[n] for n in netlist.primary_inputs]
     po_slots = [slot_of[n] for n in netlist.primary_outputs]
@@ -112,7 +146,8 @@ def _compile_netlist(netlist, library):
             last_use[idx].append(slot)
     return CompiledNetlist(netlist=netlist, slots=len(slot_of),
                            slot_of=slot_of, ops=ops, pi_slots=pi_slots,
-                           po_slots=po_slots, last_use=last_use)
+                           po_slots=po_slots, last_use=last_use,
+                           packed_funcs=packed_funcs)
 
 
 def evaluate(compiled, pi_bits, release=True):
@@ -173,6 +208,65 @@ def all_net_values(compiled, pi_bits):
 
 
 # ---------------------------------------------------------------------------
+# packed (64-way) engine
+# ---------------------------------------------------------------------------
+
+def evaluate_packed(compiled, pi_bits, release=True):
+    """Bit-parallel twin of :func:`evaluate` (64 vectors per word).
+
+    Takes and returns the same byte-wide arrays as :func:`evaluate`
+    (``(batch, n_pi)`` in, ``(batch, n_po)`` out) and is bit-identical
+    to it; only the internal representation differs — each net's batch
+    is packed into ``uint64`` words (:mod:`repro.sim.bitpack`) and each
+    gate applies its full-word kernel once per 64 vectors.
+    """
+    pi_bits = np.asarray(pi_bits, dtype=np.uint8)
+    if pi_bits.ndim != 2 or pi_bits.shape[1] != len(compiled.pi_slots):
+        raise ValueError(
+            "expected pi_bits of shape (batch, %d), got %r"
+            % (len(compiled.pi_slots), pi_bits.shape))
+    batch = pi_bits.shape[0]
+    packed_pi = bitpack.pack_bits(pi_bits)
+    words = packed_pi.shape[1]
+    values = [None] * compiled.slots
+    values[0] = np.zeros(words, dtype=np.uint64)
+    values[1] = np.full(words, bitpack.ALL_ONES, dtype=np.uint64)
+    for col, slot in enumerate(compiled.pi_slots):
+        values[slot] = packed_pi[col]
+    for idx, (func, ins, out, __uid) in enumerate(compiled.ops):
+        values[out] = compiled.packed_funcs[idx](*[values[s] for s in ins])
+        if release:
+            for slot in compiled.last_use[idx]:
+                values[slot] = None
+    outs = np.empty((len(compiled.po_slots), words), dtype=np.uint64)
+    for row, slot in enumerate(compiled.po_slots):
+        outs[row] = values[slot]
+    return bitpack.unpack_bits(outs, batch)
+
+
+def all_net_values_packed(compiled, pi_bits):
+    """Packed twin of :func:`all_net_values`.
+
+    Returns a ``(slots, words)`` ``uint64`` array: row ``s`` is slot
+    ``s``'s packed waveform (vector ``i`` at word ``i // 64``, bit
+    ``i % 64``). Bits at positions ``>= batch`` in the last word are
+    unspecified (the constant-1 row carries ones there) — mask with
+    :func:`repro.sim.bitpack.tail_mask` before counting.
+    """
+    pi_bits = np.asarray(pi_bits, dtype=np.uint8)
+    batch = pi_bits.shape[0]
+    packed_pi = bitpack.pack_bits(pi_bits)
+    words = packed_pi.shape[1]
+    values = np.zeros((compiled.slots, words), dtype=np.uint64)
+    values[1] = bitpack.ALL_ONES
+    for col, slot in enumerate(compiled.pi_slots):
+        values[slot] = packed_pi[col]
+    for idx, (__func, ins, out, __uid) in enumerate(compiled.ops):
+        values[out] = compiled.packed_funcs[idx](*[values[s] for s in ins])
+    return values
+
+
+# ---------------------------------------------------------------------------
 # integer <-> bit-vector codecs
 # ---------------------------------------------------------------------------
 
@@ -193,11 +287,8 @@ def int_to_bits(values, width):
         ``uint8`` array of shape ``(len(values), width)``.
     """
     values = np.asarray(values, dtype=np.int64)
-    bits = np.empty((values.size, width), dtype=np.uint8)
-    flat = values.reshape(-1)
-    for i in range(width):
-        bits[:, i] = (flat >> np.int64(i)) & 1
-    return bits
+    shifts = np.arange(width, dtype=np.int64)
+    return ((values.reshape(-1, 1) >> shifts) & 1).astype(np.uint8)
 
 
 def bits_to_int(bits, signed=True):
@@ -212,9 +303,8 @@ def bits_to_int(bits, signed=True):
     """
     bits = np.asarray(bits, dtype=np.int64)
     width = bits.shape[1]
-    out = np.zeros(bits.shape[0], dtype=np.int64)
-    for i in range(width):
-        out |= bits[:, i] << np.int64(i)
+    shifts = np.arange(width, dtype=np.int64)
+    out = np.bitwise_or.reduce(bits << shifts, axis=1)
     if signed and width < 64:
         sign = bits[:, width - 1] == 1
         out = out - (sign.astype(np.int64) << np.int64(width))

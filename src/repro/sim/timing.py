@@ -127,6 +127,17 @@ class TimedSimulator:
             [delays[uid] for __f, __i, __o, uid in self.compiled.ops],
             dtype=np.float32)
         self.max_batch = int(max_batch)
+        # Per-op constant metadata, hoisted out of the per-chunk batch
+        # loop: ``probe`` marks ops that need the Boolean-difference
+        # sensitization probe (only the "sensitization" model on
+        # multi-input gates), ``always`` marks ops whose inputs always
+        # contribute activity (1-input gates are trivially sensitive;
+        # the pessimistic model propagates everything).
+        self._op_meta = []
+        for func, ins, out, __uid in self.compiled.ops:
+            always = glitch_model == "pessimistic" or len(ins) == 1
+            probe = glitch_model == "sensitization" and len(ins) > 1
+            self._op_meta.append((func, ins, out, probe, always))
 
     # ------------------------------------------------------------------
     def run_bits(self, prev_bits, cur_bits):
@@ -174,7 +185,7 @@ class TimedSimulator:
 
         zero_u8.setflags(write=False)
         one_u8.setflags(write=False)
-        for idx, (func, ins, out, __uid) in enumerate(comp.ops):
+        for idx, (func, ins, out, probe, always) in enumerate(self._op_meta):
             new_ins = [v_new[s] for s in ins]
             old = func(*[v_old[s] for s in ins])
             new = func(*new_ins)
@@ -187,17 +198,18 @@ class TimedSimulator:
             a_out_act = changed.copy()
             a_in = zero_f
             for pos, s in enumerate(ins):
-                if self.glitch_model == "pessimistic" or len(ins) == 1:
-                    contributes = act[s]  # INV/BUF are always sensitive
-                elif self.glitch_model == "optimistic":
-                    contributes = act[s] & changed
-                else:
-                    args0 = list(new_ins)
-                    args1 = list(new_ins)
-                    args0[pos] = zero_u8
-                    args1[pos] = one_u8
-                    sens = func(*args0) != func(*args1)
+                if probe:
+                    saved = new_ins[pos]
+                    new_ins[pos] = zero_u8
+                    low = func(*new_ins)
+                    new_ins[pos] = one_u8
+                    sens = low != func(*new_ins)
+                    new_ins[pos] = saved
                     contributes = act[s] & (sens | changed)
+                elif always:
+                    contributes = act[s]  # INV/BUF are always sensitive
+                else:  # optimistic: only settled transitions propagate
+                    contributes = act[s] & changed
                 a_out_act = a_out_act | contributes
                 a_in = np.maximum(a_in, np.where(contributes, arr[s],
                                                  np.float32(0.0)))

@@ -149,3 +149,32 @@ class TestCompileMemo:
         lib_b = nangate45(drives=(1, 2))
         assert compile_netlist(adder8, lib_a) is not \
             compile_netlist(adder8, lib_b)
+
+    def test_memo_evicts_single_lru_entry(self):
+        from repro.cells import nangate45
+        from repro.sim import logic
+        netlist = Adder(4).build()
+        libs = [nangate45(drives=(1,))
+                for __ in range(logic._COMPILE_MEMO_LIMIT + 1)]
+        programs = [compile_netlist(netlist, lib) for lib in libs]
+        cache = netlist._compiled_memo
+        # Overflow evicted exactly one entry (the oldest), not the lot.
+        assert len(cache) == logic._COMPILE_MEMO_LIMIT
+        assert compile_netlist(netlist, libs[1]) is programs[1]
+        assert compile_netlist(netlist, libs[0]) is not programs[0]
+
+    def test_collected_library_never_aliases_new_one(self):
+        import gc
+        from repro.cells import nangate45
+        netlist = Adder(4).build()
+        lib_a = nangate45(drives=(1,))
+        first = compile_netlist(netlist, lib_a)
+        del lib_a
+        gc.collect()
+        # New library objects frequently recycle the dead library's
+        # id(); an id-keyed memo would resurrect `first` for them.
+        for __ in range(10):
+            lib_b = nangate45(drives=(1,))
+            assert compile_netlist(netlist, lib_b) is not first
+            del lib_b
+            gc.collect()
