@@ -19,6 +19,7 @@ the timings.
 """
 
 import argparse
+import contextlib
 import json
 import platform
 import time
@@ -27,6 +28,9 @@ import tracemalloc
 import numpy as np
 
 from repro.cells import default_library
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.rtl import Multiplier
 from repro.sim import (compile_netlist, evaluate, evaluate_packed,
                        operand_stream_bits, simulate_activity)
@@ -66,8 +70,41 @@ def main(argv=None):
                         help="timing repeats, best-of (default 3)")
     parser.add_argument("--out", default="BENCH_logic_sim.json",
                         help="output JSON path")
+    parser.add_argument("--trace", default=None,
+                        help="also write a Chrome trace of the benchmark "
+                             "run (plus a run manifest next to it)")
     args = parser.parse_args(argv)
 
+    t_start = time.perf_counter()
+    tracer = obs_trace.Tracer() if args.trace else None
+    with contextlib.ExitStack() as stack:
+        registry = stack.enter_context(obs_metrics.scoped())
+        if tracer is not None:
+            stack.enter_context(obs_trace.capture(tracer))
+            stack.enter_context(obs_trace.span(
+                "benchmark.logic_sim", vectors=args.vectors,
+                width=args.width, effort=args.effort))
+        report = _run(args)
+    if tracer is not None:
+        tracer.write_chrome(args.trace)
+        print("trace written to %s (%d spans)" % (args.trace, len(tracer)))
+        manifest = obs_manifest.build_manifest(
+            "benchmarks/perf_logic_sim.py",
+            config={"vectors": args.vectors, "width": args.width,
+                    "effort": args.effort, "repeats": args.repeats},
+            library=default_library(),
+            stages=tracer.totals(),
+            metrics=registry.snapshot(),
+            duration_s=time.perf_counter() - t_start,
+            extra={"benchmark": report},
+        )
+        manifest_path = obs_manifest.default_manifest_path(args.trace)
+        obs_manifest.write_manifest(manifest_path, manifest)
+        print("run manifest written to %s" % manifest_path)
+    return report
+
+
+def _run(args):
     lib = default_library()
     component = Multiplier(args.width)
     print("synthesizing %s (effort=%s)..." % (component.name, args.effort))
@@ -100,8 +137,9 @@ def main(argv=None):
         ("evaluate_bytes", lambda: evaluate(compiled, bits)),
         ("evaluate_packed", lambda: evaluate_packed(compiled, bits)),
     ]:
-        seconds = best_time(fn, args.repeats)
-        peak = traced_peak(fn)
+        with obs_trace.span("bench." + label, repeats=args.repeats):
+            seconds = best_time(fn, args.repeats)
+            peak = traced_peak(fn)
         results[label] = {"seconds": seconds, "peak_bytes": peak}
         print("%-18s %8.3f s   peak %7.1f MiB"
               % (label, seconds, peak / 2**20))

@@ -16,6 +16,10 @@ all reproduced here:
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from ..obs import logs, trace as obs_trace
+
+_log = logs.get_logger("aging.stress")
+
 
 @dataclass(frozen=True)
 class UniformStress:
@@ -84,17 +88,21 @@ class ActualStress:
         """
         from ..netlist.net import CONST0, CONST1
 
-        probs = dict(probabilities)
-        probs.setdefault(CONST0, 0.0)
-        probs.setdefault(CONST1, 1.0)
-        per_gate = {}
-        for gate in netlist.gates:
-            vals = [probs[n] for n in gate.inputs if n in probs]
-            if not vals:
-                per_gate[gate.uid] = cls.default
-                continue
-            p1 = sum(vals) / len(vals)
-            per_gate[gate.uid] = (1.0 - p1, p1)
+        with obs_trace.span("stress.annotate", label=label,
+                            gates=netlist.num_gates):
+            probs = dict(probabilities)
+            probs.setdefault(CONST0, 0.0)
+            probs.setdefault(CONST1, 1.0)
+            per_gate = {}
+            for gate in netlist.gates:
+                vals = [probs[n] for n in gate.inputs if n in probs]
+                if not vals:
+                    per_gate[gate.uid] = cls.default
+                    continue
+                p1 = sum(vals) / len(vals)
+                per_gate[gate.uid] = (1.0 - p1, p1)
+        _log.debug("annotated %d gates with %r stress factors",
+                   len(per_gate), label)
         return cls(per_gate=per_gate, label=label)
 
     def stress_samples(self):

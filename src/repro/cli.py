@@ -17,7 +17,9 @@ cell library, and prints plain-text reports (see :mod:`repro.report`).
 
 import argparse
 import contextlib
+import json
 import sys
+import time
 
 from .aging import balance_case, worst_case
 from .cells import default_library
@@ -26,9 +28,13 @@ from .core import cache as cache_mod
 from .core import instrument
 from .core.adaptive import plan_graceful_degradation
 from .core.parallel import resolve_jobs
+from .obs import logs as obs_logs
+from .obs import manifest as obs_manifest
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 from .report import (characterization_report, flow_report_text,
-                     instrumentation_report_text, schedule_report_text,
-                     timing_report_text)
+                     instrumentation_report_text, metrics_report_text,
+                     schedule_report_text, timing_report_text)
 from .rtl import (Adder, BoothMultiplier, CarrySelectAdder, CarrySkipAdder,
                   KoggeStoneAdder, Multiplier, MultiplyAccumulate,
                   RippleCarryAdder, fir_microarchitecture,
@@ -71,23 +77,88 @@ def _component(args):
     return cls(args.width, precision=precision)
 
 
+def _manifest_config(args):
+    """JSON-serializable view of the parsed arguments."""
+    config = {}
+    for name, value in sorted(vars(args).items()):
+        if name == "func" or callable(value):
+            continue
+        if isinstance(value, (list, tuple)):
+            value = [v for v in value]
+        config[name] = value
+    return config
+
+
 @contextlib.contextmanager
 def _engine(args):
-    """Apply ``--cache-dir`` and emit ``--timings`` around a command."""
+    """Observability + cache scope shared by every subcommand.
+
+    Applies ``--cache-dir`` and ``--log-level``, collects per-stage
+    timings (``--timings``), captures a span tree when ``--trace`` or
+    a manifest is requested, scopes a fresh metrics registry, and on
+    exit writes the ``--trace`` / ``--metrics`` / ``--manifest``
+    artifacts.
+    """
     try:
         resolve_jobs(getattr(args, "jobs", None))
     except ValueError as exc:
         raise SystemExit(str(exc))
+    if getattr(args, "log_level", None):
+        obs_logs.configure(args.log_level)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    manifest_path = getattr(args, "manifest", None)
+    if manifest_path is None:
+        # A trace/metrics request implies provenance: derive a path.
+        manifest_path = obs_manifest.default_manifest_path(metrics_path,
+                                                           trace_path)
+    tracing = trace_path is not None or manifest_path is not None
     cache_dir = getattr(args, "cache_dir", None)
     scope = (cache_mod.cache_enabled(cache_dir) if cache_dir
              else contextlib.nullcontext(cache_mod.get_cache()))
+    tracer = obs_trace.Tracer()
+    start = time.perf_counter()
     with scope as cache:
-        with instrument.collect() as instr:
-            yield
+        with obs_metrics.scoped() as registry:
+            capture = (obs_trace.capture(tracer) if tracing
+                       else contextlib.nullcontext())
+            with capture:
+                with obs_trace.span("cli." + args.command,
+                                    command=args.command):
+                    with instrument.collect() as instr:
+                        yield
+            duration = time.perf_counter() - start
+            snapshot = registry.snapshot()
         if getattr(args, "timings", False):
             print()
             print(instrumentation_report_text(
                 instr, cache.stats if cache is not None else None))
+            print()
+            print(metrics_report_text(snapshot))
+        if trace_path:
+            if trace_path.endswith(".jsonl"):
+                tracer.write_jsonl(trace_path)
+            else:
+                tracer.write_chrome(trace_path)
+            print("trace written to %s (%d spans)"
+                  % (trace_path, len(tracer)))
+        if metrics_path:
+            with open(metrics_path, "w") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("metrics written to %s" % metrics_path)
+        if manifest_path:
+            manifest = obs_manifest.build_manifest(
+                "repro-aging " + args.command,
+                config=_manifest_config(args),
+                library=default_library(),
+                stages=instr.summary()["stages"],
+                metrics=snapshot,
+                duration_s=duration,
+                extra={"cache_stats": cache.stats.as_dict()
+                       if cache is not None else None})
+            obs_manifest.write_manifest(manifest_path, manifest)
+            print("run manifest written to %s" % manifest_path)
 
 
 def cmd_characterize(args):
@@ -113,22 +184,28 @@ def cmd_characterize(args):
 
 def cmd_timing(args):
     from .sta import analyze
-    from .synth import synthesize_netlist
+    from .synth import synthesize
 
     lib = default_library()
     component = _component(args)
-    netlist = synthesize_netlist(component, lib, effort=args.effort)
-    fresh = analyze(netlist, lib)
-    print(timing_report_text(netlist, lib, fresh))
-    for years in args.years:
-        scenario = (worst_case if args.stress == "worst"
-                    else balance_case)(years)
-        aged = analyze(netlist, lib, scenario=scenario)
-        print("\n%s: critical path %.1f ps (guardband %+.1f ps, %+.1f%%)"
-              % (scenario.label, aged.critical_path_ps,
-                 aged.critical_path_ps - fresh.critical_path_ps,
-                 100 * (aged.critical_path_ps / fresh.critical_path_ps
-                        - 1)))
+    with _engine(args):
+        with instrument.current().stage(instrument.STAGE_SYNTHESIZE):
+            netlist = synthesize(component, lib,
+                                 effort=args.effort).netlist
+        with instrument.current().stage(instrument.STAGE_STA):
+            fresh = analyze(netlist, lib)
+        print(timing_report_text(netlist, lib, fresh))
+        for years in args.years:
+            scenario = (worst_case if args.stress == "worst"
+                        else balance_case)(years)
+            with instrument.current().stage(instrument.STAGE_STA):
+                aged = analyze(netlist, lib, scenario=scenario)
+            print("\n%s: critical path %.1f ps (guardband %+.1f ps, "
+                  "%+.1f%%)"
+                  % (scenario.label, aged.critical_path_ps,
+                     aged.critical_path_ps - fresh.critical_path_ps,
+                     100 * (aged.critical_path_ps
+                            / fresh.critical_path_ps - 1)))
     return 0
 
 
@@ -167,20 +244,24 @@ def cmd_export(args):
 
     lib = default_library()
     component = _component(args)
-    netlist = synthesize_netlist(component, lib, effort=args.effort)
-    wrote = []
-    if args.verilog:
-        with open(args.verilog, "w") as handle:
-            handle.write(to_verilog(netlist))
-        wrote.append(args.verilog)
-    if args.sdf:
-        scenario = worst_case(args.years[0]) if args.years else None
-        with open(args.sdf, "w") as handle:
-            handle.write(to_sdf(netlist, lib, scenario=scenario))
-        wrote.append(args.sdf)
-    if not wrote:
+    if not (args.verilog or args.sdf):
         raise SystemExit("nothing to export: pass --verilog and/or --sdf")
-    print("wrote %s (%d gates)" % (", ".join(wrote), netlist.num_gates))
+    with _engine(args):
+        with instrument.current().stage(instrument.STAGE_SYNTHESIZE):
+            netlist = synthesize_netlist(component, lib,
+                                         effort=args.effort)
+        wrote = []
+        if args.verilog:
+            with open(args.verilog, "w") as handle:
+                handle.write(to_verilog(netlist))
+            wrote.append(args.verilog)
+        if args.sdf:
+            scenario = worst_case(args.years[0]) if args.years else None
+            with open(args.sdf, "w") as handle:
+                handle.write(to_sdf(netlist, lib, scenario=scenario))
+            wrote.append(args.sdf)
+        print("wrote %s (%d gates)" % (", ".join(wrote),
+                                       netlist.num_gates))
     return 0
 
 
@@ -207,6 +288,20 @@ def build_parser():
                             "(default: $REPRO_CACHE_DIR, else disabled)")
         p.add_argument("--timings", action="store_true",
                        help="print per-stage timing and cache statistics")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a span trace of the run: Chrome trace "
+                            "JSON (chrome://tracing / Perfetto), or flat "
+                            "JSONL when PATH ends in .jsonl")
+        p.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write a metrics-registry snapshot JSON "
+                            "(counters, gauges, histograms)")
+        p.add_argument("--manifest", default=None, metavar="PATH",
+                       help="write a run-manifest JSON (default: derived "
+                            "from --metrics/--trace as "
+                            "<stem>.manifest.json)")
+        p.add_argument("--log-level", default=None,
+                       choices=obs_logs.LEVELS,
+                       help="verbosity of the repro.* logging hierarchy")
         if design:
             p.add_argument("--design", default="idct",
                            help="idct | dct | fir")

@@ -42,7 +42,10 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from ..obs import logs, metrics as obs_metrics
 from . import instrument
+
+_log = logs.get_logger("core.cache")
 
 #: Bump when the entry layout changes; old entries become misses.
 CACHE_SCHEMA = 1
@@ -229,9 +232,15 @@ class CharacterizationCache:
     def __init__(self, root):
         self.root = os.fspath(root)
         self.stats = CacheStats()
+        self._suppress_metrics = False
 
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".json")
+
+    def _emit(self, name, n=1):
+        """Emit to the ambient metrics registry (unless peeking)."""
+        if not self._suppress_metrics:
+            obs_metrics.inc(name, n)
 
     def load(self, key):
         """Return the entry stored under *key*, or None (recording a miss).
@@ -242,7 +251,8 @@ class CharacterizationCache:
         path = self._path(key)
         try:
             with open(path) as handle:
-                entry = json.load(handle)
+                text = handle.read()
+            entry = json.loads(text)
             if (entry.get("schema") != CACHE_SCHEMA
                     or not isinstance(entry.get("metrics"), dict)
                     or not isinstance(entry.get("aged"), dict)
@@ -251,22 +261,34 @@ class CharacterizationCache:
                 raise ValueError("malformed cache entry")
         except FileNotFoundError:
             self.stats.misses += 1
+            self._emit(obs_metrics.CACHE_MISSES)
             return None
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
             self.stats.errors += 1
             self.stats.misses += 1
+            self._emit(obs_metrics.CACHE_ERRORS)
+            self._emit(obs_metrics.CACHE_MISSES)
+            _log.warning("discarding corrupt cache entry %s (%s)",
+                         path, exc)
             try:
                 os.remove(path)
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        self._emit(obs_metrics.CACHE_HITS)
+        self._emit(obs_metrics.CACHE_BYTES_READ, len(text))
+        _log.debug("cache hit %s (%d bytes)", key[:12], len(text))
         return entry
 
     def peek(self, key):
         """Like :meth:`load` but without touching the hit/miss counters."""
         stats = dataclasses.replace(self.stats)
-        entry = self.load(key)
+        self._suppress_metrics = True
+        try:
+            entry = self.load(key)
+        finally:
+            self._suppress_metrics = False
         self.stats = stats
         return entry
 
@@ -296,10 +318,15 @@ class CharacterizationCache:
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = path + ".tmp.%d" % os.getpid()
+        text = json.dumps(entry)
         with open(tmp, "w") as handle:
-            json.dump(entry, handle)
+            handle.write(text)
         os.replace(tmp, path)
         self.stats.stores += 1
+        self._emit(obs_metrics.CACHE_STORES)
+        self._emit(obs_metrics.CACHE_BYTES_WRITTEN, len(text))
+        _log.debug("cache store %s (%d bytes, %d scenarios)",
+                   key[:12], len(text), len(entry["aged"]))
         return entry
 
     def __repr__(self):
@@ -394,6 +421,7 @@ def synthesize_netlist_memoized(component, library, effort="ultra"):
     netlist = _netlist_memo.get(key)
     if netlist is not None:
         instrument.current().count(instrument.COUNT_NETLIST_MEMO_HITS)
+        obs_metrics.inc(obs_metrics.NETLIST_MEMO_HITS)
         return netlist
     if len(_netlist_memo) >= _NETLIST_MEMO_LIMIT:
         _netlist_memo.clear()

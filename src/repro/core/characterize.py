@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..aging.bti import DEFAULT_BTI
 from ..aging.scenario import AgingScenario
+from ..obs import logs, metrics as obs_metrics, trace as obs_trace
 from ..sim.activity import extract_stress, operand_stream_bits
 from ..sta.sta import critical_path_delay
 from ..synth.synthesize import synthesize
@@ -35,6 +36,8 @@ from ..sta.paths import logic_depth
 from . import cache as cache_mod
 from . import instrument
 from .parallel import map_tasks, resolve_jobs
+
+_log = logs.get_logger("core.characterize")
 
 
 @dataclass(frozen=True)
@@ -228,9 +231,27 @@ def _characterize_point(task):
 
     Module-level so the process-pool path can pickle it; ``jobs=1`` runs
     it inline. Consults the on-disk cache when a root is given and
-    reports its own stage timings and cache accounting back to the
-    parent (workers cannot share the parent's ambient collectors).
+    reports its own stage timings, cache accounting, span tree and
+    metric snapshot back to the parent (workers cannot share the
+    parent's ambient collectors): the returned ``"trace"`` /
+    ``"metrics"`` entries are re-parented / merged by
+    :func:`characterize`.
     """
+    with obs_trace.capture() as tracer, obs_metrics.scoped() as registry:
+        with obs_trace.span(
+                "characterize.point",
+                component=task["component"].family,
+                width=task["component"].width,
+                precision=task["precision"],
+                scenarios=[label for __s, label, __fp
+                           in task["scenarios"]]) as point_span:
+            result = _characterize_point_inner(task, point_span)
+    result["trace"] = tracer.to_dicts()
+    result["obs_metrics"] = registry.snapshot()
+    return result
+
+
+def _characterize_point_inner(task, point_span):
     component = task["component"]
     precision = task["precision"]
     library = task["library"]
@@ -250,6 +271,7 @@ def _characterize_point(task):
             and all(fp in entry["aged"] for __s, __l, fp in scenarios):
         # Full hit: every requested scenario already characterized.
         instr.count(instrument.COUNT_CACHE_HITS)
+        point_span.attrs["cache"] = "hit"
         metrics = entry["metrics"]
         aged = [(label, entry["aged"][fp]["delay_ps"])
                 for __spec, label, fp in scenarios]
@@ -263,7 +285,10 @@ def _characterize_point(task):
             # scenarios, so reclassify load()'s optimistic hit.
             store.stats.hits -= 1
             store.stats.misses += 1
+            obs_metrics.inc(obs_metrics.CACHE_HITS, -1)
+            obs_metrics.inc(obs_metrics.CACHE_MISSES)
         instr.count(instrument.COUNT_CACHE_MISSES)
+    point_span.attrs["cache"] = "miss" if store is not None else "off"
 
     variant = component.with_precision(precision)
     with instr.stage(instrument.STAGE_SYNTHESIZE):
@@ -382,27 +407,39 @@ def characterize(component, library, scenarios, precisions=None,
         "engine": engine,
     } for precision in precisions]
 
-    results = map_tasks(_characterize_point, tasks, jobs=resolve_jobs(jobs))
+    jobs = resolve_jobs(jobs)
+    _log.info("characterizing %s: %d precision points x %d scenarios "
+              "(effort=%s, jobs=%d, cache=%s)",
+              component_key(component), len(tasks), len(scenarios),
+              effort, jobs, "on" if store is not None else "off")
 
     instr = instrument.current()
     fresh_ps, area, leakage, gates, depth = {}, {}, {}, {}, {}
     aged_ps = {}
     labels = []
-    for point in results:
-        precision = point["precision"]
-        metrics = point["metrics"]
-        fresh_ps[precision] = metrics["delay_ps"]
-        area[precision] = metrics["area_um2"]
-        leakage[precision] = metrics["leakage_nw"]
-        gates[precision] = metrics["gates"]
-        depth[precision] = metrics["depth"]
-        for label, delay in point["aged"]:
-            if label not in labels:
-                labels.append(label)
-            aged_ps[(precision, label)] = delay
-        instr.merge(point["instr"])
-        if store is not None and point["cache_stats"] is not None:
-            store.stats.merge(point["cache_stats"])
+    with obs_trace.span("characterize",
+                        component=component_key(component), width=width,
+                        points=len(tasks), scenarios=len(scenarios),
+                        jobs=jobs):
+        results = map_tasks(_characterize_point, tasks, jobs=jobs)
+        for point in results:
+            precision = point["precision"]
+            metrics = point["metrics"]
+            fresh_ps[precision] = metrics["delay_ps"]
+            area[precision] = metrics["area_um2"]
+            leakage[precision] = metrics["leakage_nw"]
+            gates[precision] = metrics["gates"]
+            depth[precision] = metrics["depth"]
+            for label, delay in point["aged"]:
+                if label not in labels:
+                    labels.append(label)
+                aged_ps[(precision, label)] = delay
+            instr.merge(point["instr"])
+            if store is not None and point["cache_stats"] is not None:
+                store.stats.merge(point["cache_stats"])
+            # Re-parent the worker's span tree and fold its metrics in.
+            obs_trace.adopt(point["trace"])
+            obs_metrics.registry().merge(point["obs_metrics"])
 
     return ComponentCharacterization(
         key=component_key(component), family=component.family, width=width,

@@ -16,12 +16,15 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..aging.bti import DEFAULT_BTI
+from ..obs import logs, trace as obs_trace
 from ..power.power import PowerReport, dynamic_power_uw
 from ..sim.activity import operand_stream_bits, simulate_activity
 from ..sta.sta import critical_path_delay
 from ..synth.aging_aware import aging_aware_synthesize
 from .library import AgingApproximationLibrary
 from .microarch import ApproximationOutcome, apply_aging_approximations
+
+_log = logs.get_logger("core.flow")
 
 
 @dataclass
@@ -91,26 +94,37 @@ def remove_guardband(micro, library, design_scenario, report_scenarios=(),
     """
     if approx_library is None:
         approx_library = AgingApproximationLibrary()
-    outcome = apply_aging_approximations(
-        micro, library, design_scenario, approx_library, effort=effort,
-        bti=bti, degradation=degradation, quality_check=quality_check,
-        jobs=jobs)
+    _log.info("removing guardband of %s (%d blocks) for %s",
+              micro.name, len(micro.blocks), design_scenario.label)
+    with obs_trace.span("flow.remove_guardband", design=micro.name,
+                        blocks=len(micro.blocks),
+                        scenario=design_scenario.label):
+        with obs_trace.span("flow.approximate"):
+            outcome = apply_aging_approximations(
+                micro, library, design_scenario, approx_library,
+                effort=effort, bti=bti, degradation=degradation,
+                quality_check=quality_check, jobs=jobs)
 
-    scenarios = [None, design_scenario] + list(report_scenarios)
-    original, approximated = {}, {}
-    seen = set()
-    for scenario in scenarios:
-        label = scenario.label if scenario is not None else "fresh"
-        if label in seen:
-            continue
-        seen.add(label)
-        original[label] = design_delay_ps(micro, library, scenario,
-                                          effort=effort, bti=bti,
-                                          degradation=degradation)
-        approximated[label] = design_delay_ps(outcome.design, library,
-                                              scenario, effort=effort,
-                                              bti=bti,
-                                              degradation=degradation)
+        scenarios = [None, design_scenario] + list(report_scenarios)
+        original, approximated = {}, {}
+        seen = set()
+        with obs_trace.span("flow.report_delays",
+                            scenarios=len(scenarios)):
+            for scenario in scenarios:
+                label = scenario.label if scenario is not None else "fresh"
+                if label in seen:
+                    continue
+                seen.add(label)
+                original[label] = design_delay_ps(
+                    micro, library, scenario, effort=effort, bti=bti,
+                    degradation=degradation)
+                approximated[label] = design_delay_ps(
+                    outcome.design, library, scenario, effort=effort,
+                    bti=bti, degradation=degradation)
+    _log.info("guardband removal %s: residual %.2f ps after %d "
+              "iteration(s)",
+              "validated" if outcome.validated else "NOT validated",
+              outcome.residual_guardband_ps, outcome.iterations)
     return GuardbandRemovalReport(
         outcome=outcome, constraint_ps=outcome.constraint_ps,
         original_delays_ps=original, approximated_delays_ps=approximated)
@@ -178,32 +192,36 @@ def compare_with_baseline(micro, outcome, library, scenario, effort="ultra",
     constraint = outcome.constraint_ps
     rng = np.random.default_rng(rng_seed)
 
-    activity = {}
-    for blk in micro.blocks:
-        operands = blk.component.random_operands(activity_count, rng=rng)
-        activity[blk.name] = operand_stream_bits(
-            operands, blk.component.operand_widths)
+    with obs_trace.span("flow.compare_with_baseline", design=micro.name,
+                        scenario=scenario.label):
+        activity = {}
+        for blk in micro.blocks:
+            operands = blk.component.random_operands(activity_count,
+                                                     rng=rng)
+            activity[blk.name] = operand_stream_bits(
+                operands, blk.component.operand_widths)
 
-    # Ours: the approximated blocks at the fresh clock.
-    ours_pairs = [(blk, blk.synthesized(library, effort))
-                  for blk in outcome.design.blocks]
-    ours = microarchitecture_power(ours_pairs, library, constraint,
-                                   activity)
+        # Ours: the approximated blocks at the fresh clock.
+        ours_pairs = [(blk, blk.synthesized(library, effort))
+                      for blk in outcome.design.blocks]
+        ours = microarchitecture_power(ours_pairs, library, constraint,
+                                       activity)
 
-    # Baseline: every original block hardened for the scenario; clocked
-    # at its end-of-life critical path (the remaining guardband).
-    baseline_pairs = []
-    baseline_aged = 0.0
-    for blk in micro.blocks:
-        hardened = aging_aware_synthesize(
-            blk.component, library, scenario, target_ps=constraint,
-            bti=bti, degradation=degradation,
-            area_budget_ratio=area_budget_ratio)
-        baseline_pairs.append((blk, hardened.netlist))
-        baseline_aged = max(baseline_aged, hardened.aged_delay_ps)
-    baseline_clock = max(constraint, baseline_aged)
-    baseline = microarchitecture_power(baseline_pairs, library,
-                                       baseline_clock, activity)
+        # Baseline: every original block hardened for the scenario;
+        # clocked at its end-of-life critical path (the remaining
+        # guardband).
+        baseline_pairs = []
+        baseline_aged = 0.0
+        for blk in micro.blocks:
+            hardened = aging_aware_synthesize(
+                blk.component, library, scenario, target_ps=constraint,
+                bti=bti, degradation=degradation,
+                area_budget_ratio=area_budget_ratio)
+            baseline_pairs.append((blk, hardened.netlist))
+            baseline_aged = max(baseline_aged, hardened.aged_delay_ps)
+        baseline_clock = max(constraint, baseline_aged)
+        baseline = microarchitecture_power(baseline_pairs, library,
+                                           baseline_clock, activity)
 
     return BaselineComparison(
         ours=ours, baseline=baseline, ratios=savings(ours, baseline),

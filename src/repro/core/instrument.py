@@ -1,30 +1,30 @@
-"""Per-stage timing instrumentation for the characterization engine.
+"""Per-stage timing instrumentation — compatibility shim over repro.obs.
 
-The characterization flow has three expensive stages — synthesis,
-actual-case stress extraction and aging-aware STA — plus the result
-cache sitting in front of them. This module collects lightweight
-``perf_counter`` spans and event counters around those stages so a run
-can report *where* its wall time went and how effective the cache was,
-without any third-party profiler.
+This module predates the full observability layer (:mod:`repro.obs`)
+and keeps its original public API — :class:`Instrumentation`,
+:func:`current`, :func:`collect`, the ``STAGE_*`` / ``COUNT_*`` names —
+so existing callers and tests work unchanged. Internally it is now a
+thin veneer:
 
-Collection is ambient: :func:`current` returns the innermost active
-:class:`Instrumentation`, so deeply nested flows (``remove_guardband``
--> ``apply_aging_approximations`` -> ``characterize``) record into one
-collector without threading it through every signature. Wrap a region
-with :func:`collect` to capture its spans in a fresh collector::
+* an :class:`Instrumentation` records into its own
+  :class:`repro.obs.metrics.MetricsRegistry` (stages as histograms,
+  counters as counters) and its :meth:`~Instrumentation.stage` context
+  manager additionally opens an ambient :func:`repro.obs.trace.span`,
+  so stage regions show up in ``--trace`` output for free;
+* the ambient collector stack lives in a :mod:`contextvars` context
+  variable rather than the old module-level list, so :func:`collect`
+  nests correctly under ``ThreadPoolExecutor`` threads and asyncio
+  tasks instead of interleaving pushes and pops across contexts.
 
-    from repro.core import instrument
-    with instrument.collect() as instr:
-        characterize(component, lib, scenarios=[worst_case(10)])
-    print(instr.summary())
-
-Worker processes of the parallel engine build their own collector and
-ship its :meth:`~Instrumentation.summary` back to the parent, which
-folds it in with :meth:`~Instrumentation.merge`.
+New code should use :mod:`repro.obs` directly.
 """
 
+import contextvars
 import time
 from contextlib import contextmanager
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 #: Canonical stage names used by the characterization engine.
 STAGE_SYNTHESIZE = "synthesize"
@@ -36,46 +36,74 @@ COUNT_CACHE_HITS = "cache_hits"
 COUNT_CACHE_MISSES = "cache_misses"
 COUNT_NETLIST_MEMO_HITS = "netlist_memo_hits"
 
+#: Legacy counter name -> canonical repro.obs metric name.
+COUNTER_ALIASES = {
+    COUNT_CACHE_HITS: obs_metrics.CACHE_HITS,
+    COUNT_CACHE_MISSES: obs_metrics.CACHE_MISSES,
+    COUNT_NETLIST_MEMO_HITS: obs_metrics.NETLIST_MEMO_HITS,
+}
+
+#: Registry namespace separating stage histograms from event counters.
+_STAGE_PREFIX = "stage."
+
 
 class Instrumentation:
-    """Accumulates per-stage wall time and named event counters."""
+    """Accumulates per-stage wall time and named event counters.
+
+    Backed by a private :class:`~repro.obs.metrics.MetricsRegistry`:
+    every stage is a histogram (count = calls, sum = seconds, with a
+    distribution on top), every counter a plain counter. The public
+    surface — including the :meth:`summary` wire format workers ship to
+    the parent — is unchanged.
+    """
 
     def __init__(self):
-        self._stages = {}     # name -> [calls, seconds]
-        self._counters = {}   # name -> count
+        self._registry = obs_metrics.MetricsRegistry()
 
     # -- recording ---------------------------------------------------------
     @contextmanager
     def stage(self, name):
-        """Context manager timing one span of *name*."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - start)
+        """Context manager timing one span of *name*.
+
+        Also records an ambient :func:`repro.obs.trace.span` so stage
+        regions appear in captured traces.
+        """
+        with obs_trace.span(name):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self._registry.histogram(
+                    _STAGE_PREFIX + name).observe(elapsed)
 
     def add_time(self, name, seconds, calls=1):
         """Fold *seconds* (over *calls* spans) into stage *name*."""
-        entry = self._stages.setdefault(name, [0, 0.0])
-        entry[0] += calls
-        entry[1] += seconds
+        self._registry.histogram(
+            _STAGE_PREFIX + name).add_aggregate(calls, seconds)
 
     def count(self, name, n=1):
         """Increment counter *name* by *n*."""
-        self._counters[name] = self._counters.get(name, 0) + n
+        self._registry.counter(name).inc(n)
 
     # -- reporting ---------------------------------------------------------
+    def _stage(self, name):
+        return self._registry.get(_STAGE_PREFIX + name)
+
     def stage_seconds(self, name):
         """Total seconds spent in stage *name* (0.0 when never entered)."""
-        return self._stages.get(name, (0, 0.0))[1]
+        hist = self._stage(name)
+        return hist.sum if hist is not None else 0.0
 
     def stage_calls(self, name):
         """Number of spans recorded for stage *name*."""
-        return self._stages.get(name, (0, 0.0))[0]
+        hist = self._stage(name)
+        return hist.count if hist is not None else 0
 
     def counter(self, name):
         """Current value of counter *name* (0 when never incremented)."""
-        return self._counters.get(name, 0)
+        metric = self._registry.get(name)
+        return metric.value if metric is not None else 0
 
     def summary(self):
         """Machine-readable snapshot.
@@ -84,11 +112,13 @@ class Instrumentation:
         "counters": {name: int}}`` — plain JSON-serializable data, also
         the wire format workers use to report back to the parent.
         """
-        return {
-            "stages": {name: {"calls": calls, "seconds": seconds}
-                       for name, (calls, seconds) in self._stages.items()},
-            "counters": dict(self._counters),
-        }
+        snapshot = self._registry.snapshot()
+        stages = {}
+        for name, state in snapshot["histograms"].items():
+            if name.startswith(_STAGE_PREFIX):
+                stages[name[len(_STAGE_PREFIX):]] = {
+                    "calls": state["count"], "seconds": state["sum"]}
+        return {"stages": stages, "counters": dict(snapshot["counters"])}
 
     def merge(self, summary):
         """Fold a :meth:`summary` dict (e.g. from a worker) into this one."""
@@ -100,22 +130,32 @@ class Instrumentation:
 
     def reset(self):
         """Drop all recorded spans and counters."""
-        self._stages.clear()
-        self._counters.clear()
+        self._registry.reset()
 
     def __repr__(self):
-        total = sum(seconds for __, seconds in self._stages.values())
+        summary = self.summary()
+        total = sum(entry["seconds"] for entry in summary["stages"].values())
         return "Instrumentation(stages=%d, total=%.3fs)" % (
-            len(self._stages), total)
+            len(summary["stages"]), total)
 
 
-#: Ambient collector stack; the bottom element is the process-wide root.
-_STACK = [Instrumentation()]
+#: Process-wide root collector, the bottom of every context's stack.
+_ROOT = Instrumentation()
+
+#: Ambient collector stack — a per-context immutable tuple, so nested
+#: :func:`collect` scopes in different threads / asyncio tasks never
+#: interleave (the old module-level list leaked state across threads).
+_STACK = contextvars.ContextVar("repro_instrument_stack", default=None)
+
+
+def _stack():
+    stack = _STACK.get()
+    return stack if stack is not None else (_ROOT,)
 
 
 def current():
     """Return the innermost active collector (never None)."""
-    return _STACK[-1]
+    return _stack()[-1]
 
 
 @contextmanager
@@ -127,8 +167,8 @@ def collect(instr=None):
     """
     if instr is None:
         instr = Instrumentation()
-    _STACK.append(instr)
+    token = _STACK.set(_stack() + (instr,))
     try:
         yield instr
     finally:
-        _STACK.pop()
+        _STACK.reset(token)

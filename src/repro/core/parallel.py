@@ -16,8 +16,12 @@ the ``REPRO_JOBS`` environment variable; otherwise 1 (serial).
 
 import os
 
+from ..obs import logs, trace as obs_trace
+
 #: Environment variable overriding the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+_log = logs.get_logger("core.parallel")
 
 
 def resolve_jobs(jobs=None):
@@ -56,5 +60,9 @@ def map_tasks(worker, tasks, jobs=1):
     from concurrent.futures import ProcessPoolExecutor
 
     workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, tasks))
+    _log.info("fanning out %d tasks over %d worker processes",
+              len(tasks), workers)
+    with obs_trace.span("parallel.map", tasks=len(tasks),
+                        workers=workers):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(worker, tasks))

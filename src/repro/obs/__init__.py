@@ -1,0 +1,48 @@
+"""repro.obs — dependency-free observability for the whole flow.
+
+Three pillars, each usable on its own:
+
+* :mod:`repro.obs.trace` — hierarchical spans with ambient
+  (contextvars) propagation, process-pool re-parenting, and Chrome
+  trace / JSONL export;
+* :mod:`repro.obs.metrics` — named counters, gauges and histograms
+  with an associative snapshot/merge wire format;
+* :mod:`repro.obs.manifest` — one JSON run manifest per top-level run
+  (config fingerprints, library identity, stage totals, metric
+  snapshot, peak RSS);
+
+plus :mod:`repro.obs.logs`, the ``repro.*`` :mod:`logging` hierarchy.
+
+The legacy per-stage collector, :mod:`repro.core.instrument`, is a thin
+compatibility shim over this package.
+"""
+
+from . import logs, metrics, trace
+from . import manifest  # imported last: lazily reaches into repro.core
+from .logs import configure as configure_logging, get_logger
+from .manifest import (build_manifest, default_manifest_path,
+                       peak_rss_bytes, write_manifest)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, observe,
+                      registry, scoped)
+from .trace import Span, Tracer, adopt, capture, current_span, span
+
+__all__ = [
+    "logs", "metrics", "trace", "manifest",
+    "configure_logging", "get_logger",
+    "build_manifest", "default_manifest_path", "peak_rss_bytes",
+    "write_manifest",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "observe",
+    "registry", "scoped",
+    "Span", "Tracer", "adopt", "capture", "current_span", "span",
+    "propagate",
+]
+
+
+def propagate(fn):
+    """Bind *fn* to the caller's trace **and** metrics scope.
+
+    The thread-pool analogue of the process-pool wire formats: submit
+    ``propagate(fn)`` to a ``ThreadPoolExecutor`` and the worker thread
+    records into the submitting context.
+    """
+    return trace.wrap(metrics.wrap(fn))

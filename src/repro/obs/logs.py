@@ -1,0 +1,66 @@
+"""The ``repro.*`` :mod:`logging` hierarchy.
+
+Every module logs under a child of the single ``repro`` root logger
+(``repro.core.cache``, ``repro.synth`` ...), so one :func:`configure`
+call — or the CLI's ``--log-level`` flag — controls the whole library,
+and embedding applications can attach their own handlers to any
+sub-tree instead. The library itself never configures handlers at
+import time (standard library-logging etiquette): without
+:func:`configure`, records propagate to whatever the application set
+up, or vanish into the default ``lastResort`` handler.
+"""
+
+import logging
+
+#: Root logger name of the whole library.
+ROOT = "repro"
+
+#: Accepted ``--log-level`` values, least to most verbose.
+LEVELS = ("error", "warning", "info", "debug")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler :func:`configure` installs.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name=None):
+    """Logger under the ``repro`` hierarchy.
+
+    ``get_logger()`` is the root; ``get_logger("core.cache")`` is
+    ``repro.core.cache``. Dotted names are relative to the root — a
+    fully qualified ``repro.x`` name is accepted as-is.
+    """
+    if not name:
+        return logging.getLogger(ROOT)
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger("%s.%s" % (ROOT, name))
+
+
+def configure(level="warning", stream=None):
+    """Set the ``repro`` root level and attach one stderr handler.
+
+    Idempotent: repeated calls re-level the existing handler instead of
+    stacking duplicates. Returns the root logger.
+    """
+    if level is None:
+        level = "warning"
+    if isinstance(level, str):
+        if level.lower() not in LEVELS:
+            raise ValueError("log level must be one of %r, got %r"
+                             % (LEVELS, level))
+        level = getattr(logging, level.upper())
+    root = logging.getLogger(ROOT)
+    root.setLevel(level)
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            handler.setLevel(level)
+            break
+    else:
+        handler = logging.StreamHandler(stream)
+        handler.setLevel(level)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        root.addHandler(handler)
+    return root

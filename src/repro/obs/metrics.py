@@ -1,0 +1,291 @@
+"""Named counters, gauges and histograms with a mergeable wire format.
+
+The registry answers "how effective was the cache, how fast was the
+simulator, what did synthesis produce" as *numbers with stable names*
+rather than log lines. Three metric kinds:
+
+* :class:`Counter` — monotonically increasing event count
+  (``cache.hits``, ``sim.vectors``);
+* :class:`Gauge` — last-observed value (``sim.vectors_per_sec``);
+* :class:`Histogram` — distribution with fixed bucket boundaries plus
+  count/sum/min/max (``synth.delay_ps``, ``synth.area_um2``).
+
+Every registry serializes to a plain-JSON :meth:`MetricsRegistry.
+snapshot` that :meth:`MetricsRegistry.merge` folds back in — the wire
+format process-pool workers use to report home. Histogram merging is
+associative (bucket-wise sums), so worker snapshots can be folded in
+any grouping.
+
+Like tracing, the active registry is ambient (:func:`registry`); unlike
+tracing there is always a process-wide default registry, because metric
+state is bounded. Scope a fresh one with :func:`scoped` to isolate a
+run (the CLI does this per invocation).
+"""
+
+import bisect
+import contextvars
+import threading
+from contextlib import contextmanager
+
+#: Bump when the snapshot layout changes.
+METRICS_SCHEMA = 1
+
+#: Default histogram boundaries: one bucket per decade, 1e-6 .. 1e6.
+DEFAULT_BOUNDARIES = tuple(10.0 ** e for e in range(-6, 7))
+
+# Canonical metric names (the cache keeps its legacy ``cache_*`` counter
+# names as aliases — see repro.core.instrument.COUNTER_ALIASES).
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+CACHE_STORES = "cache.stores"
+CACHE_ERRORS = "cache.corrupt_recoveries"
+CACHE_BYTES_READ = "cache.bytes_read"
+CACHE_BYTES_WRITTEN = "cache.bytes_written"
+NETLIST_MEMO_HITS = "cache.netlist_memo_hits"
+SIM_RUNS = "sim.runs"
+SIM_VECTORS = "sim.vectors"
+SIM_VECTORS_PER_SEC = "sim.vectors_per_sec"
+SYNTH_RUNS = "synth.runs"
+SYNTH_DELAY_PS = "synth.delay_ps"
+SYNTH_AREA_UM2 = "synth.area_um2"
+STA_RUNS = "sta.runs"
+STRESS_EXTRACTIONS = "stress.extractions"
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+    def to_snapshot(self):
+        return self.value
+
+    def merge_snapshot(self, other):
+        self.value += other
+
+
+class Gauge:
+    """Last-write-wins sampled value."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = float(value)
+
+    def to_snapshot(self):
+        return self.value
+
+    def merge_snapshot(self, other):
+        self.value = float(other)
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max.
+
+    *boundaries* are the upper bucket edges; values above the last edge
+    land in a final overflow bucket, so there are ``len(boundaries)+1``
+    buckets. Merging requires identical boundaries and is associative.
+    """
+
+    __slots__ = ("boundaries", "buckets", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, boundaries=DEFAULT_BOUNDARIES):
+        self.boundaries = tuple(float(b) for b in boundaries)
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise ValueError("histogram boundaries must be strictly "
+                             "increasing, got %r" % (boundaries,))
+        self.buckets = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        value = float(value)
+        self.buckets[bisect.bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def add_aggregate(self, count, total):
+        """Fold *count* pre-aggregated observations summing to *total*.
+
+        Used when only aggregate data survives (legacy instrumentation
+        summaries); the bucket credit goes to the mean value.
+        """
+        if count <= 0:
+            return
+        mean = total / count
+        self.buckets[bisect.bisect_left(self.boundaries, mean)] += count
+        self.count += count
+        self.sum += total
+        self.min = mean if self.min is None else min(self.min, mean)
+        self.max = mean if self.max is None else max(self.max, mean)
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def to_snapshot(self):
+        return {"count": self.count, "sum": self.sum, "min": self.min,
+                "max": self.max, "boundaries": list(self.boundaries),
+                "buckets": list(self.buckets)}
+
+    def merge_snapshot(self, other):
+        if list(other.get("boundaries", ())) != list(self.boundaries):
+            raise ValueError(
+                "cannot merge histograms with different boundaries: "
+                "%r vs %r" % (other.get("boundaries"), self.boundaries))
+        self.count += other["count"]
+        self.sum += other["sum"]
+        for index, n in enumerate(other["buckets"]):
+            self.buckets[index] += n
+        for name, fold in (("min", min), ("max", max)):
+            theirs = other.get(name)
+            if theirs is not None:
+                ours = getattr(self, name)
+                setattr(self, name,
+                        theirs if ours is None else fold(ours, theirs))
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with snapshot/merge."""
+
+    def __init__(self):
+        self._metrics = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name, cls, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(*args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError("metric %r already registered as %s"
+                                % (name, metric.kind))
+            return metric
+
+    def counter(self, name):
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name):
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name, boundaries=DEFAULT_BOUNDARIES):
+        return self._get_or_create(name, Histogram, boundaries)
+
+    def get(self, name):
+        """The metric registered under *name*, or None."""
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def value(self, name, default=0):
+        """Counter/gauge value under *name* (``default`` when absent)."""
+        metric = self._metrics.get(name)
+        return default if metric is None else metric.value
+
+    # -- wire format -------------------------------------------------------
+    def snapshot(self):
+        """Plain-JSON state: ``{"schema", "counters", "gauges",
+        "histograms"}`` — the worker -> parent / on-disk wire format."""
+        out = {"schema": METRICS_SCHEMA, "counters": {}, "gauges": {},
+               "histograms": {}}
+        with self._lock:
+            for name, metric in self._metrics.items():
+                out[metric.kind + "s"][name] = metric.to_snapshot()
+        return out
+
+    def merge(self, snapshot):
+        """Fold a :meth:`snapshot` dict into this registry."""
+        for kind, cls in _KINDS.items():
+            for name, state in snapshot.get(kind + "s", {}).items():
+                if cls is Histogram:
+                    metric = self.histogram(
+                        name, state.get("boundaries", DEFAULT_BOUNDARIES))
+                else:
+                    metric = self._get_or_create(name, cls)
+                metric.merge_snapshot(state)
+        return self
+
+    def reset(self):
+        with self._lock:
+            self._metrics.clear()
+
+    def __repr__(self):
+        return "MetricsRegistry(%d metrics)" % len(self._metrics)
+
+
+# ---------------------------------------------------------------------------
+# ambient registry
+# ---------------------------------------------------------------------------
+
+#: Process-wide fallback registry (metric state is bounded, so always-on).
+_DEFAULT = MetricsRegistry()
+
+_ACTIVE = contextvars.ContextVar("repro_obs_metrics", default=None)
+
+
+def registry():
+    """The ambient registry: the innermost :func:`scoped` one, else the
+    process-wide default."""
+    active = _ACTIVE.get()
+    return active if active is not None else _DEFAULT
+
+
+@contextmanager
+def scoped(reg=None):
+    """Route ambient metric emission into *reg* (fresh when omitted)."""
+    if reg is None:
+        reg = MetricsRegistry()
+    token = _ACTIVE.set(reg)
+    try:
+        yield reg
+    finally:
+        _ACTIVE.reset(token)
+
+
+def wrap(fn):
+    """Bind *fn* to the caller's metrics scope, for worker threads."""
+    active = _ACTIVE.get()
+
+    def runner(*args, **kwargs):
+        token = _ACTIVE.set(active)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            _ACTIVE.reset(token)
+
+    return runner
+
+
+# -- one-line emission helpers (all target the ambient registry) -----------
+
+def inc(name, n=1):
+    registry().counter(name).inc(n)
+
+
+def set_gauge(name, value):
+    registry().gauge(name).set(value)
+
+
+def observe(name, value, boundaries=DEFAULT_BOUNDARIES):
+    registry().histogram(name, boundaries).observe(value)

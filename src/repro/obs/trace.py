@@ -1,0 +1,273 @@
+"""Hierarchical tracing with ambient, contextvars-based propagation.
+
+A :class:`Span` is one timed region with a name and free-form
+attributes (component, precision, scenario, cache hit/miss ...); spans
+nest into trees under a :class:`Tracer`. Propagation is *ambient*: the
+active ``(tracer, span)`` pair lives in a :mod:`contextvars` context
+variable, so deeply nested flows record into one trace without
+threading a handle through every signature, and concurrent contexts
+(threads via :func:`wrap`, asyncio tasks natively) never corrupt each
+other's span stack.
+
+Tracing is **off by default** — :func:`span` is a near-free no-op until
+a :func:`capture` scope activates a tracer — so instrumented hot paths
+cost nothing in normal library use.
+
+Process-pool workers cannot share the parent's context. The supported
+pattern (used by :mod:`repro.core.characterize`) is: the worker opens
+its own :func:`capture`, runs, and ships ``tracer.to_dicts()`` home in
+its result; the parent calls :func:`adopt` while its submitting span is
+still open, re-parenting the worker trees under it. Wall-clock starts
+(``time.time``) make worker timestamps comparable across processes.
+
+Export formats:
+
+* :meth:`Tracer.write_chrome` — Chrome trace format JSON, loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev;
+* :meth:`Tracer.write_jsonl` — one flat JSON object per span with
+  ``depth``/``parent`` fields, greppable and stream-parseable.
+"""
+
+import contextvars
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+#: Bump when the serialized span layout changes.
+TRACE_SCHEMA = 1
+
+
+class Span:
+    """One timed, named, attributed region of a trace tree."""
+
+    __slots__ = ("name", "attrs", "t0", "dur", "pid", "tid", "children")
+
+    def __init__(self, name, attrs=None, t0=None, dur=0.0, pid=None,
+                 tid=None, children=None):
+        self.name = name
+        self.attrs = dict(attrs or {})
+        self.t0 = time.time() if t0 is None else t0
+        self.dur = dur
+        self.pid = os.getpid() if pid is None else pid
+        self.tid = threading.get_ident() if tid is None else tid
+        self.children = list(children or [])
+
+    def to_dict(self):
+        """JSON-serializable tree — the worker -> parent wire format."""
+        return {"name": self.name, "attrs": self.attrs, "t0": self.t0,
+                "dur": self.dur, "pid": self.pid, "tid": self.tid,
+                "children": [c.to_dict() for c in self.children]}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(name=data["name"], attrs=data.get("attrs"),
+                   t0=data["t0"], dur=data.get("dur", 0.0),
+                   pid=data.get("pid"), tid=data.get("tid"),
+                   children=[cls.from_dict(c)
+                             for c in data.get("children", ())])
+
+    def walk(self, depth=0, parent=None):
+        """Yield ``(span, depth, parent)`` over this subtree, pre-order."""
+        yield self, depth, parent
+        for child in self.children:
+            yield from child.walk(depth + 1, self)
+
+    def __repr__(self):
+        return "Span(%r, %.3fms, %d children)" % (
+            self.name, self.dur * 1e3, len(self.children))
+
+
+class Tracer:
+    """Collects root spans; the unit that is captured, shipped, merged."""
+
+    def __init__(self):
+        self.roots = []
+
+    def add_root(self, span):
+        self.roots.append(span)
+
+    def walk(self):
+        """Yield ``(span, depth, parent)`` over every tree, pre-order."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def __len__(self):
+        return sum(1 for __ in self.walk())
+
+    # -- wire format -------------------------------------------------------
+    def to_dicts(self):
+        """Serialize every root tree (the process-pool wire format)."""
+        return [root.to_dict() for root in self.roots]
+
+    def adopt(self, trees, parent=None):
+        """Attach serialized span *trees* under *parent* (or as roots)."""
+        spans = [Span.from_dict(tree) for tree in trees]
+        if parent is None:
+            self.roots.extend(spans)
+        else:
+            parent.children.extend(spans)
+        return spans
+
+    def totals(self):
+        """Aggregate ``{span name: {"calls": int, "seconds": float}}``."""
+        out = {}
+        for span_, __depth, __parent in self.walk():
+            entry = out.setdefault(span_.name, {"calls": 0, "seconds": 0.0})
+            entry["calls"] += 1
+            entry["seconds"] += span_.dur
+        return out
+
+    # -- Chrome trace format -----------------------------------------------
+    def chrome_events(self):
+        """Flatten into Chrome-trace ``X`` (+ ``M`` metadata) events.
+
+        Timestamps are microseconds relative to the earliest span, so
+        they are non-negative and monotonically sorted; durations are
+        clamped non-negative.
+        """
+        spans = [s for s, __d, __p in self.walk()]
+        if not spans:
+            return []
+        base = min(s.t0 for s in spans)
+        root_pid = os.getpid()
+        events = []
+        for pid in sorted({s.pid for s in spans}):
+            label = ("repro" if pid == root_pid
+                     else "repro worker %d" % pid)
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": label}})
+        timed = []
+        for s in spans:
+            timed.append({
+                "name": s.name, "cat": "repro", "ph": "X",
+                "ts": max(0.0, (s.t0 - base) * 1e6),
+                "dur": max(0.0, s.dur * 1e6),
+                "pid": s.pid, "tid": s.tid, "args": dict(s.attrs),
+            })
+        timed.sort(key=lambda e: e["ts"])
+        return events + timed
+
+    def write_chrome(self, path):
+        """Write a ``chrome://tracing`` / Perfetto-loadable JSON file."""
+        payload = {"traceEvents": self.chrome_events(),
+                   "displayTimeUnit": "ms",
+                   "otherData": {"schema": TRACE_SCHEMA,
+                                 "producer": "repro.obs"}}
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+
+    # -- JSONL -------------------------------------------------------------
+    def write_jsonl(self, path):
+        """Write one flat JSON object per span (pre-order, depth-tagged)."""
+        with open(path, "w") as handle:
+            for span_, depth, parent in self.walk():
+                handle.write(json.dumps({
+                    "name": span_.name, "t0": span_.t0, "dur": span_.dur,
+                    "pid": span_.pid, "tid": span_.tid, "depth": depth,
+                    "parent": parent.name if parent else None,
+                    "attrs": span_.attrs,
+                }))
+                handle.write("\n")
+
+    def __repr__(self):
+        return "Tracer(%d spans)" % len(self)
+
+
+# ---------------------------------------------------------------------------
+# ambient propagation
+# ---------------------------------------------------------------------------
+
+#: Active ``(tracer, innermost open span | None)``; None = tracing off.
+_ACTIVE = contextvars.ContextVar("repro_obs_trace", default=None)
+
+
+def active_tracer():
+    """The capturing :class:`Tracer`, or None when tracing is off."""
+    active = _ACTIVE.get()
+    return active[0] if active is not None else None
+
+
+def current_span():
+    """The innermost open :class:`Span`, or None."""
+    active = _ACTIVE.get()
+    return active[1] if active is not None else None
+
+
+@contextmanager
+def capture(tracer=None):
+    """Activate tracing into *tracer* (fresh when omitted) for a scope.
+
+    Nesting is allowed: an inner ``capture`` hides the outer one (used
+    by pool workers to build their own shippable tree even on the
+    serial in-process path).
+    """
+    if tracer is None:
+        tracer = Tracer()
+    token = _ACTIVE.set((tracer, None))
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def span(name, **attrs):
+    """Record one span under the current one; no-op when tracing is off.
+
+    Yields the open :class:`Span` (or None when off) so callers can add
+    attributes discovered mid-region (e.g. ``cache: hit``).
+    """
+    active = _ACTIVE.get()
+    if active is None:
+        yield None
+        return
+    tracer, parent = active
+    s = Span(name, attrs)
+    token = _ACTIVE.set((tracer, s))
+    start = time.perf_counter()
+    try:
+        yield s
+    finally:
+        s.dur = time.perf_counter() - start
+        _ACTIVE.reset(token)
+        if parent is None:
+            tracer.add_root(s)
+        else:
+            parent.children.append(s)
+
+
+def adopt(trees):
+    """Re-parent serialized worker span *trees* under the current span.
+
+    No-op when tracing is off; attaches as roots when no span is open.
+    Returns the adopted :class:`Span` objects (empty list when off).
+    """
+    active = _ACTIVE.get()
+    if active is None or not trees:
+        return []
+    tracer, parent = active
+    return tracer.adopt(trees, parent=parent)
+
+
+def wrap(fn):
+    """Bind *fn* to the caller's tracing context, for worker threads.
+
+    ``contextvars`` do not propagate into threads started later (e.g. a
+    ``ThreadPoolExecutor`` created before :func:`capture`); submitting
+    ``wrap(fn)`` instead of ``fn`` makes the thread record into the
+    submitter's trace. The wrapper is re-entrant: safe to run
+    concurrently from many threads.
+    """
+    active = _ACTIVE.get()
+
+    def runner(*args, **kwargs):
+        token = _ACTIVE.set(active)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            _ACTIVE.reset(token)
+
+    return runner

@@ -136,6 +136,47 @@ def instrumentation_report_text(instr, cache_stats=None):
     return "\n".join(lines)
 
 
+def metrics_report_text(snapshot):
+    """Render a metrics-registry snapshot as aligned text tables.
+
+    Parameters
+    ----------
+    snapshot:
+        A :class:`~repro.obs.metrics.MetricsRegistry` or the dict from
+        its ``snapshot()``.
+    """
+    if hasattr(snapshot, "snapshot"):
+        snapshot = snapshot.snapshot()
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    lines = ["metrics:"]
+    if not (counters or gauges or histograms):
+        lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+    rows = [[name, value] for name, value in sorted(counters.items())]
+    rows += [[name, float(value)] for name, value in sorted(gauges.items())]
+    if rows:
+        lines.append(format_table(["name", "value"], rows))
+    if histograms:
+        lines.append(format_table(
+            ["histogram", "count", "mean", "min", "max"],
+            [[name, h["count"],
+              h["sum"] / h["count"] if h["count"] else 0.0,
+              h["min"] if h["min"] is not None else 0.0,
+              h["max"] if h["max"] is not None else 0.0]
+             for name, h in sorted(histograms.items())]))
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    if hits or misses:
+        lines.append("cache hit ratio: %.0f%% (%d read / %d written "
+                     "bytes)"
+                     % (100.0 * hits / (hits + misses),
+                        counters.get("cache.bytes_read", 0),
+                        counters.get("cache.bytes_written", 0)))
+    return "\n".join(lines)
+
+
 def schedule_report_text(schedule):
     """Summary of an adaptive precision schedule."""
     lines = ["graceful-degradation schedule for %s (clock %.1f ps)"

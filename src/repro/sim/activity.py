@@ -10,15 +10,19 @@ aging flow needs:
   power model.
 """
 
+import time
 from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
 
 from ..aging.stress import ActualStress
+from ..obs import logs, metrics as obs_metrics, trace as obs_trace
 from . import bitpack
 from .logic import (all_net_values, all_net_values_packed, compile_netlist,
                     int_to_bits)
+
+_log = logs.get_logger("sim.activity")
 
 #: Functional-simulation engines: ``"packed"`` (64 vectors per uint64
 #: word, popcount statistics — the default) and ``"bytes"`` (one bit
@@ -129,13 +133,26 @@ def simulate_activity(netlist, library, pi_bits, engine="packed"):
         raise ValueError(
             "expected pi_bits of shape (vectors, %d), got %r"
             % (len(compiled.pi_slots), pi_bits.shape))
-    if pi_bits.shape[0] == 0:
-        p1 = np.zeros(compiled.slots)
-        toggles = np.zeros(compiled.slots)
-    elif engine == "bytes":
-        p1, toggles = _byte_statistics(compiled, pi_bits)
-    else:
-        p1, toggles = _packed_statistics(compiled, pi_bits)
+    vectors = int(pi_bits.shape[0])
+    start = time.perf_counter()
+    with obs_trace.span("sim.activity", design=netlist.name,
+                        engine=engine, vectors=vectors,
+                        nets=compiled.slots):
+        if vectors == 0:
+            p1 = np.zeros(compiled.slots)
+            toggles = np.zeros(compiled.slots)
+        elif engine == "bytes":
+            p1, toggles = _byte_statistics(compiled, pi_bits)
+        else:
+            p1, toggles = _packed_statistics(compiled, pi_bits)
+    elapsed = time.perf_counter() - start
+    obs_metrics.inc(obs_metrics.SIM_RUNS)
+    obs_metrics.inc(obs_metrics.SIM_VECTORS, vectors)
+    if elapsed > 0 and vectors:
+        obs_metrics.set_gauge(obs_metrics.SIM_VECTORS_PER_SEC,
+                              vectors / elapsed)
+    _log.debug("simulated %d vectors over %d nets (%s engine, %.1f ms)",
+               vectors, compiled.slots, engine, elapsed * 1e3)
     signal_probability = {}
     toggle_rate = {}
     for net, slot in compiled.slot_of.items():
@@ -150,9 +167,14 @@ def extract_stress(netlist, library, pi_bits, label="actual",
                    engine="packed"):
     """One-call helper: simulate activity and build an actual-case
     :class:`~repro.aging.stress.ActualStress` annotation (Fig. 3(c))."""
-    report = simulate_activity(netlist, library, pi_bits, engine=engine)
-    return ActualStress.from_signal_probabilities(
-        netlist, report.signal_probability, label=label)
+    with obs_trace.span("stress.extract", design=netlist.name,
+                        label=label, engine=engine):
+        report = simulate_activity(netlist, library, pi_bits,
+                                   engine=engine)
+        annotation = ActualStress.from_signal_probabilities(
+            netlist, report.signal_probability, label=label)
+    obs_metrics.inc(obs_metrics.STRESS_EXTRACTIONS)
+    return annotation
 
 
 def operand_stream_bits(operands, widths):

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 from ..aging.bti import DEFAULT_BTI
 from ..aging.delay import gate_delays
 from ..netlist.net import CONST0, CONST1
+from ..obs import metrics as obs_metrics, trace as obs_trace
 
 
 @dataclass
@@ -70,24 +71,27 @@ def analyze(netlist, library, scenario=None, bti=DEFAULT_BTI,
         Optional :class:`~repro.cells.degradation.DegradationAwareLibrary`
         for table-based multipliers (the paper's artifact interface).
     """
-    delays = gate_delays(netlist, library, scenario=scenario, bti=bti,
-                         degradation=degradation)
-    arrivals = {CONST0: 0.0, CONST1: 0.0}
-    for net in netlist.primary_inputs:
-        arrivals[net] = 0.0
-    for gate in netlist.topological_gates():
-        at = 0.0
-        for net in gate.inputs:
-            a = arrivals[net]
-            if a > at:
-                at = a
-        arrivals[gate.output] = at + delays[gate.uid]
-    cp = 0.0
-    for net in netlist.primary_outputs:
-        a = arrivals.get(net, 0.0)
-        if a > cp:
-            cp = a
     label = scenario.label if scenario is not None else "fresh"
+    with obs_trace.span("sta.analyze", design=netlist.name,
+                        scenario=label, gates=netlist.num_gates):
+        delays = gate_delays(netlist, library, scenario=scenario, bti=bti,
+                             degradation=degradation)
+        arrivals = {CONST0: 0.0, CONST1: 0.0}
+        for net in netlist.primary_inputs:
+            arrivals[net] = 0.0
+        for gate in netlist.topological_gates():
+            at = 0.0
+            for net in gate.inputs:
+                a = arrivals[net]
+                if a > at:
+                    at = a
+            arrivals[gate.output] = at + delays[gate.uid]
+        cp = 0.0
+        for net in netlist.primary_outputs:
+            a = arrivals.get(net, 0.0)
+            if a > cp:
+                cp = a
+    obs_metrics.inc(obs_metrics.STA_RUNS)
     return TimingReport(arrivals=arrivals, gate_delays=delays,
                         critical_path_ps=cp, scenario_label=label)
 

@@ -9,9 +9,12 @@ driven sizing pass polishes the critical path.
 
 from dataclasses import dataclass
 
+from ..obs import logs, metrics as obs_metrics, trace as obs_trace
 from ..sta.sta import critical_path_delay
 from .optimize import optimize
 from .sizing import upsize_critical_paths
+
+_log = logs.get_logger("synth")
 
 #: effort name -> (optimization rounds, timing-driven sizing enabled)
 EFFORTS = {
@@ -71,21 +74,33 @@ def synthesize(source, library, effort="ultra", target_ps=None):
     netlist = source.build() if hasattr(source, "_build_core") else source
     netlist = netlist.copy()
     source_gates = netlist.num_gates
-    optimize(netlist, library, max_rounds=rounds)
-    if do_sizing:
-        # "ultra" sizes for maximum performance by default, mirroring
-        # the paper's Synopsys "ultra compile" setting.
-        goal = 0.0 if target_ps is None else target_ps
-        upsize_critical_paths(netlist, library, goal)
-    netlist.validate()
-    return SynthesisResult(
-        netlist=netlist,
-        delay_ps=critical_path_delay(netlist, library),
-        area_um2=netlist.area(library),
-        leakage_nw=netlist.leakage(library),
-        source_gates=source_gates,
-        final_gates=netlist.num_gates,
-    )
+    with obs_trace.span("synth.synthesize", design=netlist.name,
+                        effort=effort, source_gates=source_gates) as s:
+        optimize(netlist, library, max_rounds=rounds)
+        if do_sizing:
+            # "ultra" sizes for maximum performance by default, mirroring
+            # the paper's Synopsys "ultra compile" setting.
+            goal = 0.0 if target_ps is None else target_ps
+            upsize_critical_paths(netlist, library, goal)
+        netlist.validate()
+        result = SynthesisResult(
+            netlist=netlist,
+            delay_ps=critical_path_delay(netlist, library),
+            area_um2=netlist.area(library),
+            leakage_nw=netlist.leakage(library),
+            source_gates=source_gates,
+            final_gates=netlist.num_gates,
+        )
+        if s is not None:
+            s.attrs["final_gates"] = result.final_gates
+    obs_metrics.inc(obs_metrics.SYNTH_RUNS)
+    obs_metrics.observe(obs_metrics.SYNTH_DELAY_PS, result.delay_ps)
+    obs_metrics.observe(obs_metrics.SYNTH_AREA_UM2, result.area_um2)
+    _log.debug("synthesized %s: %d -> %d gates, %.1f ps, %.1f um^2 "
+               "(effort=%s)", netlist.name, source_gates,
+               result.final_gates, result.delay_ps, result.area_um2,
+               effort)
+    return result
 
 
 def synthesize_netlist(source, library, effort="ultra", target_ps=None):

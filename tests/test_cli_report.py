@@ -1,9 +1,11 @@
 """Tests for the command-line interface and text report formatting."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
-from repro.report import format_table
+from repro.report import format_table, metrics_report_text
 
 
 class TestFormatTable:
@@ -123,6 +125,144 @@ class TestCommands:
         with pytest.raises(SystemExit, match="nothing to export"):
             main(["export", "--component", "adder", "--width", "8",
                   "--effort", "high"])
+
+
+class TestObservabilityFlags:
+    def test_flags_uniform_across_subcommands(self):
+        parser = build_parser()
+        for command in ("characterize", "timing", "flow", "schedule",
+                        "export"):
+            args = parser.parse_args(
+                [command, "--timings", "--trace", "t.json", "--metrics",
+                 "m.json", "--manifest", "r.json", "--log-level", "debug"]
+                + (["--design", "idct"]
+                   if command in ("flow", "schedule") else []))
+            assert args.trace == "t.json"
+            assert args.metrics == "m.json"
+            assert args.manifest == "r.json"
+            assert args.log_level == "debug"
+            assert args.timings
+
+    def test_flow_trace_metrics_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "out.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(["flow", "--design", "fir", "--width", "10",
+                     "--years", "10", "--effort", "high", "--jobs", "2",
+                     "--trace", str(trace), "--metrics", str(metrics)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace written to" in out
+        assert "metrics written to" in out
+        assert "run manifest written to" in out
+
+        payload = json.loads(trace.read_text())
+        timed = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in timed}
+        assert "cli.flow" in names
+        assert {"synth.synthesize", "sta.analyze"} <= names
+        ts = [e["ts"] for e in timed]
+        assert ts == sorted(ts)
+        assert all(e["dur"] >= 0 for e in timed)
+        # Worker spans got re-parented home with their own pid.
+        assert len({e["pid"] for e in timed}) >= 1
+
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["synth.runs"] > 0
+        assert snap["counters"]["sta.runs"] > 0
+        assert snap["histograms"]["synth.delay_ps"]["count"] > 0
+
+        manifest = json.loads(
+            (tmp_path / "metrics.manifest.json").read_text())
+        assert manifest["command"] == "repro-aging flow"
+        assert manifest["config"]["design"] == "fir"
+        assert manifest["library"]["name"]
+        assert manifest["metrics"]["counters"]["synth.runs"] > 0
+        assert manifest["stages"]
+        assert (manifest["peak_rss_bytes"] is None
+                or manifest["peak_rss_bytes"] > 0)
+
+    def test_jsonl_trace_export(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        code = main(["timing", "--component", "adder", "--width", "6",
+                     "--years", "10", "--effort", "high",
+                     "--trace", str(trace)])
+        assert code == 0
+        rows = [json.loads(line)
+                for line in trace.read_text().splitlines()]
+        assert rows[0]["name"] == "cli.timing"
+        assert rows[0]["depth"] == 0
+        assert any(r["name"] == "synthesize" for r in rows)
+
+    def test_timings_flag_on_timing_and_export(self, capsys, tmp_path):
+        code = main(["timing", "--component", "adder", "--width", "6",
+                     "--years", "10", "--effort", "high", "--timings"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-stage timing:" in out
+        assert "synthesize" in out
+
+        verilog = tmp_path / "a.v"
+        code = main(["export", "--component", "adder", "--width", "6",
+                     "--effort", "high", "--verilog", str(verilog),
+                     "--timings"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-stage timing:" in out
+        assert verilog.exists()
+
+    def test_log_level_flag(self, capsys):
+        import logging
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        try:
+            code = main(["timing", "--component", "adder", "--width",
+                         "6", "--years", "10", "--effort", "high",
+                         "--log-level", "error"])
+            assert code == 0
+            assert root.level == logging.ERROR
+        finally:
+            for h in [h for h in root.handlers if h not in before]:
+                root.removeHandler(h)
+
+    def test_standalone_manifest_flag(self, capsys, tmp_path):
+        manifest = tmp_path / "run.json"
+        code = main(["timing", "--component", "adder", "--width", "6",
+                     "--years", "10", "--effort", "high",
+                     "--manifest", str(manifest)])
+        assert code == 0
+        data = json.loads(manifest.read_text())
+        assert data["command"] == "repro-aging timing"
+        assert data["metrics"]["counters"]["synth.runs"] >= 1
+
+
+class TestMetricsReportText:
+    def test_renders_counters_gauges_histograms(self):
+        snap = {"schema": 1,
+                "counters": {"cache.hits": 3, "cache.misses": 1,
+                             "cache.bytes_read": 400,
+                             "cache.bytes_written": 100},
+                "gauges": {"sim.vectors_per_sec": 2.0e6},
+                "histograms": {"synth.delay_ps": {
+                    "count": 2, "sum": 2469.0, "min": 1200.0,
+                    "max": 1269.0, "boundaries": [1e3],
+                    "buckets": [0, 2]}}}
+        text = metrics_report_text(snap)
+        assert "cache.hits" in text
+        assert "sim.vectors_per_sec" in text
+        assert "synth.delay_ps" in text
+        assert "cache hit ratio: 75%" in text
+        assert "400 read" in text
+
+    def test_empty_snapshot(self):
+        text = metrics_report_text(
+            {"schema": 1, "counters": {}, "gauges": {}, "histograms": {}})
+        assert "(no metrics recorded)" in text
+
+    def test_accepts_registry_object(self):
+        from repro.obs import metrics as obs_metrics
+        reg = obs_metrics.MetricsRegistry()
+        reg.counter("sta.runs").inc(4)
+        assert "sta.runs" in metrics_report_text(reg)
 
 
 class TestReportHelpers:
