@@ -9,19 +9,26 @@ Exposes the library's main flows without writing Python:
   microarchitecture (IDCT, DCT or FIR);
 * ``schedule`` — plan a graceful-degradation precision schedule;
 * ``export`` — dump a synthesized component as structural Verilog
-  and/or an aging-annotated SDF.
+  and/or an aging-annotated SDF;
+* ``verify`` — run the differential-verification stack (golden models,
+  cross-engine oracles, paper-fidelity invariants, optional fuzzing) on
+  a component.
 
 Every command accepts ``--width`` and lifetime lists, uses the bundled
 cell library, and prints plain-text reports (see :mod:`repro.report`).
+Component names accept a compact ``<name><width>`` spelling (e.g.
+``mult16``, ``adder8``) that overrides ``--width``.
 """
 
 import argparse
 import contextlib
 import json
+import os
+import re
 import sys
 import time
 
-from .aging import balance_case, worst_case
+from .aging import balance_case, fresh, worst_case
 from .cells import default_library
 from .core import AgingApproximationLibrary, characterize, remove_guardband
 from .core import cache as cache_mod
@@ -32,9 +39,11 @@ from .obs import logs as obs_logs
 from .obs import manifest as obs_manifest
 from .obs import metrics as obs_metrics
 from .obs import trace as obs_trace
+from .netlist.netlist import NetlistError
 from .report import (characterization_report, flow_report_text,
                      instrumentation_report_text, metrics_report_text,
-                     schedule_report_text, timing_report_text)
+                     schedule_report_text, timing_report_text,
+                     verify_report_text)
 from .rtl import (Adder, BoothMultiplier, CarrySelectAdder, CarrySkipAdder,
                   KoggeStoneAdder, Multiplier, MultiplyAccumulate,
                   RippleCarryAdder, fir_microarchitecture,
@@ -67,14 +76,60 @@ def _scenarios(years, stress):
     return [factory(y) for y in years]
 
 
+#: Short component spellings accepted in compact ``<name><width>`` specs.
+COMPONENT_ALIASES = {
+    "add": "adder",
+    "mult": "multiplier",
+    "mul": "multiplier",
+}
+
+
 def _component(args):
+    """Resolve ``--component``, accepting compact ``<name><width>`` specs.
+
+    ``mult16`` means the 16-bit multiplier regardless of ``--width``;
+    plain registry names (``multiplier``) keep using ``--width``.
+    """
+    spec = args.component
+    name, width = spec, args.width
+    if spec not in COMPONENTS:
+        match = re.match(r"^([a-z_]+?)(\d+)$", spec)
+        if match:
+            name, width = match.group(1), int(match.group(2))
+    name = COMPONENT_ALIASES.get(name, name)
     try:
-        cls = COMPONENTS[args.component]
+        cls = COMPONENTS[name]
     except KeyError:
-        raise SystemExit("unknown component %r (choose from %s)"
-                         % (args.component, ", ".join(sorted(COMPONENTS))))
+        raise SystemExit(
+            "unknown component %r (choose from %s, or a compact spec "
+            "like mult16 / adder8)"
+            % (spec, ", ".join(sorted(COMPONENTS))))
     precision = getattr(args, "precision", None)
-    return cls(args.width, precision=precision)
+    return cls(width, precision=precision)
+
+
+def _parse_scenario(spec):
+    """One scenario spec: ``fresh``, ``worst10y``/``balance1y`` or the
+    characterization-label spelling ``10y_worst``."""
+    if spec == "fresh":
+        return fresh()
+    match = (re.match(r"^(worst|balance)[-_]?(\d+(?:\.\d+)?)y?$", spec)
+             or re.match(r"^(\d+(?:\.\d+)?)y?[-_]?(worst|balance)$", spec))
+    if not match:
+        raise SystemExit(
+            "unknown scenario %r (expected e.g. worst10y, balance1y, "
+            "10y_worst or fresh)" % spec)
+    first, second = match.groups()
+    kind, years = ((first, second) if first in ("worst", "balance")
+                   else (second, first))
+    return (worst_case if kind == "worst" else balance_case)(float(years))
+
+
+def _verify_scenarios(text):
+    specs = [part.strip() for part in text.split(",") if part.strip()]
+    if not specs:
+        raise SystemExit("no scenarios given (try --scenario worst10y)")
+    return [_parse_scenario(spec) for spec in specs]
 
 
 def _manifest_config(args):
@@ -114,6 +169,10 @@ def _engine(args):
                                                            trace_path)
     tracing = trace_path is not None or manifest_path is not None
     cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir and not os.path.isdir(cache_dir):
+        raise SystemExit("cache directory %r does not exist "
+                         "(create it first, or drop --cache-dir)"
+                         % cache_dir)
     scope = (cache_mod.cache_enabled(cache_dir) if cache_dir
              else contextlib.nullcontext(cache_mod.get_cache()))
     tracer = obs_trace.Tracer()
@@ -265,6 +324,35 @@ def cmd_export(args):
     return 0
 
 
+def cmd_verify(args):
+    from .verify import verify_component
+
+    lib = default_library()
+    component = _component(args)
+    scenarios = _verify_scenarios(args.scenario)
+    sweep = None
+    if args.sweep_bits:
+        lo = max(component.width - args.sweep_bits, 1)
+        sweep = range(component.width, lo - 1, -1)
+    with _engine(args):
+        report = verify_component(
+            component, lib, scenarios, vectors=args.vectors,
+            oracle_vectors=args.oracle_vectors, event_cap=args.event_cap,
+            precisions=sweep, fuzz_rounds=args.fuzz,
+            corpus_dir=args.corpus, rng=args.seed, effort=args.effort,
+            jobs=args.jobs)
+        print(verify_report_text(report))
+        if args.counterexamples and report.counterexamples:
+            os.makedirs(args.counterexamples, exist_ok=True)
+            for index, cx in enumerate(report.counterexamples):
+                path = os.path.join(args.counterexamples,
+                                    "counterexample_%02d.json" % index)
+                with open(path, "w") as handle:
+                    handle.write(cx.to_json())
+                print("counterexample written to %s" % path)
+    return 0 if report.passed else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-aging",
@@ -340,11 +428,50 @@ def build_parser():
     p.add_argument("--verilog", help="output .v path")
     p.add_argument("--sdf", help="output .sdf path")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential verification: golden models, cross-engine "
+             "oracles, paper-fidelity invariants")
+    common(p)
+    p.add_argument("--scenario", default="worst1y,worst10y,balance10y",
+                   help="comma-separated aging scenarios for the "
+                        "invariants: worst10y, balance1y, 10y_worst, "
+                        "fresh (default worst1y,worst10y,balance10y)")
+    p.add_argument("--vectors", type=int, default=96,
+                   help="operand tuples for the golden 3-way diff "
+                        "(default 96; corners always added)")
+    p.add_argument("--oracle-vectors", type=int, default=None,
+                   help="stimulus vectors for the cross-engine oracle "
+                        "(default: exhaustive when narrow, else 128)")
+    p.add_argument("--event-cap", type=int, default=32,
+                   help="vector cap for the scalar event engine "
+                        "(default 32)")
+    p.add_argument("--sweep-bits", type=int, default=12,
+                   help="precision sweep depth for the Eq. 2 invariants "
+                        "(default 12)")
+    p.add_argument("--fuzz", type=int, default=0, metavar="N",
+                   help="additionally fuzz the engines on N random "
+                        "netlists (default 0)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="save fuzzed netlists with new structural "
+                        "coverage into this corpus directory")
+    p.add_argument("--counterexamples", default=None, metavar="DIR",
+                   help="write minimized counterexample JSONs here")
+    p.add_argument("--seed", type=int, default=20170618,
+                   help="RNG seed for operands, stimulus and fuzzing")
+    p.set_defaults(func=cmd_verify)
     return parser
 
 
 def main(argv=None):
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    User-facing failures (unknown component/scenario/design names,
+    missing cache directories or input files, malformed netlists) exit
+    non-zero with a one-line ``error:`` diagnostic on stderr instead of
+    a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -356,6 +483,14 @@ def main(argv=None):
         except OSError:
             pass
         return 0
+    except SystemExit as exc:
+        if not isinstance(exc.code, str):
+            raise
+        print("error: %s" % exc.code, file=sys.stderr)
+        return 2
+    except (OSError, NetlistError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -19,6 +19,8 @@ def mse(reference, test):
     if reference.shape != test.shape:
         raise ValueError("shape mismatch: %r vs %r"
                          % (reference.shape, test.shape))
+    if reference.size == 0:
+        return 0.0
     return float(np.mean((reference - test) ** 2))
 
 
@@ -47,9 +49,11 @@ def error_rate(exact, observed):
 
 
 def mean_abs_error(exact, observed):
-    """Mean absolute numeric error."""
+    """Mean absolute numeric error (0.0 for empty inputs)."""
     exact = np.asarray(exact, dtype=np.float64)
     observed = np.asarray(observed, dtype=np.float64)
+    if exact.size == 0:
+        return 0.0
     return float(np.mean(np.abs(exact - observed)))
 
 

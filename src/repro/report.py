@@ -186,3 +186,26 @@ def schedule_report_text(schedule):
             for age, precisions in schedule.checkpoints]
     lines.append(format_table(headers, rows))
     return "\n".join(lines)
+
+
+def verify_report_text(report):
+    """Summary of a differential-verification run.
+
+    Renders a :class:`repro.verify.VerificationReport`: one status line
+    per check (golden diff, cross-engine oracle, each paper invariant,
+    fuzzing), a table of scenarios covered, and pointers to any
+    minimized counterexamples.
+    """
+    lines = ["differential verification of %s" % report.component,
+             "scenarios: %s" % ", ".join(report.scenario_labels),
+             ""]
+    lines.append(report.describe())
+    counterexamples = report.counterexamples
+    if counterexamples:
+        lines.append("")
+        lines.append("%d minimized counterexample(s):"
+                     % len(counterexamples))
+        lines += ["  " + cx.describe() for cx in counterexamples]
+    lines.append("")
+    lines.append("verdict: %s" % ("PASS" if report.passed else "FAIL"))
+    return "\n".join(lines)

@@ -72,18 +72,22 @@ def compile_netlist(netlist, library, memo=True):
     """Lower *netlist* into a :class:`CompiledNetlist` program.
 
     The lowering is memoized on the netlist instance (keyed by library
-    identity and the netlist's structural state), so the activity
-    extractor and the timed simulator share one compiled program instead
-    of lowering the same netlist twice. Structural mutations (``rebuild``,
-    ``add_gate``, ``set_outputs``) change the key and recompile; pass
+    identity and a fingerprint of the netlist *contents*: interface nets
+    plus every gate's cell/pins), so the activity extractor and the
+    timed simulator share one compiled program instead of lowering the
+    same netlist twice — while any mutation, including in-place gate
+    edits that bypass ``rebuild``/``add_gate`` (e.g. assigning
+    ``gate.cell`` directly), changes the key and recompiles. Pass
     ``memo=False`` to force a fresh lowering.
     """
     if not memo:
         return _compile_netlist(netlist, library)
-    # The netlist's mutation counter covers every structural change
-    # (add_gate, rebuild, set_outputs, new nets). Cell *resizing*
-    # mutates gates in place without bumping it, but preserves logic
-    # functions, so a memoized program stays valid across it.
+    # The token fingerprints what the compiled program actually depends
+    # on: the cell (hence logic function), pin nets and output net of
+    # every gate, plus the PI/PO orders. A mutation counter would be
+    # cheaper but misses in-place gate mutations; building the tuple is
+    # O(gates), the same order as one evaluate() row, so the memo still
+    # pays for itself on any repeated use.
     #
     # The library is keyed by weak reference, not id(): a collected
     # library's id can be recycled by a new one, and a dead weakref
@@ -93,8 +97,9 @@ def compile_netlist(netlist, library, memo=True):
         lib_key = weakref.ref(library)
     except TypeError:  # un-weakref-able library stand-in (e.g. a dict)
         lib_key = id(library)
-    token = (lib_key, getattr(netlist, "_version", None),
-             len(netlist.gates))
+    token = (lib_key, tuple(netlist.primary_inputs),
+             tuple(netlist.primary_outputs),
+             tuple((g.cell, g.inputs, g.output) for g in netlist.gates))
     cache = getattr(netlist, "_compiled_memo", None)
     if cache is None:
         cache = {}

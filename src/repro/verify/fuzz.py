@@ -1,0 +1,277 @@
+"""Coverage-guided netlist fuzzing with a committed regression corpus.
+
+The generator mirrors ``tests/test_fuzz_properties.py``'s hypothesis
+strategy (random gate DAGs over a handful of inputs plus constants) but
+runs on a plain NumPy RNG so it can execute outside pytest — in the
+``repro-aging verify`` CLI and the tier-2 CI job. Every generated
+netlist goes through the cross-engine oracle
+(:func:`repro.verify.oracles.cross_engine_check`); disagreements are
+shrunk to minimal counterexamples.
+
+Coverage guidance is structural: a netlist that exercises a new cell
+kind, a new driver→reader kind pair, or a new size/depth bucket is
+*interesting* and gets saved to the corpus directory. The corpus format
+is one JSON file per netlist::
+
+    {
+      "schema": "repro.verify.netlist/1",
+      "name": "fuzz",
+      "inputs":  [2, 3, 4, 5],          # PI net ids, LSB-ish order
+      "outputs": [17, 9, 4],            # PO net ids (may repeat/alias)
+      "gates":   [["XOR2_X1", [2, 3], 8], ...]   # [cell, inputs, output]
+    }
+
+(net ids 0/1 are the CONST0/CONST1 rails). Files are named by content
+fingerprint, so re-adding an existing netlist is a no-op. The committed
+corpus under ``tests/corpus/`` is replayed by the tier-1 suite.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from ..core.cache import fingerprint
+from ..netlist.builder import NetlistBuilder
+from ..netlist.net import CONST0, CONST1
+from ..netlist.netlist import Netlist
+from .oracles import ENGINES, EVENT_VECTOR_CAP, cross_engine_check
+
+NETLIST_SCHEMA = "repro.verify.netlist/1"
+
+_BINARY = ("and2", "or2", "xor2", "xnor2", "nand2", "nor2")
+
+
+def random_netlist(rng=None, n_inputs=4, max_gates=30, n_outputs=3,
+                   name="fuzz"):
+    """Random combinational DAG, same shape as the hypothesis strategy.
+
+    Gates draw uniformly from the 2-input kinds plus INV and MUX2;
+    operands draw uniformly from everything built so far (primary
+    inputs, constants, and earlier gate outputs), so deep reconvergent
+    cones arise naturally.
+    """
+    rng = np.random.default_rng(rng)
+    builder = NetlistBuilder(name=name)
+    pool = list(builder.inputs(n_inputs, "x")) + [CONST0, CONST1]
+    n_gates = int(rng.integers(1, max_gates + 1))
+    for __ in range(n_gates):
+        choice = int(rng.integers(0, len(_BINARY) + 2))
+        if choice == len(_BINARY):
+            pool.append(builder.inv(pool[int(rng.integers(len(pool)))]))
+        elif choice == len(_BINARY) + 1:
+            a = pool[int(rng.integers(len(pool)))]
+            b = pool[int(rng.integers(len(pool)))]
+            s = pool[int(rng.integers(len(pool)))]
+            pool.append(builder.mux2(a, b, s))
+        else:
+            a = pool[int(rng.integers(len(pool)))]
+            b = pool[int(rng.integers(len(pool)))]
+            pool.append(getattr(builder, _BINARY[choice])(a, b))
+    outputs = [pool[-(i % len(pool)) - 1] for i in range(n_outputs)]
+    return builder.outputs(outputs)
+
+
+# ---------------------------------------------------------------------------
+# serialization (corpus + counterexample format)
+# ---------------------------------------------------------------------------
+
+def netlist_to_dict(netlist):
+    """Serialize *netlist* to the corpus JSON schema."""
+    return {
+        "schema": NETLIST_SCHEMA,
+        "name": netlist.name,
+        "inputs": [int(n) for n in netlist.primary_inputs],
+        "outputs": [int(n) for n in netlist.primary_outputs],
+        "gates": [[g.cell, [int(n) for n in g.inputs], int(g.output)]
+                  for g in netlist.gates],
+    }
+
+
+def netlist_from_dict(data):
+    """Rebuild a netlist from :func:`netlist_to_dict` output.
+
+    Net ids are preserved verbatim so serialized stimulus/witness bits
+    stay aligned with the primary-input order.
+    """
+    schema = data.get("schema", NETLIST_SCHEMA)
+    if schema != NETLIST_SCHEMA:
+        raise ValueError("unsupported netlist schema %r" % schema)
+    netlist = Netlist(data.get("name", "netlist"))
+    netlist.primary_inputs = [int(n) for n in data["inputs"]]
+    for i, net in enumerate(netlist.primary_inputs):
+        netlist.net_names.setdefault(net, "x[%d]" % i)
+    highest = max([CONST1] + netlist.primary_inputs
+                  + [int(row[2]) for row in data["gates"]]
+                  + [int(n) for row in data["gates"] for n in row[1]])
+    netlist._next_net = highest + 1
+    for cell, inputs, output in data["gates"]:
+        netlist.add_gate(str(cell), [int(n) for n in inputs],
+                         output=int(output))
+    netlist.set_outputs([int(n) for n in data["outputs"]])
+    netlist.validate()
+    return netlist
+
+
+# ---------------------------------------------------------------------------
+# structural coverage
+# ---------------------------------------------------------------------------
+
+def coverage_features(netlist):
+    """Structural feature set of *netlist* for coverage guidance.
+
+    Features are hashable tuples: cell kinds, driver-kind → reader-kind
+    edges (``"pi"``/``"const"`` for undriven sources), PO source kinds,
+    and bucketed gate count / logic depth.
+    """
+    features = set()
+    driver_kind = {}
+    for gate in netlist.gates:
+        driver_kind[gate.output] = gate.kind
+    depth = {}
+    for gate in netlist.topological_gates():
+        features.add(("cell", gate.kind))
+        level = 0
+        for net in gate.inputs:
+            level = max(level, depth.get(net, 0))
+            if net in driver_kind:
+                features.add(("edge", driver_kind[net], gate.kind))
+            elif net in (CONST0, CONST1):
+                features.add(("edge", "const", gate.kind))
+            else:
+                features.add(("edge", "pi", gate.kind))
+        depth[gate.output] = level + 1
+    for net in netlist.primary_outputs:
+        features.add(("po", driver_kind.get(net, "pi/const")))
+    features.add(("gates", min(netlist.num_gates // 8, 4)))
+    features.add(("depth", min(max(depth.values(), default=0) // 4, 4)))
+    return features
+
+
+# ---------------------------------------------------------------------------
+# corpus management
+# ---------------------------------------------------------------------------
+
+def save_corpus_entry(directory, netlist, prefix="fuzz"):
+    """Write *netlist* into the corpus; return its path (idempotent)."""
+    data = netlist_to_dict(netlist)
+    digest = fingerprint({k: v for k, v in data.items() if k != "name"})
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "%s_%s.json" % (prefix, digest[:16]))
+    if not os.path.exists(path):
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return path
+
+
+def load_corpus(directory):
+    """Load every corpus entry; returns sorted ``(path, netlist)`` pairs."""
+    if not os.path.isdir(directory):
+        return []
+    pairs = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path) as handle:
+            pairs.append((path, netlist_from_dict(json.load(handle))))
+    return pairs
+
+
+def replay_corpus(directory, library, engines=ENGINES, vectors=None,
+                  event_cap=EVENT_VECTOR_CAP):
+    """Re-run the cross-engine oracle on every committed corpus entry.
+
+    Returns ``(path, OracleReport)`` pairs; all reports pass on a
+    healthy tree.
+    """
+    results = []
+    for path, netlist in load_corpus(directory):
+        report = cross_engine_check(netlist, library, vectors=vectors,
+                                    engines=engines, event_cap=event_cap,
+                                    minimize=False)
+        results.append((path, report))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# the fuzzing loop
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`fuzz_engines` campaign."""
+
+    rounds: int
+    engines: Tuple[str, ...]
+    features: int
+    interesting: int
+    corpus_saved: List[str] = field(default_factory=list)
+    counterexamples: List[object] = field(default_factory=list)
+
+    @property
+    def passed(self):
+        return not self.counterexamples
+
+    def describe(self):
+        head = ("fuzz: %d netlists through %s — %d structural features, "
+                "%d interesting, %d saved, %d counterexample(s)"
+                % (self.rounds, "/".join(self.engines), self.features,
+                   self.interesting, len(self.corpus_saved),
+                   len(self.counterexamples)))
+        lines = [head]
+        lines += ["  " + cx.describe() for cx in self.counterexamples]
+        return "\n".join(lines)
+
+
+def fuzz_engines(library, rounds=200, rng=None, engines=ENGINES,
+                 corpus_dir=None, n_inputs=4, max_gates=30, n_outputs=3,
+                 vectors=None, event_cap=EVENT_VECTOR_CAP, log=None):
+    """Fuzz the simulation engines against each other.
+
+    Generates *rounds* random netlists, runs each through the
+    cross-engine oracle, shrinks any disagreement, and (when
+    *corpus_dir* is given) saves netlists that exercise new structural
+    coverage.
+
+    Parameters
+    ----------
+    log:
+        Optional callable taking a progress string (used by the CLI).
+
+    Returns
+    -------
+    FuzzReport
+    """
+    rng = np.random.default_rng(rng)
+    seen: Set[tuple] = set()
+    saved = []
+    counterexamples = []
+    interesting = 0
+    for round_idx in range(rounds):
+        netlist = random_netlist(rng, n_inputs=n_inputs,
+                                 max_gates=max_gates, n_outputs=n_outputs,
+                                 name="fuzz_%04d" % round_idx)
+        features = coverage_features(netlist)
+        fresh = features - seen
+        if fresh:
+            interesting += 1
+            seen |= features
+            if corpus_dir is not None:
+                saved.append(save_corpus_entry(corpus_dir, netlist))
+        report = cross_engine_check(netlist, library, vectors=vectors,
+                                    engines=engines, rng=rng,
+                                    event_cap=event_cap)
+        if not report.passed:
+            counterexamples.append(report.counterexample)
+            if log is not None:
+                log(report.describe())
+        if log is not None and (round_idx + 1) % 50 == 0:
+            log("fuzz: %d/%d netlists, %d feature(s), %d counterexample(s)"
+                % (round_idx + 1, rounds, len(seen), len(counterexamples)))
+    return FuzzReport(rounds=rounds, engines=tuple(engines),
+                      features=len(seen), interesting=interesting,
+                      corpus_saved=saved, counterexamples=counterexamples)

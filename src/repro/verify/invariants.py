@@ -1,0 +1,312 @@
+"""Paper-fidelity invariants as executable checks.
+
+Each check returns a list of :class:`InvariantResult` — one row per
+named invariant, with a human-readable detail string on failure. The
+invariants encode what the paper *claims*, independently of how the
+code computes it:
+
+* **Eq. 2** (:func:`check_characterization`): aging never speeds a
+  circuit up; the required precision ``K_j`` is the *largest* precision
+  whose aged delay meets the fresh full-precision constraint
+  (``t_Cj(Aging, K_j) <= t_Cj(noAging, N_j)``), and every higher
+  precision violates it; aged delays are monotone in lifetime and in
+  stress (balanced <= worst case) for every characterized precision.
+* **Section-V slack rule** (:func:`check_slack_rule`): exactly the
+  blocks with negative slack are approximated, precision never
+  increases, and a validated outcome has zero residual guardband with
+  no block left violating.
+* **EXPERIMENTS.md shape claims** (:func:`check_error_shape`,
+  :func:`check_psnr_endpoints`): a guardband-free fresh circuit makes
+  zero timing errors; error rates are monotone in lifetime and stress;
+  the fresh DCT-IDCT chain is high quality while the naively
+  guardband-stripped aged chain collapses.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Absolute delay tolerance (ps) for comparisons between STA runs.
+DELAY_EPS_PS = 1e-6
+
+
+@dataclass
+class InvariantResult:
+    """One named invariant, checked."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def describe(self):
+        tag = "PASS" if self.passed else "FAIL"
+        tail = (": " + self.detail) if self.detail else ""
+        return "%s %s%s" % (tag, self.name, tail)
+
+
+def _result(name, passed, detail_ok, detail_bad):
+    return InvariantResult(name=name, passed=passed,
+                           detail=detail_ok if passed else detail_bad)
+
+
+def _scenario_years(label):
+    """Parse ``"<years>y_<kind>"`` labels; None for e.g. ``"fresh"``."""
+    if "y_" not in label:
+        return None, None
+    head, kind = label.split("y_", 1)
+    try:
+        return float(head), kind
+    except ValueError:
+        return None, None
+
+
+def check_characterization(char):
+    """Eq. 2 + monotonicity invariants over one characterization table.
+
+    Parameters
+    ----------
+    char:
+        A :class:`~repro.core.characterize.ComponentCharacterization`.
+    """
+    results = []
+    aged_labels = [lbl for lbl in char.scenario_labels if lbl != "fresh"]
+
+    # Aging never helps: t(Aging, P) >= t(noAging, P) for every point.
+    bad = [(p, lbl) for p in char.precisions for lbl in aged_labels
+           if char.aged_delay_ps(p, lbl) < char.fresh_ps[p] - DELAY_EPS_PS]
+    results.append(_result(
+        "aging_never_helps", not bad,
+        "%d precision/scenario points all slower aged than fresh"
+        % (len(char.precisions) * len(aged_labels)),
+        "aged faster than fresh at %s" % (bad[:3],)))
+
+    # The "fresh" pseudo-scenario, when characterized, equals fresh STA.
+    if "fresh" in char.scenario_labels:
+        off = [p for p in char.precisions
+               if abs(char.aged_delay_ps(p, "fresh") - char.fresh_ps[p])
+               > DELAY_EPS_PS]
+        results.append(_result(
+            "fresh_scenario_is_fresh", not off,
+            "fresh-scenario delays equal fresh STA",
+            "fresh-scenario delay differs at precisions %s" % off[:5]))
+
+    # Eq. 2: K is feasible and maximal against the fresh constraint.
+    constraint = char.fresh_delay_ps()
+    for label in aged_labels:
+        required = char.required_precision(label)
+        if required is None:
+            violating = all(char.aged_delay_ps(p, label)
+                            > constraint + DELAY_EPS_PS
+                            for p in char.precisions)
+            results.append(_result(
+                "eq2_required_precision[%s]" % label, violating,
+                "no feasible precision, and indeed every candidate "
+                "violates the constraint",
+                "required_precision returned None but some precision "
+                "meets the constraint"))
+            continue
+        feasible = (char.aged_delay_ps(required, label)
+                    <= constraint + DELAY_EPS_PS)
+        maximal = all(char.aged_delay_ps(p, label)
+                      > constraint + DELAY_EPS_PS
+                      for p in char.precisions if p > required)
+        results.append(_result(
+            "eq2_required_precision[%s]" % label, feasible and maximal,
+            "K=%d: t(Aging, K) = %.2f ps <= t(noAging, N) = %.2f ps, "
+            "and every higher precision violates"
+            % (required, char.aged_delay_ps(required, label), constraint),
+            "K=%d is %s against constraint %.2f ps"
+            % (required,
+               "infeasible" if not feasible else "not maximal",
+               constraint)))
+
+    # Monotone in lifetime: same stress kind, more years, >= delay.
+    parsed = [(lbl,) + _scenario_years(lbl) for lbl in aged_labels]
+    by_kind = {}
+    for label, years, kind in parsed:
+        if years is not None:
+            by_kind.setdefault(kind, []).append((years, label))
+    lifetime_bad = []
+    for kind, entries in by_kind.items():
+        entries.sort()
+        for (y_lo, lbl_lo), (y_hi, lbl_hi) in zip(entries, entries[1:]):
+            for p in char.precisions:
+                if (char.aged_delay_ps(p, lbl_hi)
+                        < char.aged_delay_ps(p, lbl_lo) - DELAY_EPS_PS):
+                    lifetime_bad.append((p, lbl_lo, lbl_hi))
+    if any(len(v) > 1 for v in by_kind.values()):
+        results.append(_result(
+            "aged_delay_monotone_in_lifetime", not lifetime_bad,
+            "longer lifetimes never reduce aged delay",
+            "aged delay shrank with lifetime at %s" % lifetime_bad[:3]))
+
+    # Monotone in stress: balanced stress ages less than worst case.
+    years_seen = {}
+    for label, years, kind in parsed:
+        if years is not None:
+            years_seen.setdefault(years, {})[kind] = label
+    stress_bad = []
+    compared = False
+    for years, kinds in years_seen.items():
+        if "balance" in kinds and "worst" in kinds:
+            compared = True
+            for p in char.precisions:
+                if (char.aged_delay_ps(p, kinds["balance"])
+                        > char.aged_delay_ps(p, kinds["worst"])
+                        + DELAY_EPS_PS):
+                    stress_bad.append((p, years))
+    if compared:
+        results.append(_result(
+            "aged_delay_monotone_in_stress", not stress_bad,
+            "balanced stress never exceeds worst-case stress",
+            "balanced aged delay exceeds worst case at %s"
+            % stress_bad[:3]))
+    return results
+
+
+def check_slack_rule(outcome):
+    """Section-V slack-rule invariants over an approximation outcome.
+
+    Parameters
+    ----------
+    outcome:
+        A :class:`~repro.core.microarch.ApproximationOutcome`.
+    """
+    results = []
+    decisions = outcome.decisions.values()
+
+    wrong_trigger = [d.name for d in decisions
+                     if d.approximated != (d.slack_before_ps < 0)]
+    results.append(_result(
+        "slack_rule_trigger", not wrong_trigger,
+        "exactly the negative-slack blocks were approximated",
+        "approximation/slack mismatch in blocks %s" % wrong_trigger[:5]))
+
+    raised = [d.name for d in decisions
+              if d.chosen_precision > d.original_precision]
+    results.append(_result(
+        "precision_never_increases", not raised,
+        "no block gained precision",
+        "precision increased in blocks %s" % raised[:5]))
+
+    if outcome.validated:
+        results.append(_result(
+            "validated_means_no_guardband",
+            outcome.residual_guardband_ps <= DELAY_EPS_PS,
+            "validated outcome carries zero residual guardband",
+            "validated outcome still needs %.3f ps of guardband"
+            % outcome.residual_guardband_ps))
+        late = [d.name for d in decisions
+                if d.slack_after_ps < -DELAY_EPS_PS]
+        results.append(_result(
+            "validated_blocks_meet_constraint", not late,
+            "every block meets the fresh constraint after approximation",
+            "blocks %s still violate after approximation" % late[:5]))
+    else:
+        results.append(_result(
+            "unvalidated_documents_guardband",
+            outcome.residual_guardband_ps > 0,
+            "unvalidated outcome documents its residual guardband",
+            "outcome not validated yet residual guardband is zero"))
+    return results
+
+
+def check_error_shape(component, library, years=(1.0, 10.0),
+                      vectors=256, rng=None, effort="ultra",
+                      netlist=None):
+    """EXPERIMENTS.md error-shape claims on one component.
+
+    Streams *vectors* random operands through the component's netlist
+    at its **fresh critical path** (the guardband-free clock) under a
+    ladder of aging scenarios and checks:
+
+    * the fresh circuit makes zero timing errors,
+    * the error rate is monotone non-decreasing in lifetime
+      (worst-case stress), and
+    * balanced stress never errs more than worst-case stress at the
+      longest lifetime.
+    """
+    from ..aging import balance_case, worst_case
+    from ..sim.activity import operand_stream_bits
+    from ..sim.timing import TimedSimulator
+    from ..sta.sta import critical_path_delay
+
+    if netlist is None:
+        from ..synth.synthesize import synthesize_netlist
+        netlist = synthesize_netlist(component, library, effort=effort)
+    rng = np.random.default_rng(rng)
+    operands = component.random_operands(vectors, rng=rng)
+    bits = operand_stream_bits(operands, component.operand_widths)
+    clock = critical_path_delay(netlist, library)
+
+    def rate(scenario):
+        sim = TimedSimulator(netlist, library, clock, scenario=scenario)
+        return sim.run_stream(bits).error_rate
+
+    years = sorted(years)
+    fresh_rate = rate(None)
+    worst_rates = [rate(worst_case(y)) for y in years]
+    balance_rate = rate(balance_case(years[-1]))
+
+    results = [_result(
+        "zero_fresh_errors", fresh_rate == 0.0,
+        "fresh netlist at its own critical path: error rate 0",
+        "fresh netlist errs at rate %.4f at its own critical path"
+        % fresh_rate)]
+    ladder = [fresh_rate] + worst_rates
+    monotone = all(lo <= hi + 1e-12 for lo, hi in zip(ladder, ladder[1:]))
+    results.append(_result(
+        "error_rate_monotone_in_lifetime", monotone,
+        "error rate ladder %s over years %s"
+        % (["%.4f" % r for r in ladder], [0.0] + years),
+        "error rate not monotone in lifetime: %s over years %s"
+        % (["%.4f" % r for r in ladder], [0.0] + years)))
+    results.append(_result(
+        "error_rate_monotone_in_stress",
+        balance_rate <= worst_rates[-1] + 1e-12,
+        "balanced stress (%.4f) <= worst case (%.4f) at %gy"
+        % (balance_rate, worst_rates[-1], years[-1]),
+        "balanced stress errs more (%.4f) than worst case (%.4f) at %gy"
+        % (balance_rate, worst_rates[-1], years[-1])))
+    return results
+
+
+def check_psnr_endpoints(library, image="akiyo", size=32, width=32,
+                         years=10.0, fresh_floor_db=40.0,
+                         min_collapse_db=5.0, effort="ultra"):
+    """EXPERIMENTS.md PSNR endpoints on the DCT-IDCT chain.
+
+    The fresh fixed-point codec round-trips a synthetic image at high
+    quality (paper: ~45 dB); decoding through a gate-level multiplier
+    aged *years* at the fresh clock (the naive guardband removal of the
+    motivational study) collapses the PSNR. Gate-level simulation of a
+    ``width``-bit multiplier makes this the most expensive invariant —
+    tier-2 territory.
+    """
+    from ..approx.gate_level import GateLevelArithmetic, TimedComponentModel
+    from ..aging import worst_case
+    from ..media import make_image, roundtrip_psnr
+    from ..rtl import Multiplier
+
+    img = make_image(image, size=size)
+    fresh_psnr = roundtrip_psnr(img)
+    aged_model = TimedComponentModel(
+        Multiplier(width), library, scenario=worst_case(years),
+        effort=effort)
+    aged_psnr = roundtrip_psnr(
+        img, decode_arithmetic=GateLevelArithmetic(mul_model=aged_model))
+
+    results = [_result(
+        "fresh_psnr_endpoint", fresh_psnr >= fresh_floor_db,
+        "fresh chain round-trips %s at %.1f dB (floor %.1f)"
+        % (image, fresh_psnr, fresh_floor_db),
+        "fresh chain only reaches %.1f dB (floor %.1f)"
+        % (fresh_psnr, fresh_floor_db))]
+    results.append(_result(
+        "aged_psnr_collapse",
+        aged_psnr <= fresh_psnr - min_collapse_db,
+        "guardband-free aged decode drops %s to %.1f dB (fresh %.1f)"
+        % (image, aged_psnr, fresh_psnr),
+        "aged decode at %.1f dB did not collapse vs fresh %.1f dB"
+        % (aged_psnr, fresh_psnr)))
+    return results

@@ -1,0 +1,79 @@
+"""Pytest integration for the differential-verification subsystem.
+
+Activated from ``tests/conftest.py`` via
+``pytest_plugins = ("repro.verify.pytest_plugin",)``. Provides:
+
+* marker registration (``slow`` for tier-2-only tests, ``verify`` for
+  tests belonging to the differential suite);
+* ``verify_library`` — a session-scoped default cell library;
+* ``assert_engines_agree`` — a callable fixture running the
+  cross-engine oracle on a netlist and failing with the full mismatch
+  report (counterexample included) on disagreement;
+* ``assert_golden`` — a callable fixture enforcing the golden-model
+  contract on an RTL component;
+* ``corpus_dir`` — the committed regression corpus directory.
+"""
+
+import pytest
+
+MARKERS = (
+    "slow: deep/expensive test, excluded from tier-1 (run with -m slow)",
+    "verify: differential-verification suite test",
+)
+
+#: Repository-relative location of the committed regression corpus.
+CORPUS_DIRNAME = "corpus"
+
+
+def pytest_configure(config):
+    for marker in MARKERS:
+        config.addinivalue_line("markers", marker)
+
+
+@pytest.fixture(scope="session")
+def verify_library():
+    from repro.cells import default_library
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def corpus_dir(request):
+    """Path of the committed regression corpus (tests/corpus)."""
+    return str(request.config.rootpath / "tests" / CORPUS_DIRNAME)
+
+
+@pytest.fixture
+def assert_engines_agree(verify_library):
+    """Callable: run the cross-engine oracle, fail on any mismatch."""
+    from repro.verify.oracles import ENGINES, cross_engine_check
+
+    def _check(netlist, vectors=None, engines=ENGINES, event_cap=32,
+               library=None):
+        report = cross_engine_check(netlist, library or verify_library,
+                                    vectors=vectors, engines=engines,
+                                    event_cap=event_cap)
+        if not report.passed:
+            detail = report.describe()
+            if report.counterexample is not None:
+                detail += "\n" + report.counterexample.describe()
+                detail += "\n" + report.counterexample.to_json()
+            pytest.fail("engine disagreement:\n" + detail)
+        return report
+
+    return _check
+
+
+@pytest.fixture
+def assert_golden(verify_library):
+    """Callable: enforce the golden-model contract on a component."""
+    from repro.verify.golden import check_golden
+
+    def _check(component, vectors=48, rng=0, library=None, netlist=None):
+        mismatches = check_golden(component, library or verify_library,
+                                  vectors=vectors, rng=rng,
+                                  netlist=netlist)
+        if mismatches:
+            pytest.fail("golden-model contract broken:\n"
+                        + "\n".join(m.describe() for m in mismatches[:10]))
+
+    return _check

@@ -1,0 +1,161 @@
+"""Greedy netlist shrinking for counterexample minimization.
+
+Given a netlist on which some *predicate* holds (typically "two engines
+disagree on this stimulus"), reduce the netlist while the predicate
+keeps holding. The passes are standard delta-debugging moves on the
+gate graph:
+
+1. **output reduction** — keep a single primary output;
+2. **cone pruning** — drop every gate outside the fanin cone of the
+   kept outputs;
+3. **gate bypass** — remove one gate at a time, rewiring its readers
+   (and outputs) to one of its own inputs or a constant;
+4. **input simplification** — tie primary-input *reads* to constants
+   (the PI list itself is preserved so the failing stimulus keeps its
+   shape).
+
+Passes 2–4 iterate to a fixpoint under a predicate-evaluation budget.
+The shrinker never trusts a candidate blindly: every candidate is
+validated structurally, and a predicate that *raises* counts as "does
+not reproduce" (so a crashing engine can't smuggle a broken netlist
+out as the minimal reproducer).
+
+The result is deterministic for a deterministic predicate — gates are
+visited in reverse topological order, replacements in pin order.
+"""
+
+from ..netlist.gate import Gate
+from ..netlist.net import CONST0, CONST1
+
+#: Default cap on predicate evaluations per shrink.
+DEFAULT_BUDGET = 4000
+
+
+def _candidate(base, gates, outputs):
+    """Fresh netlist with *base*'s interface but the given gates/POs."""
+    dup = base.copy()
+    dup.primary_outputs = list(outputs)
+    dup.rebuild([Gate(uid=g.uid, cell=g.cell, inputs=tuple(g.inputs),
+                      output=g.output, name=g.name) for g in gates])
+    return dup
+
+
+def _live_gates(gates, outputs):
+    """Gates in the fanin cone of *outputs*, in original order."""
+    driver = {g.output: g for g in gates}
+    live = set()
+    stack = list(outputs)
+    while stack:
+        gate = driver.get(stack.pop())
+        if gate is None or gate.uid in live:
+            continue
+        live.add(gate.uid)
+        stack.extend(gate.inputs)
+    return [g for g in gates if g.uid in live]
+
+
+def _rewire(gates, outputs, victim_output, replacement, drop_uid=None):
+    """Replace every read of *victim_output* with *replacement*."""
+    new_gates = []
+    for gate in gates:
+        if drop_uid is not None and gate.uid == drop_uid:
+            continue
+        inputs = tuple(replacement if net == victim_output else net
+                       for net in gate.inputs)
+        new_gates.append(Gate(uid=gate.uid, cell=gate.cell, inputs=inputs,
+                              output=gate.output, name=gate.name))
+    new_outputs = [replacement if net == victim_output else net
+                   for net in outputs]
+    return new_gates, new_outputs
+
+
+def shrink_netlist(netlist, predicate, max_rounds=40,
+                   budget=DEFAULT_BUDGET):
+    """Minimize *netlist* while ``predicate(candidate)`` stays true.
+
+    Parameters
+    ----------
+    netlist:
+        The failing netlist. Never mutated.
+    predicate:
+        Callable taking a candidate netlist and returning truthy when
+        the failure still reproduces. Exceptions count as False.
+    max_rounds:
+        Fixpoint iteration cap for the bypass/simplify passes.
+    budget:
+        Maximum number of predicate evaluations (None for unlimited).
+
+    Returns
+    -------
+    Netlist
+        The smallest accepted candidate (at worst, a copy of the
+        input). Primary inputs are preserved verbatim.
+    """
+    calls = [0]
+
+    def check(candidate):
+        if budget is not None and calls[0] >= budget:
+            return False
+        calls[0] += 1
+        try:
+            candidate.validate()
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    best = _candidate(netlist, netlist.gates, netlist.primary_outputs)
+
+    # Pass 1: keep a single primary output.
+    if len(best.primary_outputs) > 1:
+        for po in dict.fromkeys(best.primary_outputs):
+            cand = _candidate(best, best.gates, [po])
+            if check(cand):
+                best = cand
+                break
+
+    # Pass 2: prune everything outside the kept cone.
+    live = _live_gates(best.gates, best.primary_outputs)
+    if len(live) < best.num_gates:
+        cand = _candidate(best, live, best.primary_outputs)
+        if check(cand):
+            best = cand
+
+    # Passes 3+4 to fixpoint: bypass gates, then tie PI reads off.
+    for __round in range(max_rounds):
+        changed = False
+
+        for gate in list(reversed(best.topological_gates())):
+            if not any(g.uid == gate.uid for g in best.gates):
+                continue            # removed by an earlier acceptance
+            replacements = list(dict.fromkeys(gate.inputs))
+            replacements += [CONST0, CONST1]
+            for rep in replacements:
+                if rep == gate.output:
+                    continue
+                gates, outs = _rewire(best.gates, best.primary_outputs,
+                                      gate.output, rep, drop_uid=gate.uid)
+                cand = _candidate(best, _live_gates(gates, outs), outs)
+                if check(cand):
+                    best = cand
+                    changed = True
+                    break
+            if budget is not None and calls[0] >= budget:
+                break
+
+        for pi in best.primary_inputs:
+            if not any(pi in g.inputs for g in best.gates) \
+                    and pi not in best.primary_outputs:
+                continue
+            for const in (CONST0, CONST1):
+                gates, outs = _rewire(best.gates, best.primary_outputs,
+                                      pi, const)
+                cand = _candidate(best, _live_gates(gates, outs), outs)
+                if check(cand):
+                    best = cand
+                    changed = True
+                    break
+
+        if not changed or (budget is not None and calls[0] >= budget):
+            break
+
+    return best

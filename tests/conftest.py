@@ -1,16 +1,33 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and hypothesis profiles for the test suite.
 
 Synthesis and characterization are deterministic, so expensive artifacts
 (the cell library, synthesized small components) are session-scoped and
 shared across test modules.
+
+Hypothesis settings are centralized here instead of per-file
+``@settings`` decorators: the ``quick`` profile (the default) keeps
+tier-1 fast, the ``ci`` profile digs deeper with generous deadlines.
+Select with ``REPRO_HYPOTHESIS_PROFILE=ci`` (or any registered name).
 """
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.cells import nangate45
 from repro.rtl import Adder, Multiplier, MultiplyAccumulate
 from repro.synth import synthesize_netlist
+
+pytest_plugins = ("repro.verify.pytest_plugin",)
+
+# Netlist-synthesizing property tests are slow per example; both
+# profiles disable the wall-clock deadline (synthesis latency varies
+# far more than the logic under test) and differ only in depth.
+settings.register_profile("quick", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "quick"))
 
 
 @pytest.fixture(scope="session")

@@ -4,7 +4,7 @@ import itertools
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.rtl import (Adder, CarryLookaheadAdder, KoggeStoneAdder,
                        RippleCarryAdder)
@@ -44,7 +44,6 @@ def test_wide_adders_against_golden(lib, cls, rng):
 
 @given(a=st.integers(-(1 << 31), (1 << 31) - 1),
        b=st.integers(-(1 << 31), (1 << 31) - 1))
-@settings(max_examples=40, deadline=None)
 def test_exact_is_wraparound_sum(a, b):
     component = Adder(32)
     result = int(component.exact(np.array([a]), np.array([b]))[0])

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.approx import (ComponentArithmetic, ExactArithmetic,
                           RecordingArithmetic, TruncatedArithmetic,
@@ -33,7 +33,6 @@ class TestTruncateLsbs:
 
     @given(value=st.integers(-(1 << 40), 1 << 40),
            drop=st.integers(0, 20))
-    @settings(max_examples=80, deadline=None)
     def test_properties(self, value, drop):
         out = truncate_lsbs(value, drop)
         # Low bits zeroed, error bounded and non-negative (floor).
@@ -42,7 +41,6 @@ class TestTruncateLsbs:
 
     @given(value=st.integers(-(1 << 40), 1 << 40),
            drop=st.integers(0, 20))
-    @settings(max_examples=40, deadline=None)
     def test_idempotent(self, value, drop):
         once = truncate_lsbs(value, drop)
         assert truncate_lsbs(once, drop) == once

@@ -8,7 +8,7 @@ awkward batch sizes (non-multiples of 64, single vectors, empty).
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.cells import default_library
 from repro.cells.cell import CELL_KINDS
@@ -196,7 +196,6 @@ def random_netlists(draw, max_gates=25):
 @given(netlist=random_netlists(),
        batch=st.sampled_from(EDGE_BATCHES),
        seed=st.integers(min_value=0, max_value=2**31 - 1))
-@settings(max_examples=60, deadline=None)
 def test_engines_agree_on_random_netlists(netlist, batch, seed):
     stim_rng = np.random.default_rng(seed)
     bits = stim_rng.integers(0, 2, (batch, 4)).astype(np.uint8)

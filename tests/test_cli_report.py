@@ -89,13 +89,19 @@ class TestCommands:
         assert "validated: True" in out
         assert "mult" in out
 
-    def test_flow_unknown_design(self):
-        with pytest.raises(SystemExit, match="unknown design"):
-            main(["flow", "--design", "gpu", "--width", "8"])
+    def test_flow_unknown_design(self, capsys):
+        code = main(["flow", "--design", "gpu", "--width", "8"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown design" in err
+        assert len(err.strip().splitlines()) == 1
 
-    def test_unknown_component(self):
-        with pytest.raises(SystemExit, match="unknown component"):
-            main(["timing", "--component", "divider"])
+    def test_unknown_component(self, capsys):
+        code = main(["timing", "--component", "divider"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown component" in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_schedule_command(self, capsys):
         code = main(["schedule", "--design", "fir", "--width", "10",
@@ -121,10 +127,12 @@ class TestCommands:
         delays = gate_delays_from_sdf(sdf.read_text())
         assert set(delays) == {g.uid for g in net.gates} or len(delays) > 0
 
-    def test_export_requires_target(self):
-        with pytest.raises(SystemExit, match="nothing to export"):
-            main(["export", "--component", "adder", "--width", "8",
-                  "--effort", "high"])
+    def test_export_requires_target(self, capsys):
+        code = main(["export", "--component", "adder", "--width", "8",
+                     "--effort", "high"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "nothing to export" in err
 
 
 class TestObservabilityFlags:

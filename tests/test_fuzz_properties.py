@@ -7,7 +7,7 @@ timing invariants must hold regardless of structure.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.aging import worst_case
 from repro.cells import default_library
@@ -54,7 +54,6 @@ def truth_vector(netlist):
 
 
 @given(netlist=random_netlists())
-@settings(max_examples=60, deadline=None)
 def test_optimize_preserves_function(netlist):
     before = truth_vector(netlist)
     optimized = optimize(netlist.copy(), LIB)
@@ -64,7 +63,6 @@ def test_optimize_preserves_function(netlist):
 
 
 @given(netlist=random_netlists())
-@settings(max_examples=30, deadline=None)
 def test_sizing_preserves_function_and_improves_delay(netlist):
     optimized = optimize(netlist.copy(), LIB)
     before = truth_vector(optimized)
@@ -75,7 +73,6 @@ def test_sizing_preserves_function_and_improves_delay(netlist):
 
 
 @given(netlist=random_netlists())
-@settings(max_examples=30, deadline=None)
 def test_sta_bounds_timed_simulation(netlist):
     scenario = worst_case(10)
     report = analyze(netlist, LIB, scenario=scenario)
@@ -90,7 +87,6 @@ def test_sta_bounds_timed_simulation(netlist):
 
 
 @given(netlist=random_netlists())
-@settings(max_examples=30, deadline=None)
 def test_aging_never_speeds_up_any_netlist(netlist):
     fresh = analyze(netlist, LIB).critical_path_ps
     aged = analyze(netlist, LIB, scenario=worst_case(10)).critical_path_ps
@@ -101,7 +97,6 @@ def test_aging_never_speeds_up_any_netlist(netlist):
 
 
 @given(netlist=random_netlists())
-@settings(max_examples=20, deadline=None)
 def test_verilog_roundtrip_any_netlist(netlist):
     from repro.netlist import from_verilog, to_verilog
     back = from_verilog(to_verilog(netlist))
@@ -109,7 +104,6 @@ def test_verilog_roundtrip_any_netlist(netlist):
 
 
 @given(netlist=random_netlists())
-@settings(max_examples=20, deadline=None)
 def test_settled_equals_functional(netlist):
     sim = TimedSimulator(netlist, LIB, 1e6)
     result = sim.run_stream(ALL_INPUTS)

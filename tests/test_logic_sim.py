@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.netlist import NetlistBuilder
 from repro.rtl import Adder
@@ -30,13 +30,11 @@ class TestBitCodecs:
 
     @given(st.lists(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
                     min_size=1, max_size=50))
-    @settings(max_examples=60, deadline=None)
     def test_roundtrip_property(self, values):
         arr = np.array(values, dtype=np.int64)
         assert np.array_equal(bits_to_int(int_to_bits(arr, 32)), arr)
 
     @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
-    @settings(max_examples=60, deadline=None)
     def test_unsigned_roundtrip(self, value):
         arr = np.array([value], dtype=np.int64)
         back = bits_to_int(int_to_bits(arr, 16), signed=False)
@@ -142,6 +140,30 @@ class TestCompileMemo:
         second = compile_netlist(netlist, lib)
         assert second is not first
         assert len(second.ops) == len(first.ops) + 1
+
+    def test_in_place_gate_mutation_recompiles(self, lib):
+        # Regression: the memo used to key on gate *count*, so editing a
+        # gate's cell in place (bypassing rebuild/add_gate) kept serving
+        # the stale compiled program.
+        builder = NetlistBuilder(name="memo_mut")
+        a, b = builder.inputs(2, "i")
+        netlist = builder.outputs([builder.and2(a, b)])
+        bits = np.array([[0, 0], [1, 0], [0, 1], [1, 1]], dtype=np.uint8)
+        before = evaluate(compile_netlist(netlist, lib), bits)
+        assert before[:, 0].tolist() == [0, 0, 0, 1]
+        gate = netlist.gates[0]
+        gate.cell = gate.cell.replace("AND2", "OR2")
+        after = evaluate(compile_netlist(netlist, lib), bits)
+        assert after[:, 0].tolist() == [0, 1, 1, 1]
+
+    def test_rewired_input_recompiles(self, lib):
+        builder = NetlistBuilder(name="memo_pin")
+        a, b = builder.inputs(2, "i")
+        netlist = builder.outputs([builder.inv(a)])
+        bits = np.array([[1, 0]], dtype=np.uint8)
+        assert evaluate(compile_netlist(netlist, lib), bits)[0, 0] == 0
+        netlist.gates[0].inputs = (b,)
+        assert evaluate(compile_netlist(netlist, lib), bits)[0, 0] == 1
 
     def test_different_library_compiles_separately(self, adder8):
         from repro.cells import nangate45

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.approx import ComponentArithmetic, TruncatedArithmetic
 from repro.media import (IMAGE_NAMES, TransformCodec, all_images, blockize,
@@ -80,7 +80,6 @@ class TestBlocking:
             blockize(np.zeros((10, 16)))
 
     @given(h=st.sampled_from([8, 16, 24]), w=st.sampled_from([8, 16, 32]))
-    @settings(max_examples=10, deadline=None)
     def test_roundtrip_property(self, h, w):
         img = np.arange(h * w).reshape(h, w) % 251
         blocks, shape = blockize(img)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.rtl import ArrayMultiplier, Multiplier, WallaceMultiplier
 from repro.synth import synthesize_netlist
@@ -73,7 +73,6 @@ def test_with_precision_preserves_final_adder():
 
 @given(a=st.integers(-(1 << 15), (1 << 15) - 1),
        b=st.integers(-(1 << 15), (1 << 15) - 1))
-@settings(max_examples=40, deadline=None)
 def test_exact_is_true_product(a, b):
     component = Multiplier(16)
     assert int(component.exact(np.array([a]), np.array([b]))[0]) == a * b

@@ -1,0 +1,124 @@
+"""Edge-case coverage for repro.quality.metrics.
+
+The metrics feed every acceptance decision in the flow (30 dB PSNR
+threshold, error-rate ladders), so the degenerate inputs — empty
+vectors, identical images, custom peaks — must have well-defined
+answers rather than NaN surprises.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quality.metrics import (ACCEPTABLE_PSNR_DB, error_rate,
+                                   error_summary, is_acceptable_quality,
+                                   max_abs_error, mean_abs_error, mse,
+                                   psnr_db, snr_db)
+
+
+class TestEmptyInputs:
+    def test_mse_empty_is_zero(self):
+        assert mse([], []) == 0.0
+
+    def test_mean_abs_error_empty_is_zero(self):
+        assert mean_abs_error([], []) == 0.0
+
+    def test_max_abs_error_empty_is_zero(self):
+        assert max_abs_error([], []) == 0.0
+
+    def test_error_rate_empty_is_zero(self):
+        assert error_rate([], []) == 0.0
+
+    def test_error_summary_empty_all_zero(self):
+        summary = error_summary(np.array([]), np.array([]))
+        assert summary == {"error_rate": 0.0, "mean_abs_error": 0.0,
+                           "max_abs_error": 0.0}
+        for value in summary.values():
+            assert not math.isnan(value)
+
+    def test_empty_2d_shapes(self):
+        empty = np.zeros((0, 8))
+        assert mse(empty, empty) == 0.0
+        assert mean_abs_error(empty, empty) == 0.0
+
+
+class TestIdenticalInputs:
+    def test_psnr_identical_images_is_infinite(self):
+        img = np.arange(64, dtype=np.float64).reshape(8, 8)
+        assert psnr_db(img, img.copy()) == float("inf")
+
+    def test_infinite_psnr_is_acceptable(self):
+        assert is_acceptable_quality(float("inf"))
+
+    def test_snr_identical_signals_is_infinite(self):
+        sig = np.sin(np.linspace(0, 4, 100))
+        assert snr_db(sig, sig.copy()) == float("inf")
+
+    def test_snr_zero_reference_power(self):
+        zeros = np.zeros(16)
+        assert snr_db(zeros, np.ones(16)) == float("-inf")
+
+
+class TestPeakOverride:
+    def test_default_peak_is_255(self):
+        ref = np.zeros((4, 4))
+        bad = np.full((4, 4), 10.0)
+        assert psnr_db(ref, bad) == pytest.approx(
+            10.0 * math.log10(255.0 ** 2 / 100.0))
+
+    def test_peak_override_shifts_by_ratio(self):
+        ref = np.zeros(16)
+        bad = np.ones(16)
+        wide = psnr_db(ref, bad, peak=1023.0)
+        narrow = psnr_db(ref, bad, peak=255.0)
+        assert wide - narrow == pytest.approx(
+            20.0 * math.log10(1023.0 / 255.0))
+
+    def test_unit_peak(self):
+        ref = np.zeros(4)
+        bad = np.full(4, 0.5)
+        assert psnr_db(ref, bad, peak=1.0) == pytest.approx(
+            10.0 * math.log10(1.0 / 0.25))
+
+
+class TestAllZeroVectors:
+    def test_error_summary_on_all_zero_error(self):
+        exact = np.array([3, -1, 0, 7, -8], dtype=np.int64)
+        summary = error_summary(exact, exact.copy())
+        assert summary == {"error_rate": 0.0, "mean_abs_error": 0.0,
+                           "max_abs_error": 0.0}
+
+    def test_error_summary_zero_signals(self):
+        zeros = np.zeros(32, dtype=np.int64)
+        summary = error_summary(zeros, zeros)
+        assert summary["error_rate"] == 0.0
+        assert summary["max_abs_error"] == 0.0
+
+    def test_error_summary_single_flip(self):
+        exact = np.zeros(4, dtype=np.int64)
+        observed = np.array([0, 0, 2, 0], dtype=np.int64)
+        summary = error_summary(exact, observed)
+        assert summary["error_rate"] == pytest.approx(0.25)
+        assert summary["mean_abs_error"] == pytest.approx(0.5)
+        assert summary["max_abs_error"] == 2.0
+
+
+class TestShapeMismatch:
+    def test_mse_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_error_rate_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            error_rate(np.zeros(3), np.zeros((3, 1)))
+
+    def test_snr_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            snr_db(np.zeros(3), np.zeros(4))
+
+
+def test_acceptability_threshold_boundary():
+    assert is_acceptable_quality(ACCEPTABLE_PSNR_DB)
+    assert not is_acceptable_quality(ACCEPTABLE_PSNR_DB - 1e-9)
+    assert is_acceptable_quality(25.0, threshold_db=20.0)

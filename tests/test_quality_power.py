@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.power import PowerReport, dynamic_power_uw, power_report, savings
 from repro.quality import (ACCEPTABLE_PSNR_DB, error_rate, error_summary,
@@ -55,7 +55,6 @@ class TestQualityMetrics:
         assert ACCEPTABLE_PSNR_DB == 30.0
 
     @given(st.lists(st.integers(0, 255), min_size=4, max_size=64))
-    @settings(max_examples=40, deadline=None)
     def test_psnr_nonnegative_for_8bit_data(self, pixels):
         ref = np.array(pixels, dtype=float)
         test = np.clip(ref + 1, 0, 255)

@@ -1,0 +1,53 @@
+"""Tier-2 deep verification (``pytest -m slow``).
+
+These are the expensive end-to-end guarantees: hundreds of fuzzed
+netlists through all four engines, a full verify_component stack on a
+16-bit multiplier, and the PSNR endpoint claims from EXPERIMENTS.md.
+Tier-1 skips them via the default ``-m "not slow"`` addopts.
+"""
+
+import pytest
+
+from repro.aging import worst_case
+from repro.rtl import Multiplier
+from repro.verify import (check_psnr_endpoints, fuzz_engines,
+                          verify_component)
+
+pytestmark = [pytest.mark.slow, pytest.mark.verify]
+
+
+def test_fuzz_two_hundred_netlists_all_engines(verify_library,
+                                               tmp_path):
+    report = fuzz_engines(verify_library, rounds=220, rng=2026,
+                          corpus_dir=str(tmp_path / "corpus"))
+    assert report.rounds >= 200
+    assert report.engines == ("bytes", "packed", "event", "timed")
+    failures = "\n".join(cx.describe()
+                         for cx in report.counterexamples)
+    assert report.passed, failures
+    # A healthy fuzz run keeps discovering structure for a while.
+    assert report.features > 50
+    assert report.corpus_saved
+
+
+def test_verify_component_full_stack_mult16(verify_library):
+    report = verify_component(Multiplier(16), verify_library,
+                              [worst_case(1), worst_case(10)],
+                              vectors=96,
+                              precisions=range(16, 11, -1),
+                              fuzz_rounds=30, rng=7, cache=None)
+    assert report.passed, report.describe()
+    assert report.golden_vectors > 96
+    assert report.oracle.passed
+    assert all(r.passed for r in report.invariants)
+    assert report.fuzz.passed
+    assert report.counterexamples == []
+
+
+def test_psnr_endpoints_fresh_vs_aged(verify_library):
+    results = check_psnr_endpoints(verify_library, image="akiyo",
+                                   size=32, width=32, years=10.0)
+    failed = [r for r in results if not r.passed]
+    assert failed == [], "\n".join(r.describe() for r in failed)
+    names = {r.name for r in results}
+    assert names == {"fresh_psnr_endpoint", "aged_psnr_collapse"}

@@ -1,0 +1,143 @@
+"""Golden-model tests: the pure-Python references are *independently*
+correct (checked against plain Python arithmetic) and agree with both
+the NumPy arithmetic models and the synthesized netlists.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl import (Adder, BoothMultiplier, FixedPointFIR,
+                       FixedPointTransform8, Multiplier,
+                       MultiplyAccumulate, RippleCarryAdder, lowpass_taps)
+from repro.verify import check_golden, golden_model
+from repro.verify.golden import (from_bits, golden_add,
+                                 golden_booth_multiply, golden_descale,
+                                 golden_dct_2d, golden_fir, golden_mac,
+                                 golden_multiply, to_bits, wrap)
+
+pytestmark = pytest.mark.verify
+
+
+def _wrapped(value, width):
+    mask = (1 << width) - 1
+    value &= mask
+    if value >> (width - 1):
+        value -= 1 << width
+    return value
+
+
+class TestPrimitives:
+    @given(st.integers(-300, 300))
+    def test_wrap_matches_twos_complement(self, value):
+        assert wrap(value, 8) == _wrapped(value, 8)
+
+    @given(st.integers(-128, 127))
+    def test_bits_round_trip(self, value):
+        assert from_bits(to_bits(value, 8)) == value
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_golden_add_is_wrapped_sum(self, a, b):
+        assert golden_add(a, b, 8) == _wrapped(a + b, 8)
+
+    @given(st.integers(-32, 31), st.integers(-32, 31))
+    def test_golden_multiply_is_wrapped_product(self, a, b):
+        assert golden_multiply(a, b, 6) == _wrapped(a * b, 12)
+
+    @given(st.integers(-32, 31), st.integers(-32, 31))
+    def test_booth_agrees_with_digit_serial(self, a, b):
+        assert golden_booth_multiply(a, b, 6) == golden_multiply(a, b, 6)
+
+    @given(st.integers(-8, 7), st.integers(-8, 7), st.integers(-128, 127))
+    def test_golden_mac_is_wrapped_fma(self, a, b, c):
+        # The MAC accumulates in the 2*width product register.
+        assert golden_mac(a, b, c, 4) == _wrapped(a * b + c, 8)
+
+    @given(st.integers(-1000, 1000))
+    def test_descale_round_half_up(self, value):
+        scaled = value << 4
+        assert golden_descale(scaled, 4) == value
+        assert golden_descale(scaled + 8, 4) == value + 1
+        assert golden_descale(scaled + 7, 4) == value
+
+
+class TestDispatch:
+    def test_unknown_family_raises_keyerror(self):
+        class Odd:
+            family = "divider"
+            width = 8
+            precision = 8
+        with pytest.raises(KeyError, match="divider"):
+            golden_model(Odd())
+
+    def test_model_names_carry_configuration(self):
+        model = golden_model(Multiplier(6, precision=4))
+        assert model.__name__ == "golden_multiplier_w6_p4"
+
+    def test_truncation_applied_to_operands(self):
+        full = golden_model(Adder(8))
+        cut = golden_model(Adder(8, precision=5))
+        assert full(3, 5) == 8
+        # 3 LSBs tied to zero on both operands.
+        assert cut(7, 9) == 8
+        assert cut(8, 8) == full(8, 8)
+
+
+class TestThreeWayDiff:
+    """check_golden: golden vs arithmetic vs netlist on real components."""
+
+    def test_adder8(self, lib, adder8):
+        assert check_golden(Adder(8), lib, vectors=32, rng=1,
+                            netlist=adder8) == []
+
+    def test_adder8_reduced_precision(self, lib):
+        assert check_golden(Adder(8, precision=5), lib, vectors=24,
+                            rng=2) == []
+
+    def test_ripple_carry(self, lib):
+        assert check_golden(RippleCarryAdder(6), lib, vectors=24,
+                            rng=3) == []
+
+    def test_multiplier6(self, lib, mult6):
+        assert check_golden(Multiplier(6), lib, vectors=32, rng=4,
+                            netlist=mult6) == []
+
+    def test_booth(self, lib):
+        assert check_golden(BoothMultiplier(5, precision=3), lib,
+                            vectors=24, rng=5) == []
+
+    def test_mac4(self, lib, mac4):
+        assert check_golden(MultiplyAccumulate(4), lib, vectors=32,
+                            rng=6, netlist=mac4) == []
+
+    def test_without_library_checks_arithmetic_only(self):
+        assert check_golden(Adder(8), vectors=16, rng=7) == []
+
+    def test_assert_golden_fixture(self, assert_golden):
+        assert_golden(Adder(6), vectors=16)
+
+
+class TestDatapathGolden:
+    def test_fir_matches_fixed_point_filter(self, rng):
+        taps = lowpass_taps(taps=8)
+        fir = FixedPointFIR(taps)
+        signal = rng.integers(-500, 500, size=40)
+        expected = fir.filter(signal)
+        got = golden_fir(taps, signal, fir.coeff_bits, fir.align_bits)
+        assert got == expected.tolist()
+
+    def test_dct_forward_matches(self, rng):
+        t = FixedPointTransform8()
+        block = rng.integers(-128, 128, size=(8, 8))
+        expected = t.forward_2d(block)
+        got = golden_dct_2d(block, t.coeffs, t.coeff_bits,
+                            t.coeff_align_bits)
+        assert np.array_equal(np.array(got), expected)
+
+    def test_dct_inverse_matches(self, rng):
+        t = FixedPointTransform8()
+        block = rng.integers(-1024, 1024, size=(8, 8))
+        expected = t.inverse_2d(block)
+        got = golden_dct_2d(block, t.coeffs, t.coeff_bits,
+                            t.coeff_align_bits, inverse=True)
+        assert np.array_equal(np.array(got), expected)

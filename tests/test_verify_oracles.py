@@ -1,0 +1,206 @@
+"""Cross-engine oracle tests.
+
+The headline guarantee: all four simulation engines (bytes / packed /
+event / timed-at-relaxed-clock) are bit-identical, and when one lies
+the oracle catches it and shrinks the disagreement to a few gates.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.netlist import CONST1, NetlistBuilder
+from repro.sim import bitpack
+from repro.verify import (ENGINES, Counterexample, cross_engine_check,
+                          diff_engines, engine_outputs,
+                          minimize_counterexample, shrink_netlist)
+from repro.verify.oracles import default_stimulus, exhaustive_bits
+
+pytestmark = pytest.mark.verify
+
+
+def _xor_chain(n=3):
+    builder = NetlistBuilder(name="xchain")
+    nets = builder.inputs(n, "i")
+    acc = nets[0]
+    for net in nets[1:]:
+        acc = builder.xor2(acc, net)
+    return builder.outputs([acc])
+
+
+class TestStimulus:
+    def test_exhaustive_bits_shape(self):
+        bits = exhaustive_bits(3)
+        assert bits.shape == (8, 3)
+        assert len({tuple(r) for r in bits.tolist()}) == 8
+
+    def test_narrow_interface_gets_exhaustive(self):
+        net = _xor_chain(3)
+        bits = default_stimulus(net)
+        assert bits.shape[0] == 8
+
+    def test_wide_interface_gets_random(self, adder8):
+        bits = default_stimulus(adder8, rng=0)
+        assert bits.shape == (128, len(adder8.primary_inputs))
+
+
+class TestEnginesAgree:
+    def test_all_engines_on_xor_chain(self, lib):
+        net = _xor_chain(4)
+        report = cross_engine_check(net, lib, rng=0)
+        assert report.passed
+        assert report.engines == ENGINES
+        assert report.vectors == 16
+        assert "agree" in report.describe()
+
+    def test_all_engines_on_adder8(self, lib, adder8):
+        report = cross_engine_check(adder8, lib, vectors=48, rng=1,
+                                    event_cap=16)
+        assert report.passed
+
+    def test_engine_outputs_shapes(self, lib):
+        net = _xor_chain(3)
+        bits = exhaustive_bits(3)
+        outs = {e: engine_outputs(net, lib, bits, e) for e in ENGINES}
+        for engine, got in outs.items():
+            assert got.shape == (8, 1), engine
+            assert np.array_equal(got, outs["bytes"])
+
+    def test_unknown_engine_rejected(self, lib):
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_outputs(_xor_chain(2), lib, exhaustive_bits(2),
+                           "spice")
+
+    def test_assert_engines_agree_fixture(self, assert_engines_agree):
+        report = assert_engines_agree(_xor_chain(3))
+        assert report.passed
+
+
+class TestFaultInjection:
+    """Deliberately break one packed kernel; the oracle must catch it
+    and shrink the reproducer to a handful of gates (acceptance
+    criterion: <= 8)."""
+
+    @pytest.fixture()
+    def broken_packed_xor(self):
+        original = bitpack.PACKED_KERNELS["XOR2"]
+        # Lies only when both inputs are 1 (claims XOR(1,1) == 1).
+        bitpack.PACKED_KERNELS["XOR2"] = lambda a, b: a | b
+        try:
+            yield
+        finally:
+            bitpack.PACKED_KERNELS["XOR2"] = original
+
+    def test_broken_kernel_is_caught_and_shrunk(self, lib, adder8,
+                                                broken_packed_xor):
+        report = cross_engine_check(adder8, lib, vectors=64, rng=2,
+                                    engines=("bytes", "packed"))
+        assert not report.passed
+        assert report.mismatches
+        cx = report.counterexample
+        assert cx is not None
+        assert cx.engines == ("bytes", "packed")
+        assert cx.gates <= 8
+        assert cx.original_design == adder8.name
+        assert cx.original_gates == adder8.num_gates
+        # The witness still reproduces on the shrunken netlist...
+        assert cx.replay(lib)
+        assert "ENGINE DISAGREEMENT" in report.describe()
+
+    def test_counterexample_round_trips_json(self, lib, adder8,
+                                             broken_packed_xor):
+        report = cross_engine_check(adder8, lib, vectors=64, rng=2,
+                                    engines=("bytes", "packed"))
+        cx = report.counterexample
+        data = json.loads(cx.to_json())
+        assert data["schema"] == "repro.verify.counterexample/1"
+        loaded = Counterexample.from_json(cx.to_json())
+        assert loaded.engines == cx.engines
+        assert loaded.inputs == cx.inputs
+        assert loaded.netlist().num_gates == cx.gates
+        assert loaded.replay(lib)
+
+    def test_replay_is_clean_once_kernel_is_fixed(self, lib, adder8):
+        original = bitpack.PACKED_KERNELS["XOR2"]
+        bitpack.PACKED_KERNELS["XOR2"] = lambda a, b: a | b
+        try:
+            report = cross_engine_check(adder8, lib, vectors=64, rng=2,
+                                        engines=("bytes", "packed"))
+            cx = report.counterexample
+        finally:
+            bitpack.PACKED_KERNELS["XOR2"] = original
+        # Healthy kernels: the saved reproducer no longer fires.
+        assert cx.replay(lib) == []
+
+    def test_diff_engines_reports_gate_and_vector(self, lib,
+                                                  broken_packed_xor):
+        net = _xor_chain(2)
+        bits = exhaustive_bits(2)
+        found = diff_engines(net, lib, bits, engines=("packed",))
+        assert found
+        first = found[0]
+        assert first.reference == "bytes"
+        assert first.engine == "packed"
+        assert first.vector_index == 3  # the (1, 1) row
+        assert "packed" in first.describe()
+
+
+class TestShrinker:
+    def test_shrinks_to_single_gate(self, lib, adder8):
+        # Predicate: netlist still contains an XOR2 fed by two ones —
+        # the structural signature of the broken-kernel reproducer.
+        def has_hot_xor(candidate):
+            return any(g.kind == "XOR2" for g in candidate.gates)
+
+        shrunk = shrink_netlist(adder8, has_hot_xor)
+        assert shrunk.num_gates <= 2
+        assert any(g.kind == "XOR2" for g in shrunk.gates)
+        shrunk.validate()
+
+    def test_preserves_pi_count(self, lib, adder8):
+        shrunk = shrink_netlist(adder8, lambda n: True)
+        # Stimulus shape must stay valid for the original PI order.
+        assert len(shrunk.primary_inputs) == len(adder8.primary_inputs)
+
+    def test_never_returns_failing_candidate(self, lib):
+        net = _xor_chain(4)
+        gates_goal = net.num_gates  # predicate pins the original size
+
+        def full_size(candidate):
+            return candidate.num_gates >= gates_goal
+
+        shrunk = shrink_netlist(net, full_size)
+        assert shrunk.num_gates == gates_goal
+
+    def test_predicate_exception_treated_as_pass_through(self, lib,
+                                                         adder8):
+        calls = {"n": 0}
+
+        def flaky(candidate):
+            calls["n"] += 1
+            raise RuntimeError("boom")
+
+        shrunk = shrink_netlist(adder8, flaky)
+        assert shrunk.num_gates == adder8.num_gates
+        assert calls["n"] > 0
+
+
+class TestMinimizer:
+    def test_minimize_direct(self, lib, adder8):
+        original = bitpack.PACKED_KERNELS["XOR2"]
+        bitpack.PACKED_KERNELS["XOR2"] = lambda a, b: a | b
+        try:
+            bits = default_stimulus(adder8, vectors=64, rng=3)
+            mismatches = diff_engines(adder8, lib, bits,
+                                      engines=("packed",))
+            assert mismatches
+            cx = minimize_counterexample(adder8, lib, bits, mismatches,
+                                         engines=("bytes", "packed"))
+            assert cx.gates <= 8
+            # The shrunken witness drives the surviving XOR2 with ones.
+            net = cx.netlist()
+            assert any(g.kind == "XOR2" for g in net.gates)
+            assert cx.replay(lib)
+        finally:
+            bitpack.PACKED_KERNELS["XOR2"] = original

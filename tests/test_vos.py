@@ -1,7 +1,7 @@
 """Tests for the voltage-overscaling model."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.aging import DEFAULT_BTI
 from repro.power import (critical_voltage, delay_multiplier,
@@ -29,7 +29,6 @@ class TestDelayMultiplier:
             delay_multiplier(DEFAULT_BTI.vth)
 
     @given(vdd=st.floats(min_value=0.7, max_value=1.3))
-    @settings(max_examples=40, deadline=None)
     def test_monotone_decreasing_in_vdd(self, vdd):
         assert delay_multiplier(vdd) >= delay_multiplier(vdd + 0.01)
 
