@@ -1,0 +1,60 @@
+"""Shared helpers for the ``benchmarks/`` scripts.
+
+The benchmark files (``BENCH_*.json``) are perf *trajectories*, not
+snapshots: every run appends a machine-stamped entry instead of
+overwriting the file, so regressions can be traced across commits and
+hosts. Files use the ``repro.bench/2`` schema::
+
+    {"schema": "repro.bench/2", "benchmark": "<name>", "runs": [...]}
+
+Legacy single-run files (schema 1 was the bare run dict) are wrapped
+into a trajectory on first append.
+"""
+
+import datetime
+import json
+import os
+import platform
+
+import numpy as np
+
+SCHEMA = "repro.bench/2"
+
+
+def machine_stamp():
+    """Toolchain + host identity attached to every benchmark run."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "processor": platform.processor() or platform.machine(),
+        "timestamp_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def append_run(path, run):
+    """Append *run* to the trajectory at *path* (created if missing).
+
+    The run dict gets a ``machine`` stamp (:func:`machine_stamp`) unless
+    it already carries one. Returns the number of runs now recorded.
+    """
+    run = dict(run)
+    run.setdefault("machine", machine_stamp())
+    benchmark = run.get("benchmark", "unknown")
+    doc = {"schema": SCHEMA, "benchmark": benchmark, "runs": []}
+    if os.path.exists(path):
+        with open(path) as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+            doc = existing
+        elif isinstance(existing, dict):
+            # Legacy single-run file: keep it as the first trajectory
+            # point rather than discarding the measurement.
+            doc["benchmark"] = existing.get("benchmark", benchmark)
+            doc["runs"] = [existing]
+    doc["runs"].append(run)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(doc["runs"])

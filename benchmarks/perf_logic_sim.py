@@ -20,12 +20,12 @@ the timings.
 
 import argparse
 import contextlib
-import json
-import platform
 import time
 import tracemalloc
 
 import numpy as np
+
+import bench_util
 
 from repro.cells import default_library
 from repro.obs import manifest as obs_manifest
@@ -167,17 +167,9 @@ def _run(args):
         "activity_speedup": activity_speedup,
         "activity_peak_memory_ratio": activity_mem_ratio,
         "evaluate_speedup": evaluate_speedup,
-        "machine": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-            "processor": platform.processor() or platform.machine(),
-        },
     }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print("wrote %s" % args.out)
+    n_runs = bench_util.append_run(args.out, report)
+    print("wrote %s (%d run(s) recorded)" % (args.out, n_runs))
     return report
 
 

@@ -3,15 +3,64 @@
 Bridges the BTI model, a stress annotation and a cell library into the
 per-gate delays consumed by static timing analysis and the timed
 gate-level simulator.
+
+Aging multipliers are memoized per ``(model, stress, lifetime, cell)``
+value: a netlist instantiates each library cell hundreds of times under
+identical uniform stress, so the closed-form BTI shift (or the bilinear
+table lookup) is computed once per distinct key instead of once per
+gate instance. The memo is shared with the batched STA engine
+(:mod:`repro.sta.engine`), which is what keeps the scalar and vectorized
+paths bit-identical: both read the very same cached float.
 """
 
+from functools import lru_cache
+
 from .bti import DEFAULT_BTI
+
+#: Upper bound on distinct (model, stress, lifetime, cell) multiplier
+#: keys kept alive; sweeps reuse a handful of scenarios over a handful
+#: of cells, so this is generous.
+_MULTIPLIER_MEMO_SIZE = 65536
 
 
 class _AnyGate:
     """Stand-in gate for querying a uniform stress annotation."""
 
     uid = -1
+
+
+@lru_cache(maxsize=_MULTIPLIER_MEMO_SIZE)
+def _bti_multiplier(bti, sp, sn, years, wp, wn):
+    """Memoized closed-form BTI multiplier.
+
+    *bti* is a frozen dataclass (hashed by value), so value-equal models
+    share entries across scenarios and sweeps.
+    """
+    return bti.cell_multiplier(sp, sn, years, wp=wp, wn=wn)
+
+
+@lru_cache(maxsize=_MULTIPLIER_MEMO_SIZE)
+def _table_multiplier(degradation, cell_name, sp, sn, years):
+    """Memoized degradation-aware-library table lookup."""
+    return degradation.multiplier(cell_name, sp, sn, years)
+
+
+def clear_multiplier_memo():
+    """Drop all memoized aging multipliers (for tests and benchmarks)."""
+    _bti_multiplier.cache_clear()
+    _table_multiplier.cache_clear()
+
+
+def multiplier_memo_info():
+    """``(bti_info, table_info)`` lru_cache statistics, for tests."""
+    return _bti_multiplier.cache_info(), _table_multiplier.cache_info()
+
+
+def _stress_multiplier(cell, sp, sn, years, bti, degradation):
+    """Multiplier of *cell* at explicit stress factors (memoized)."""
+    if degradation is not None:
+        return _table_multiplier(degradation, cell.name, sp, sn, years)
+    return _bti_multiplier(bti, sp, sn, years, cell.wp, cell.wn)
 
 
 def gate_delay_multiplier(cell, scenario, bti=DEFAULT_BTI, degradation=None):
@@ -23,15 +72,16 @@ def gate_delay_multiplier(cell, scenario, bti=DEFAULT_BTI, degradation=None):
     library [4],[9]. Otherwise the closed-form BTI model is evaluated.
     Both paths agree to within the table's interpolation error.
 
+    Results are memoized per ``(cell, scenario stress, lifetime, model)``
+    value — see :func:`clear_multiplier_memo`.
+
     Only meaningful for uniform stress annotations; per-gate annotations
     need :func:`gate_delays`.
     """
     if scenario is None or scenario.is_fresh:
         return 1.0
     sp, sn = scenario.stress.gate_stress(_AnyGate)
-    if degradation is not None:
-        return degradation.multiplier(cell.name, sp, sn, scenario.years)
-    return bti.cell_multiplier(sp, sn, scenario.years, wp=cell.wp, wn=cell.wn)
+    return _stress_multiplier(cell, sp, sn, scenario.years, bti, degradation)
 
 
 def gate_delays(netlist, library, scenario=None, bti=DEFAULT_BTI,
@@ -66,12 +116,8 @@ def gate_delays(netlist, library, scenario=None, bti=DEFAULT_BTI,
         delay = cell.delay_ps(loads[gate.uid])
         if not fresh:
             sp, sn = scenario.gate_stress(gate)
-            if degradation is not None:
-                mult = degradation.multiplier(gate.cell, sp, sn,
-                                              scenario.years)
-            else:
-                mult = bti.cell_multiplier(sp, sn, scenario.years,
-                                           wp=cell.wp, wn=cell.wn)
+            mult = _stress_multiplier(cell, sp, sn, scenario.years,
+                                      bti, degradation)
             delay *= mult
         delays[gate.uid] = delay
     return delays
@@ -82,11 +128,12 @@ def guardband_ps(netlist, library, scenario, bti=DEFAULT_BTI,
     """Critical-path guardband ``t_GB`` in ps required by *scenario*.
 
     ``t_GB = t_CP(aging) - t_CP(noAging)`` — the extra clock period a
-    conventional design must reserve (Eq. 1).
+    conventional design must reserve (Eq. 1). Both corners propagate
+    through one compiled timing program (:mod:`repro.sta.engine`).
     """
-    from ..sta.sta import critical_path_delay
+    from ..sta.engine import analyze_batch
 
-    fresh = critical_path_delay(netlist, library)
-    aged = critical_path_delay(netlist, library, scenario=scenario,
-                               bti=bti, degradation=degradation)
+    batch = analyze_batch(netlist, library, [None, scenario], bti=bti,
+                          degradation=degradation)
+    fresh, aged = batch.critical_paths_ps
     return aged - fresh

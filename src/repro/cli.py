@@ -42,8 +42,8 @@ from .obs import trace as obs_trace
 from .netlist.netlist import NetlistError
 from .report import (characterization_report, flow_report_text,
                      instrumentation_report_text, metrics_report_text,
-                     schedule_report_text, timing_report_text,
-                     verify_report_text)
+                     schedule_report_text, screen_report,
+                     timing_report_text, verify_report_text)
 from .rtl import (Adder, BoothMultiplier, CarrySelectAdder, CarrySkipAdder,
                   KoggeStoneAdder, Multiplier, MultiplyAccumulate,
                   RippleCarryAdder, fir_microarchitecture,
@@ -227,11 +227,18 @@ def cmd_characterize(args):
     if args.sweep_bits:
         sweep = range(args.width, args.width - args.sweep_bits - 1, -1)
     with _engine(args):
-        entry = characterize(component, lib,
-                             scenarios=_scenarios(args.years, args.stress),
+        scenarios = _scenarios(args.years, args.stress)
+        entry = characterize(component, lib, scenarios=scenarios,
                              precisions=sweep, effort=args.effort,
-                             jobs=args.jobs)
+                             jobs=args.jobs, sta=args.sta)
         print(characterization_report(entry))
+        if args.screen:
+            from .core.characterize import truncation_screen
+            screen = truncation_screen(component, lib, scenarios,
+                                       precisions=sweep,
+                                       effort=args.effort)
+            print()
+            print(screen_report(screen))
     if args.output:
         store = (AgingApproximationLibrary.load(args.output)
                  if args.update else AgingApproximationLibrary())
@@ -242,7 +249,7 @@ def cmd_characterize(args):
 
 
 def cmd_timing(args):
-    from .sta import analyze
+    from .sta import analyze_batch
     from .synth import synthesize
 
     lib = default_library()
@@ -251,20 +258,19 @@ def cmd_timing(args):
         with instrument.current().stage(instrument.STAGE_SYNTHESIZE):
             netlist = synthesize(component, lib,
                                  effort=args.effort).netlist
+        scenarios = [(worst_case if args.stress == "worst"
+                      else balance_case)(years) for years in args.years]
         with instrument.current().stage(instrument.STAGE_STA):
-            fresh = analyze(netlist, lib)
+            batch = analyze_batch(netlist, lib, [None] + scenarios)
+        fresh = batch.report(0)
         print(timing_report_text(netlist, lib, fresh))
-        for years in args.years:
-            scenario = (worst_case if args.stress == "worst"
-                        else balance_case)(years)
-            with instrument.current().stage(instrument.STAGE_STA):
-                aged = analyze(netlist, lib, scenario=scenario)
+        for idx, scenario in enumerate(scenarios, start=1):
+            aged_ps = batch.critical_paths_ps[idx]
             print("\n%s: critical path %.1f ps (guardband %+.1f ps, "
                   "%+.1f%%)"
-                  % (scenario.label, aged.critical_path_ps,
-                     aged.critical_path_ps - fresh.critical_path_ps,
-                     100 * (aged.critical_path_ps
-                            / fresh.critical_path_ps - 1)))
+                  % (scenario.label, aged_ps,
+                     aged_ps - fresh.critical_path_ps,
+                     100 * (aged_ps / fresh.critical_path_ps - 1)))
     return 0
 
 
@@ -405,6 +411,12 @@ def build_parser():
     p.add_argument("--output", help="approximation-library JSON to write")
     p.add_argument("--update", action="store_true",
                    help="merge into an existing JSON library")
+    p.add_argument("--sta", choices=("batched", "scalar"),
+                   default="batched",
+                   help="STA engine for the sweep (default batched)")
+    p.add_argument("--screen", action="store_true",
+                   help="also print the fast incremental-STA truncation "
+                        "screen (one netlist, no re-synthesis)")
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("timing", help="fresh vs aged timing of a component")

@@ -30,6 +30,8 @@ from ..aging.bti import DEFAULT_BTI
 from ..aging.scenario import AgingScenario
 from ..obs import logs, metrics as obs_metrics, trace as obs_trace
 from ..sim.activity import extract_stress, operand_stream_bits
+from ..sta.engine import (analyze_batch, analyze_incremental,
+                          truncated_input_nets)
 from ..sta.sta import critical_path_delay
 from ..synth.synthesize import synthesize
 from ..sta.paths import logic_depth
@@ -262,6 +264,7 @@ def _characterize_point_inner(task, point_span):
     key = task["key"]
     cache_root = task["cache_root"]
     engine = task.get("engine", "packed")
+    sta = task.get("sta", "batched")
 
     instr = instrument.Instrumentation()
     store = (cache_mod.CharacterizationCache(cache_root)
@@ -303,6 +306,7 @@ def _characterize_point_inner(task, point_span):
     }
     aged = []
     new_aged = {}
+    pending = []                         # (slot in aged, label, fp, corner)
     for spec, label, fp in scenarios:
         if entry is not None and fp in entry["aged"]:
             aged.append((label, entry["aged"][fp]["delay_ps"]))
@@ -317,12 +321,29 @@ def _characterize_point_inner(task, point_span):
             scenario = AgingScenario(spec.years, annotation)
         else:
             scenario = spec
-        with instr.stage(instrument.STAGE_STA):
-            delay = critical_path_delay(netlist, library,
-                                        scenario=scenario, bti=bti,
-                                        degradation=degradation)
-        aged.append((label, delay))
-        new_aged[fp] = {"label": label, "delay_ps": delay}
+        aged.append(None)
+        pending.append((len(aged) - 1, label, fp, scenario))
+    if pending:
+        # All corners of this grid point share one compiled timing
+        # program; the batched engine is bit-identical to per-corner
+        # scalar analyze (sta="scalar" keeps the reference path).
+        if sta == "batched":
+            with instr.stage(instrument.STAGE_STA):
+                batch = analyze_batch(
+                    netlist, library,
+                    [corner for __, __, __, corner in pending],
+                    bti=bti, degradation=degradation)
+            delays = batch.critical_paths_ps
+        else:
+            delays = []
+            for __, __, __, corner in pending:
+                with instr.stage(instrument.STAGE_STA):
+                    delays.append(critical_path_delay(
+                        netlist, library, scenario=corner, bti=bti,
+                        degradation=degradation))
+        for (slot, label, fp, __), delay in zip(pending, delays):
+            aged[slot] = (label, delay)
+            new_aged[fp] = {"label": label, "delay_ps": delay}
     if store is not None:
         store.store(key, metrics, new_aged,
                     meta={"component": variant.name,
@@ -341,7 +362,8 @@ def _scenario_label(spec):
 
 def characterize(component, library, scenarios, precisions=None,
                  effort="ultra", bti=DEFAULT_BTI, degradation=None,
-                 jobs=None, cache=cache_mod.AMBIENT, engine="packed"):
+                 jobs=None, cache=cache_mod.AMBIENT, engine="packed",
+                 sta="batched"):
     """Characterize *component* across precisions and aging scenarios.
 
     Parameters
@@ -373,6 +395,12 @@ def characterize(component, library, scenarios, precisions=None,
         ``"packed"`` (64-way bit-parallel, the default) or ``"bytes"``
         (uint8 reference). Both are bit-identical, so the cache
         fingerprint is engine-independent.
+    sta:
+        STA engine for the aged corners: ``"batched"`` (one compiled
+        timing program per grid point, all corners in one vectorized
+        pass — the default) or ``"scalar"`` (per-corner
+        :func:`repro.sta.sta.analyze`). Both are bit-identical, so the
+        cache fingerprint is engine-independent.
 
     Returns
     -------
@@ -386,6 +414,9 @@ def characterize(component, library, scenarios, precisions=None,
     if engine not in ("packed", "bytes"):
         raise ValueError("engine must be 'packed' or 'bytes', got %r"
                          % (engine,))
+    if sta not in ("batched", "scalar"):
+        raise ValueError("sta must be 'batched' or 'scalar', got %r"
+                         % (sta,))
 
     store = cache_mod.resolve_cache(cache)
     cache_root = store.root if store is not None else None
@@ -405,6 +436,7 @@ def characterize(component, library, scenarios, precisions=None,
                                    bti, degradation),
         "cache_root": cache_root,
         "engine": engine,
+        "sta": sta,
     } for precision in precisions]
 
     jobs = resolve_jobs(jobs)
@@ -446,3 +478,140 @@ def characterize(component, library, scenarios, precisions=None,
         precisions=precisions, scenario_labels=labels, fresh_ps=fresh_ps,
         aged_ps=aged_ps, area_um2=area, leakage_nw=leakage, gates=gates,
         depth=depth)
+
+
+# ---------------------------------------------------------------------------
+# fast truncation screening (incremental cone re-analysis)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TruncationScreen:
+    """Precision/delay estimates from one netlist, no re-synthesis.
+
+    Produced by :func:`truncation_screen`: the full-precision netlist is
+    synthesized once, analyzed under all corners in one batched pass,
+    and every lower precision is then re-analyzed incrementally by
+    tying operand LSBs low and re-propagating only their fan-out cone.
+
+    Delays are *exact* STA results of the tied netlist, but the netlist
+    is the constant-swept full-precision one rather than the
+    re-synthesized variant :func:`characterize` would build, so screen
+    delays conservatively bound the characterization table (re-synthesis
+    can only shrink the surviving logic further). At full precision the
+    two agree exactly. Use the screen to rank precisions cheaply before
+    paying for a full characterization.
+    """
+
+    key: str
+    family: str
+    width: int
+    precisions: List[int]
+    scenario_labels: List[str]
+    #: (precision, scenario label) -> critical-path delay (ps)
+    delays_ps: Dict[Tuple[int, str], float]
+    #: precision -> fraction of gates re-propagated
+    cone_fraction: Dict[int, float]
+    #: precision -> gates removed by the constant sweep
+    dropped_gates: Dict[int, int]
+
+    def delay_ps(self, precision, scenario_label):
+        try:
+            return self.delays_ps[(precision, scenario_label)]
+        except KeyError:
+            raise KeyError("scenario %r / precision %r not screened for %s"
+                           % (scenario_label, precision, self.key))
+
+    def required_precision(self, scenario_label, target_ps=None):
+        """Largest screened precision meeting *target_ps* (Eq. 2 analog).
+
+        Defaults to the full-precision fresh delay. Because screen
+        delays upper-bound characterized delays, the screen's required
+        precision never exceeds the characterized one.
+        """
+        if target_ps is None:
+            target_ps = self.delay_ps(self.width, "fresh")
+        feasible = [p for p in self.precisions
+                    if self.delay_ps(p, scenario_label) <= target_ps]
+        return max(feasible) if feasible else None
+
+    def to_rows(self):
+        """Flat table (list of dicts) for printing/serialization."""
+        rows = []
+        for p in self.precisions:
+            row = {"precision": p,
+                   "cone_fraction": self.cone_fraction[p],
+                   "dropped_gates": self.dropped_gates[p]}
+            for label in self.scenario_labels:
+                row[label + "_ps"] = self.delays_ps[(p, label)]
+            rows.append(row)
+        return rows
+
+
+def truncation_screen(component, library, scenarios, precisions=None,
+                      effort="ultra", bti=DEFAULT_BTI, degradation=None):
+    """Screen a precision sweep by incremental cone re-analysis.
+
+    One synthesis + one batched corner analysis + one incremental
+    re-propagation per precision, instead of a synthesis and a full STA
+    grid per precision — the cheap first pass of a characterization
+    campaign.
+
+    Parameters
+    ----------
+    scenarios:
+        Uniform-stress :class:`~repro.aging.scenario.AgingScenario`
+        objects (actual-case specs need per-variant stress extraction —
+        use :func:`characterize` for those). The fresh corner is always
+        included.
+
+    Returns
+    -------
+    TruncationScreen
+    """
+    width = component.width
+    if precisions is None:
+        precisions = list(range(width, max(width - 12, 1) - 1, -1))
+    precisions = sorted(set(precisions), reverse=True)
+    corners = [None]
+    for spec in scenarios:
+        if isinstance(spec, ActualCaseSpec):
+            raise ValueError(
+                "truncation_screen supports uniform-stress scenarios "
+                "only; characterize() handles actual-case specs")
+        if spec is not None and not spec.is_fresh:
+            corners.append(spec)
+    labels = ["fresh"] + [s.label for s in corners[1:]]
+
+    instr = instrument.current()
+    with obs_trace.span("characterize.screen",
+                        component=component_key(component),
+                        precisions=len(precisions),
+                        corners=len(corners)):
+        with instr.stage(instrument.STAGE_SYNTHESIZE):
+            netlist = synthesize(component, library, effort=effort).netlist
+        with instr.stage(instrument.STAGE_STA):
+            baseline = analyze_batch(netlist, library, corners, bti=bti,
+                                     degradation=degradation)
+        delays, cone, dropped = {}, {}, {}
+        for precision in precisions:
+            tied = truncated_input_nets(component, netlist, precision)
+            if not tied:
+                for label, cp in zip(labels, baseline.critical_paths_ps):
+                    delays[(precision, label)] = cp
+                cone[precision] = 0.0
+                dropped[precision] = 0
+                continue
+            with instr.stage(instrument.STAGE_STA):
+                inc = analyze_incremental(netlist, library, tied,
+                                          baseline=baseline, bti=bti,
+                                          degradation=degradation)
+            for label, cp in zip(labels, inc.critical_paths_ps):
+                delays[(precision, label)] = cp
+            cone[precision] = inc.cone_fraction
+            dropped[precision] = int(inc.dropped.sum())
+    _log.info("screened %s: %d precisions x %d corners from one netlist",
+              component_key(component), len(precisions), len(corners))
+    return TruncationScreen(
+        key=component_key(component), family=component.family, width=width,
+        precisions=precisions, scenario_labels=labels, delays_ps=delays,
+        cone_fraction=cone, dropped_gates=dropped)

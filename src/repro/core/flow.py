@@ -19,6 +19,7 @@ from ..aging.bti import DEFAULT_BTI
 from ..obs import logs, trace as obs_trace
 from ..power.power import PowerReport, dynamic_power_uw
 from ..sim.activity import operand_stream_bits, simulate_activity
+from ..sta.engine import analyze_batch
 from ..sta.sta import critical_path_delay
 from ..synth.aging_aware import aging_aware_synthesize
 from .library import AgingApproximationLibrary
@@ -65,6 +66,35 @@ def design_delay_ps(micro, library, scenario=None, effort="ultra",
                for blk in micro.blocks)
 
 
+def design_delays_ps(micro, library, scenarios, effort="ultra",
+                     bti=DEFAULT_BTI, degradation=None):
+    """Design-level delay per corner, batched.
+
+    Analyzes every block once under *all* corners through one compiled
+    timing program per block (:func:`repro.sta.engine.analyze_batch`)
+    instead of one scalar STA per ``(block, scenario)`` pair. ``None``
+    entries denote the fresh corner. Returns a map from scenario label
+    to the max-over-blocks delay, bit-identical to calling
+    :func:`design_delay_ps` per scenario.
+    """
+    corners, labels, seen = [], [], set()
+    for scenario in scenarios:
+        label = scenario.label if scenario is not None else "fresh"
+        if label in seen:
+            continue
+        seen.add(label)
+        corners.append(scenario)
+        labels.append(label)
+    delays = dict.fromkeys(labels, 0.0)
+    for blk in micro.blocks:
+        batch = analyze_batch(blk.synthesized(library, effort), library,
+                              corners, bti=bti, degradation=degradation)
+        for label, cp in zip(labels, batch.critical_paths_ps):
+            if cp > delays[label]:
+                delays[label] = cp
+    return delays
+
+
 def remove_guardband(micro, library, design_scenario, report_scenarios=(),
                      approx_library=None, effort="ultra", bti=DEFAULT_BTI,
                      degradation=None, quality_check=None, jobs=None):
@@ -106,21 +136,14 @@ def remove_guardband(micro, library, design_scenario, report_scenarios=(),
                 quality_check=quality_check, jobs=jobs)
 
         scenarios = [None, design_scenario] + list(report_scenarios)
-        original, approximated = {}, {}
-        seen = set()
         with obs_trace.span("flow.report_delays",
                             scenarios=len(scenarios)):
-            for scenario in scenarios:
-                label = scenario.label if scenario is not None else "fresh"
-                if label in seen:
-                    continue
-                seen.add(label)
-                original[label] = design_delay_ps(
-                    micro, library, scenario, effort=effort, bti=bti,
-                    degradation=degradation)
-                approximated[label] = design_delay_ps(
-                    outcome.design, library, scenario, effort=effort,
-                    bti=bti, degradation=degradation)
+            original = design_delays_ps(
+                micro, library, scenarios, effort=effort, bti=bti,
+                degradation=degradation)
+            approximated = design_delays_ps(
+                outcome.design, library, scenarios, effort=effort,
+                bti=bti, degradation=degradation)
     _log.info("guardband removal %s: residual %.2f ps after %d "
               "iteration(s)",
               "validated" if outcome.validated else "NOT validated",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..aging.bti import DEFAULT_BTI
+from ..sta.engine import analyze_batch
 from ..sta.sta import critical_path_delay
 from .cache import synthesize_netlist_memoized
 
@@ -132,9 +133,9 @@ class Microarchitecture:
         rows = {}
         for blk in self.blocks:
             netlist = blk.synthesized(library, effort)
-            fresh = critical_path_delay(netlist, library)
-            aged = critical_path_delay(netlist, library, scenario=scenario,
-                                       bti=bti, degradation=degradation)
+            batch = analyze_batch(netlist, library, [None, scenario],
+                                  bti=bti, degradation=degradation)
+            fresh, aged = batch.critical_paths_ps
             slack = constraint_ps - aged
             rows[blk.name] = BlockTiming(
                 name=blk.name, precision=blk.component.precision,

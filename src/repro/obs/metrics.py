@@ -49,7 +49,16 @@ SYNTH_RUNS = "synth.runs"
 SYNTH_DELAY_PS = "synth.delay_ps"
 SYNTH_AREA_UM2 = "synth.area_um2"
 STA_RUNS = "sta.runs"
+STA_BATCH_RUNS = "sta.batch.runs"
+STA_BATCH_CORNERS = "sta.batch.corners"
+STA_INCREMENTAL_RUNS = "sta.incremental.runs"
+STA_INCREMENTAL_CONE_FRACTION = "sta.incremental.cone_fraction"
+TIMING_MEMO_HITS = "cache.timing_memo_hits"
 STRESS_EXTRACTIONS = "stress.extractions"
+
+#: Bucket edges for fraction-valued histograms (e.g. cone fractions in
+#: [0, 1]); the decade-wide defaults would lump everything together.
+FRACTION_BOUNDARIES = tuple(i / 10.0 for i in range(1, 11))
 
 
 class Counter:

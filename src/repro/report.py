@@ -50,6 +50,28 @@ def characterization_report(entry):
     return "\n".join(lines)
 
 
+def screen_report(screen):
+    """Text table of a fast truncation screen (incremental STA)."""
+    headers = (["precision"]
+               + ["%s_ps" % label for label in screen.scenario_labels]
+               + ["cone_%", "dropped"])
+    rows = []
+    for row in screen.to_rows():
+        rows.append([row["precision"]]
+                    + [row["%s_ps" % label]
+                       for label in screen.scenario_labels]
+                    + ["%.0f%%" % (100 * row["cone_fraction"]),
+                       row["dropped_gates"]])
+    lines = ["truncation screen %s (one netlist, constants swept — "
+             "upper bounds on re-synthesized delays)" % screen.key,
+             format_table(headers, rows)]
+    for label in screen.scenario_labels:
+        k = screen.required_precision(label)
+        lines.append("%-18s screen precision K>=%s"
+                     % (label, k if k is not None else "none in sweep"))
+    return "\n".join(lines)
+
+
 def timing_report_text(netlist, library, report):
     """Summary of an STA run: critical path and slowest outputs."""
     from .sta.paths import critical_path, per_output_arrivals

@@ -19,7 +19,9 @@ from typing import Dict, List, Optional
 from ..aging.bti import DEFAULT_BTI
 from ..aging.delay import gate_delays
 from ..netlist.net import CONST0, CONST1
-from ..obs import metrics as obs_metrics, trace as obs_trace
+from ..obs import logs, metrics as obs_metrics, trace as obs_trace
+
+_log = logs.get_logger("sta")
 
 
 @dataclass
@@ -43,9 +45,33 @@ class TimingReport:
     critical_path_ps: float
     scenario_label: str = "fresh"
 
-    def po_arrivals(self, netlist):
-        """Arrival time of each primary output, in PO order."""
-        return [self.arrivals.get(net, 0.0) for net in netlist.primary_outputs]
+    def po_arrivals(self, netlist, missing="raise"):
+        """Arrival time of each primary output, in PO order.
+
+        A primary output absent from ``arrivals`` means the report was
+        computed on a different netlist or the output is disconnected —
+        silently reporting 0.0 would mask such bugs. ``missing`` selects
+        the reaction: ``"raise"`` (default) raises ``KeyError``,
+        ``"warn"`` logs through the ``repro.sta`` logger and substitutes
+        0.0.
+        """
+        if missing not in ("raise", "warn"):
+            raise ValueError("missing must be 'raise' or 'warn', got %r"
+                             % (missing,))
+        out = []
+        for net in netlist.primary_outputs:
+            try:
+                out.append(self.arrivals[net])
+            except KeyError:
+                if missing == "raise":
+                    raise KeyError(
+                        "primary output net %d has no arrival time — was "
+                        "this report computed on %r?"
+                        % (net, netlist.name))
+                _log.warning("primary output net %d of %r has no arrival "
+                             "time; reporting 0.0", net, netlist.name)
+                out.append(0.0)
+        return out
 
     def slack_ps(self, t_clock_ps):
         """Worst slack against a clock period (negative = violation)."""

@@ -20,7 +20,18 @@ Two users:
 from dataclasses import dataclass
 
 from ..aging.bti import DEFAULT_BTI
-from ..sta.sta import analyze
+from ..sta.engine import analyze_batch
+
+
+def _analyze(netlist, library, scenario, bti, degradation):
+    """One-corner STA through the compiled engine.
+
+    Returns the scalar-identical :class:`~repro.sta.sta.TimingReport`;
+    cell upsizes change the netlist content token, so each sizing round
+    compiles (and vectorizes) a fresh timing program.
+    """
+    return analyze_batch(netlist, library, [scenario], bti=bti,
+                         degradation=degradation).report(0)
 
 
 @dataclass
@@ -104,8 +115,7 @@ def upsize_critical_paths(netlist, library, target_ps, scenario=None,
     best_cp = float("inf")
     stalled = 0
     rounds = 0
-    report = analyze(netlist, library, scenario=scenario, bti=bti,
-                     degradation=degradation)
+    report = _analyze(netlist, library, scenario, bti, degradation)
     while rounds < max_rounds:
         cp = report.critical_path_ps
         if cp <= target_ps:
@@ -139,10 +149,8 @@ def upsize_critical_paths(netlist, library, target_ps, scenario=None,
         upsized += changed
         rounds += 1
         netlist._topo_cache = None  # cell changes keep the topology
-        report = analyze(netlist, library, scenario=scenario, bti=bti,
-                         degradation=degradation)
-    report = analyze(netlist, library, scenario=scenario, bti=bti,
-                     degradation=degradation)
+        report = _analyze(netlist, library, scenario, bti, degradation)
+    report = _analyze(netlist, library, scenario, bti, degradation)
     return SizingReport(met=report.critical_path_ps <= target_ps,
                         target_ps=target_ps,
                         achieved_ps=report.critical_path_ps,

@@ -310,3 +310,66 @@ def check_psnr_endpoints(library, image="akiyo", size=32, width=32,
         "aged decode at %.1f dB did not collapse vs fresh %.1f dB"
         % (aged_psnr, fresh_psnr)))
     return results
+
+
+def check_sta_engine(netlist, library, scenarios, bti=None,
+                     degradation=None):
+    """Batched/incremental STA vs the scalar oracle, bit-exactly.
+
+    The vectorized engine (:mod:`repro.sta.engine`) is a perf
+    optimization with a correctness contract: identical IEEE results.
+    This check holds it to that contract without any epsilon —
+
+    * ``analyze_batch`` over the fresh corner plus *scenarios* must
+      reproduce :func:`repro.sta.sta.analyze` arrivals, gate delays and
+      the critical path float-for-float per corner;
+    * ``analyze_incremental`` with the first half of the primary inputs
+      tied low must match the scalar analysis of the explicitly swept
+      netlist (:func:`repro.sta.engine.tie_low`).
+    """
+    from ..aging.bti import DEFAULT_BTI
+    from ..sta.engine import analyze_batch, analyze_incremental, tie_low
+    from ..sta.sta import analyze
+
+    if bti is None:
+        bti = DEFAULT_BTI
+    corners = [None] + [s for s in scenarios if s is not None]
+    batch = analyze_batch(netlist, library, corners, bti=bti,
+                          degradation=degradation)
+    bad = []
+    for idx, corner in enumerate(corners):
+        scalar = analyze(netlist, library, scenario=corner, bti=bti,
+                         degradation=degradation)
+        got = batch.report(idx)
+        if (got.arrivals != scalar.arrivals
+                or got.gate_delays != scalar.gate_delays
+                or got.critical_path_ps != scalar.critical_path_ps):
+            bad.append(got.scenario_label)
+    results = [_result(
+        "sta_batch_bit_exact", not bad,
+        "%d corner(s) bit-identical to scalar STA" % len(corners),
+        "batched STA diverges from scalar on: %s" % ", ".join(bad))]
+
+    tied = list(netlist.primary_inputs[:max(1, len(netlist.primary_inputs)
+                                            // 2)])
+    inc = analyze_incremental(netlist, library, tied, corners=corners,
+                              bti=bti, degradation=degradation,
+                              baseline=batch)
+    swept = tie_low(netlist, tied)
+    bad = []
+    for idx, corner in enumerate(corners):
+        scalar = analyze(swept, library, scenario=corner, bti=bti,
+                         degradation=degradation)
+        got = inc.report(idx)
+        if (got.critical_path_ps != scalar.critical_path_ps
+                or got.gate_delays != scalar.gate_delays
+                or any(got.arrivals[n] != a
+                       for n, a in scalar.arrivals.items())):
+            bad.append(got.scenario_label)
+    results.append(_result(
+        "sta_incremental_bit_exact", not bad,
+        "cone re-analysis of %d tied input(s) matches swept-netlist STA"
+        % len(tied),
+        "incremental STA diverges from tie_low oracle on: %s"
+        % ", ".join(bad)))
+    return results

@@ -26,13 +26,14 @@ from typing import List, Optional
 import numpy as np
 
 from ..aging.bti import DEFAULT_BTI
+from ..aging.scenario import AgingScenario
 from ..core import cache as cache_mod
 from ..core.characterize import characterize
 from ..obs import logs, trace as obs_trace
 from .fuzz import FuzzReport, fuzz_engines
 from .golden import GoldenMismatch, check_golden
 from .invariants import (InvariantResult, check_characterization,
-                         check_error_shape)
+                         check_error_shape, check_sta_engine)
 from .oracles import ENGINES, EVENT_VECTOR_CAP, OracleReport, \
     cross_engine_check
 
@@ -156,6 +157,11 @@ def verify_component(component, library, scenarios, vectors=96,
                                 bti=bti, degradation=degradation,
                                 jobs=jobs, cache=cache)
             report.invariants = check_characterization(char)
+            uniform = [s for s in scenarios
+                       if isinstance(s, AgingScenario)]
+            report.invariants += check_sta_engine(
+                netlist, library, uniform, bti=bti,
+                degradation=degradation)
             report.invariants += check_error_shape(
                 component, library, years=error_shape_years, rng=rng,
                 effort=effort, netlist=netlist)

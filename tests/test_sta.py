@@ -151,3 +151,36 @@ class TestRequiredTimes:
         assert min(slacks.values()) == pytest.approx(0.0, abs=1e-9)
         path = critical_path(adder8, report)
         assert slacks[path.gates[-1]] == pytest.approx(0.0, abs=1e-9)
+
+
+class _Foreign:
+    """Minimal stand-in netlist with mismatched primary outputs."""
+
+    name = "foreign"
+
+    def __init__(self, primary_outputs):
+        self.primary_outputs = primary_outputs
+
+
+class TestPoArrivals:
+    def test_in_po_order(self, lib, adder8):
+        report = analyze(adder8, lib)
+        assert report.po_arrivals(adder8) == \
+            [report.arrivals[net] for net in adder8.primary_outputs]
+
+    def test_missing_po_raises_by_default(self, lib, adder8):
+        report = analyze(adder8, lib)
+        foreign = _Foreign([max(report.arrivals) + 1])
+        with pytest.raises(KeyError, match="no arrival time"):
+            report.po_arrivals(foreign)
+
+    def test_missing_po_warns_to_zero(self, lib, adder8):
+        report = analyze(adder8, lib)
+        foreign = _Foreign([max(report.arrivals) + 1,
+                            max(report.arrivals) + 2])
+        assert report.po_arrivals(foreign, missing="warn") == [0.0, 0.0]
+
+    def test_invalid_mode_rejected(self, lib, adder8):
+        report = analyze(adder8, lib)
+        with pytest.raises(ValueError, match="raise|warn"):
+            report.po_arrivals(adder8, missing="ignore")
