@@ -1,0 +1,404 @@
+#!/usr/bin/env python
+"""Benchmark: characterization service vs a no-dedup/no-mem-tier baseline.
+
+Drives the :mod:`repro.serve` job server with a closed-loop, zipf-skewed
+query mix — the shape a shared characterization service actually sees
+when a CI fleet or a sweep campaign hammers the same handful of hot
+components — and times two server configurations over the *identical*
+request schedule, each starting from its own cold cache:
+
+* **baseline**: single-flight dedup off, in-memory tier off. Every
+  request that arrives before its key is stored recomputes the point,
+  and every warm request re-reads and re-parses the on-disk JSON;
+* **tiered**: the full stack — concurrent identical misses collapse
+  onto one in-flight compute, and warm queries answer from the
+  in-memory LRU tier without touching disk.
+
+Two phases are timed per server:
+
+* **mix**: the zipf schedule against a cold cache. Under closed-loop
+  concurrency the baseline's pool queue backs up, which stretches the
+  window during which duplicate requests recompute — the thundering
+  herd single-flight dedup exists to absorb. The >= 5x PR target is
+  for this phase;
+* **warm replay**: the same schedule again, now fully cached — pure
+  tier-serving cost (memory hits vs disk read+parse per point).
+
+Every response is cross-checked bit-exactly between the two servers
+before anything is reported, and a sample of queries is checked against
+direct :func:`repro.core.characterize` calls. Results append to
+``BENCH_serve.json`` (see ``bench_util``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_serve.py
+"""
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import shutil
+import time
+
+import numpy as np
+
+import bench_util
+from repro.aging import worst_case
+from repro.cells import default_library
+from repro.core import characterize
+from repro.core.cache import CharacterizationCache
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.rtl import Multiplier
+from repro.serve import CharacterizationServer, ServeClient
+
+def build_population(args):
+    """Distinct queries: one (precision, lifetime) point each.
+
+    Single-point queries are the service's RPC granularity — each fleet
+    member asks for exactly the point its local search is expanding,
+    which is what makes identical queries from different clients land
+    adjacent in the server's pool queue (the thundering-herd shape).
+    Ranks cycle precisions fastest and slide the aging lifetime every
+    ``width`` ranks, so the hot head of the zipf mix spans the whole
+    precision ladder of the shared component.
+    """
+    component = "mult%d" % args.width
+    return [{
+        "component": component,
+        "precisions": [args.width - (rank % args.width)],
+        "scenarios": ["worst%gy" % (1.0 + 0.25 * (rank // args.width))],
+        "effort": args.effort,
+    } for rank in range(args.population)]
+
+
+def zipf_schedule(population_size, requests, skew, seed):
+    """Seeded zipf(*skew*) draw of *requests* population indices."""
+    ranks = np.arange(1, population_size + 1, dtype=float)
+    probabilities = ranks ** -skew
+    probabilities /= probabilities.sum()
+    rng = np.random.default_rng(seed)
+    return [int(i) for i in
+            rng.choice(population_size, size=requests, p=probabilities)]
+
+
+async def drive(server, population, schedule, concurrency):
+    """Closed-loop fleet: *concurrency* clients each replay *schedule*.
+
+    Every client walks the same mix, like a DSE fleet or CI shard set
+    sweeping the same grid — so identical queries are routinely in
+    flight from several clients at once, which is the thundering herd
+    single-flight dedup exists to absorb.
+    """
+    replies = [[None] * len(schedule) for __ in range(concurrency)]
+
+    async def client_loop(slot):
+        async with ServeClient(server.host, server.port) as client:
+            for index, query_index in enumerate(schedule):
+                replies[slot][index] = await client.characterize(
+                    population[query_index])
+
+    start = time.perf_counter()
+    await asyncio.gather(*[client_loop(slot)
+                           for slot in range(concurrency)])
+    return time.perf_counter() - start, replies
+
+
+def canonical(reply):
+    """Reply stripped of tier provenance, for cross-server comparison."""
+    points = [{k: v for k, v in point.items() if k != "source"}
+              for point in reply["points"]]
+    return json.dumps(points, sort_keys=True)
+
+
+def phase_report(wall_s, replies, stats, prev_stats=None):
+    requests = sum(len(per_client) for per_client in replies)
+    points = sum(len(r["points"]) for per_client in replies
+                 for r in per_client)
+    report = {
+        "wall_s": wall_s,
+        "requests": requests,
+        "points": points,
+        "requests_per_s": requests / wall_s,
+        "points_per_s": points / wall_s,
+        "computes": stats["computes"],
+        "dedup_hits": stats["dedup_hits"],
+        "dedup_ratio": stats["dedup_ratio"],
+        "tier_hits": dict(stats["tier_hits"]),
+        "mem_hit_ratio": stats["mem_hit_ratio"],
+        "tier_hit_ratio": stats["tier_hit_ratio"],
+    }
+    if prev_stats is not None:
+        # Stats are cumulative per server: delta them to this phase, and
+        # recompute the per-point ratios over the delta'd counts.
+        for field in ("computes", "dedup_hits"):
+            report[field] = stats[field] - prev_stats[field]
+        report["tier_hits"] = {
+            tier: stats["tier_hits"][tier] - prev_stats["tier_hits"][tier]
+            for tier in stats["tier_hits"]}
+        resolved = (report["computes"] + report["dedup_hits"]
+                    + sum(report["tier_hits"].values()))
+        if resolved:
+            report["dedup_ratio"] = report["dedup_hits"] / resolved
+            report["mem_hit_ratio"] = report["tier_hits"]["mem"] / resolved
+            report["tier_hit_ratio"] = (sum(report["tier_hits"].values())
+                                        / resolved)
+        else:
+            report["dedup_ratio"] = 0.0
+            report["mem_hit_ratio"] = 0.0
+            report["tier_hit_ratio"] = 0.0
+    return report
+
+
+async def warmup(server, args):
+    """Untimed: warm every (worker, precision) synthesis/STA memo.
+
+    For each precision, fires one request per pool worker using
+    ``balance`` lifetimes the zipf mix (all ``worst``) never asks for.
+    The lifetimes are distinct, so the requests carry distinct scenario
+    fingerprints and cannot collapse onto one in-flight compute — all
+    workers compute concurrently, and every worker's netlist/timing
+    memo for that precision gets hot, the steady state of a long-lived
+    service. Every mix query still finds its own fingerprints cold in
+    the cache. ``--warmup-rounds`` repeats the pass, since the pool is
+    free to hand two tasks of a wave to one worker.
+    """
+    async def one(precision, lifetime_index):
+        async with ServeClient(server.host, server.port) as client:
+            await client.characterize({
+                "component": "mult%d" % args.width,
+                "precisions": [precision],
+                "scenarios": ["balance%gy" % (1.0 + 0.25 * lifetime_index)],
+                "effort": args.effort,
+            })
+
+    for round_index in range(args.warmup_rounds):
+        for precision in range(1, args.width + 1):
+            await asyncio.gather(*[
+                one(precision, round_index * args.workers + k)
+                for k in range(args.workers)])
+
+
+async def bench_server(label, root, lib, args, population, schedule,
+                       dedup, mem_entries):
+    cache = CharacterizationCache(root, shards=args.shards,
+                                  mem_entries=mem_entries)
+    server = CharacterizationServer(cache, library=lib,
+                                    workers=args.workers, dedup=dedup)
+    outer = obs_metrics.registry()
+    with obs_trace.span("bench.serve." + label, dedup=dedup,
+                        mem_entries=mem_entries), \
+            obs_metrics.scoped() as server_registry:
+        # Each server pins its own registry so its stats() aren't
+        # polluted by the other configuration's counters.
+        await server.start()
+        try:
+            await warmup(server, args)
+            warm_base = server.stats()
+            mix_s, mix_replies = await drive(server, population, schedule,
+                                             args.concurrency)
+            mix_stats = server.stats()
+            warm_s, warm_replies = await drive(server, population, schedule,
+                                               args.concurrency)
+            warm_stats = server.stats()
+        finally:
+            await server.stop()
+    outer.merge(server_registry.snapshot())
+    report = {
+        "dedup": dedup,
+        "mem_entries": mem_entries,
+        "mix": phase_report(mix_s, mix_replies, mix_stats, warm_base),
+        "warm": phase_report(warm_s, warm_replies, warm_stats, mix_stats),
+        "latency_ms": warm_stats["latency_ms"],
+    }
+    for phase in ("mix", "warm"):
+        p = report[phase]
+        print("%-8s %-5s %7.2f s  %7.1f req/s  %6d computes  "
+              "dedup %5.1f%%  mem/disk %d/%d"
+              % (label, phase, p["wall_s"], p["requests_per_s"],
+                 p["computes"], 100 * p["dedup_ratio"],
+                 p["tier_hits"]["mem"], p["tier_hits"]["disk"]))
+    return report, mix_replies, warm_replies
+
+
+def check_against_direct(lib, args, population, replies, schedule):
+    """A sample of served queries must equal direct characterize() calls."""
+    checked = set()
+    for reply, query_index in zip(replies[0], schedule):
+        if query_index in checked:
+            continue
+        checked.add(query_index)
+        if len(checked) > args.oracle_samples:
+            break
+        query = population[query_index]
+        scenario = worst_case(float(query["scenarios"][0]
+                                    .replace("worst", "").rstrip("y")))
+        table = characterize(Multiplier(args.width), lib,
+                             scenarios=[scenario],
+                             precisions=query["precisions"],
+                             effort=args.effort, cache=None)
+        for point in reply["points"]:
+            precision = point["precision"]
+            if (point["metrics"]["delay_ps"] != table.fresh_ps[precision]
+                    or point["metrics"]["area_um2"]
+                    != table.area_um2[precision]
+                    or point["metrics"]["gates"] != table.gates[precision]
+                    or point["aged"][scenario.label]
+                    != table.aged_ps[(precision, scenario.label)]):
+                raise SystemExit("served point diverges from direct "
+                                 "characterize() for %r" % (query,))
+
+
+async def _run(args, lib, scratch):
+    population = build_population(args)
+    schedule = zipf_schedule(len(population), args.requests, args.skew,
+                             args.seed)
+    print("population %d point queries (mult%d, %d precisions x %d "
+          "lifetimes), mix of %d requests replayed by %d clients "
+          "(zipf skew %.2f), %d pool workers"
+          % (len(population), args.width, args.width,
+             (len(population) + args.width - 1) // args.width,
+             len(schedule), args.concurrency, args.skew, args.workers))
+
+    baseline, base_mix, base_warm = await bench_server(
+        "baseline", os.path.join(scratch, "baseline"), lib, args,
+        population, schedule, dedup=False, mem_entries=0)
+    tiered, tier_mix, tier_warm = await bench_server(
+        "tiered", os.path.join(scratch, "tiered"), lib, args,
+        population, schedule, dedup=True, mem_entries=args.mem_entries)
+
+    # Correctness gate: identical schedule -> bit-identical answers from
+    # every client, every tier of both servers, and the library directly.
+    compared = 0
+    for index in range(len(schedule)):
+        canon = canonical(base_mix[0][index])
+        for phase in (base_mix, base_warm, tier_mix, tier_warm):
+            for per_client in phase:
+                if canonical(per_client[index]) != canon:
+                    raise SystemExit(
+                        "server responses diverge at request %d" % index)
+                compared += 1
+    check_against_direct(lib, args, population, tier_warm, schedule)
+    print("correctness gate passed: %d responses bit-identical across "
+          "clients, servers and tiers; %d checked against direct "
+          "characterize()" % (compared, args.oracle_samples))
+
+    mix_speedup = baseline["mix"]["wall_s"] / tiered["mix"]["wall_s"]
+    warm_speedup = baseline["warm"]["wall_s"] / tiered["warm"]["wall_s"]
+    cold_vs_warm = (tiered["warm"]["requests_per_s"]
+                    / tiered["mix"]["requests_per_s"])
+    print("mix phase: %.1fx faster (target >= 5x); warm replay: %.1fx; "
+          "tiered cold-vs-warm %.1fx; tiered dedup ratio %.1f%%, "
+          "warm mem hit ratio %.1f%%"
+          % (mix_speedup, warm_speedup, cold_vs_warm,
+             100 * tiered["mix"]["dedup_ratio"],
+             100 * tiered["warm"]["mem_hit_ratio"]))
+
+    return {
+        "benchmark": "serve",
+        "component": "mult%d" % args.width,
+        "effort": args.effort,
+        "population": len(population),
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "workers": args.workers,
+        "shards": args.shards,
+        "zipf_skew": args.skew,
+        "seed": args.seed,
+        "baseline": baseline,
+        "tiered": tiered,
+        "mix_speedup": mix_speedup,
+        "warm_speedup": warm_speedup,
+        "cold_vs_warm_speedup": cold_vs_warm,
+        "target_mix_speedup": 5.0,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--width", type=int, default=12,
+                        help="multiplier operand width (default 12)")
+    parser.add_argument("--effort", default="high",
+                        help="synthesis effort (default high)")
+    parser.add_argument("--population", type=int, default=48,
+                        help="distinct point queries in the mix "
+                             "(default 48)")
+    parser.add_argument("--requests", type=int, default=40,
+                        help="mix length each client replays per phase "
+                             "(default 40)")
+    parser.add_argument("--concurrency", type=int, default=32,
+                        help="concurrent clients (default 32)")
+    parser.add_argument("--workers", type=int, default=10,
+                        help="server pool workers (default 10)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="on-disk cache shards, both servers "
+                             "(default 4)")
+    parser.add_argument("--mem-entries", type=int, default=256,
+                        help="tiered server memory-tier cap (default 256)")
+    parser.add_argument("--skew", type=float, default=1.1,
+                        help="zipf exponent of the query mix (default 1.1)")
+    parser.add_argument("--seed", type=int, default=20170618,
+                        help="schedule RNG seed (default 20170618)")
+    parser.add_argument("--warmup-rounds", type=int, default=2,
+                        help="untimed (worker x precision) memo-warmup "
+                             "passes per server (default 2)")
+    parser.add_argument("--oracle-samples", type=int, default=3,
+                        help="queries cross-checked against direct "
+                             "characterize() (default 3)")
+    parser.add_argument("--scratch", default=None,
+                        help="cache scratch dir (default: a fresh tmp dir)")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON trajectory path")
+    parser.add_argument("--trace", default=None,
+                        help="also write a Chrome trace of the benchmark "
+                             "run (plus a run manifest next to it)")
+    args = parser.parse_args(argv)
+
+    lib = default_library()
+    scratch = args.scratch or ("/tmp/perf_serve_%d" % os.getpid())
+    shutil.rmtree(scratch, ignore_errors=True)
+    os.makedirs(scratch)
+
+    t_start = time.perf_counter()
+    tracer = obs_trace.Tracer() if args.trace else None
+    try:
+        with contextlib.ExitStack() as stack:
+            registry = stack.enter_context(obs_metrics.scoped())
+            if tracer is not None:
+                stack.enter_context(obs_trace.capture(tracer))
+                stack.enter_context(obs_trace.span(
+                    "benchmark.serve", requests=args.requests,
+                    concurrency=args.concurrency, skew=args.skew))
+            report = asyncio.run(_run(args, lib, scratch))
+    finally:
+        if args.scratch is None:
+            shutil.rmtree(scratch, ignore_errors=True)
+    if tracer is not None:
+        tracer.write_chrome(args.trace)
+        print("trace written to %s (%d spans)" % (args.trace, len(tracer)))
+        manifest = obs_manifest.build_manifest(
+            "benchmarks/perf_serve.py",
+            config={"width": args.width, "effort": args.effort,
+                    "requests": args.requests,
+                    "concurrency": args.concurrency,
+                    "workers": args.workers, "skew": args.skew,
+                    "seed": args.seed},
+            library=lib,
+            stages=tracer.totals(),
+            metrics=registry.snapshot(),
+            duration_s=time.perf_counter() - t_start,
+            extra={"benchmark": report},
+        )
+        manifest_path = obs_manifest.default_manifest_path(args.trace)
+        obs_manifest.write_manifest(manifest_path, manifest)
+        print("run manifest written to %s" % manifest_path)
+    n_runs = bench_util.append_run(args.out, report)
+    print("wrote %s (%d run(s) recorded)" % (args.out, n_runs))
+    return report
+
+
+if __name__ == "__main__":
+    main()

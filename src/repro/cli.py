@@ -12,7 +12,9 @@ Exposes the library's main flows without writing Python:
   and/or an aging-annotated SDF;
 * ``verify`` — run the differential-verification stack (golden models,
   cross-engine oracles, paper-fidelity invariants, optional fuzzing) on
-  a component.
+  a component;
+* ``serve`` — run the characterization service: an asyncio HTTP/JSON
+  job server over the sharded multi-tier cache (see :mod:`repro.serve`).
 
 Every command accepts ``--width`` and lifetime lists, uses the bundled
 cell library, and prints plain-text reports (see :mod:`repro.report`).
@@ -21,18 +23,19 @@ Component names accept a compact ``<name><width>`` spelling (e.g.
 """
 
 import argparse
+import asyncio
 import contextlib
 import json
 import os
-import re
 import sys
 import time
 
-from .aging import balance_case, fresh, worst_case
+from .aging import balance_case, worst_case
 from .cells import default_library
 from .core import AgingApproximationLibrary, characterize, remove_guardband
 from .core import cache as cache_mod
 from .core import instrument
+from .core import specs as specs_mod
 from .core.adaptive import plan_graceful_degradation
 from .core.parallel import resolve_jobs
 from .obs import logs as obs_logs
@@ -44,21 +47,13 @@ from .report import (characterization_report, flow_report_text,
                      instrumentation_report_text, metrics_report_text,
                      schedule_report_text, screen_report,
                      timing_report_text, verify_report_text)
-from .rtl import (Adder, BoothMultiplier, CarrySelectAdder, CarrySkipAdder,
-                  KoggeStoneAdder, Multiplier, MultiplyAccumulate,
-                  RippleCarryAdder, fir_microarchitecture,
-                  dct_microarchitecture, idct_microarchitecture)
+from .rtl import (fir_microarchitecture, dct_microarchitecture,
+                  idct_microarchitecture)
 
-COMPONENTS = {
-    "adder": Adder,
-    "rca": RippleCarryAdder,
-    "ksa": KoggeStoneAdder,
-    "csel": CarrySelectAdder,
-    "cskip": CarrySkipAdder,
-    "multiplier": Multiplier,
-    "booth": BoothMultiplier,
-    "mac": MultiplyAccumulate,
-}
+#: Component registry and compact-spec aliases, shared with the server
+#: (:mod:`repro.core.specs` owns the vocabulary).
+COMPONENTS = specs_mod.component_registry()
+COMPONENT_ALIASES = specs_mod.COMPONENT_ALIASES
 
 DESIGNS = {
     "idct": idct_microarchitecture,
@@ -76,53 +71,27 @@ def _scenarios(years, stress):
     return [factory(y) for y in years]
 
 
-#: Short component spellings accepted in compact ``<name><width>`` specs.
-COMPONENT_ALIASES = {
-    "add": "adder",
-    "mult": "multiplier",
-    "mul": "multiplier",
-}
-
-
 def _component(args):
     """Resolve ``--component``, accepting compact ``<name><width>`` specs.
 
     ``mult16`` means the 16-bit multiplier regardless of ``--width``;
     plain registry names (``multiplier``) keep using ``--width``.
     """
-    spec = args.component
-    name, width = spec, args.width
-    if spec not in COMPONENTS:
-        match = re.match(r"^([a-z_]+?)(\d+)$", spec)
-        if match:
-            name, width = match.group(1), int(match.group(2))
-    name = COMPONENT_ALIASES.get(name, name)
     try:
-        cls = COMPONENTS[name]
-    except KeyError:
-        raise SystemExit(
-            "unknown component %r (choose from %s, or a compact spec "
-            "like mult16 / adder8)"
-            % (spec, ", ".join(sorted(COMPONENTS))))
-    precision = getattr(args, "precision", None)
-    return cls(width, precision=precision)
+        return specs_mod.parse_component(
+            args.component, width=args.width,
+            precision=getattr(args, "precision", None))
+    except specs_mod.SpecError as exc:
+        raise SystemExit(str(exc))
 
 
 def _parse_scenario(spec):
     """One scenario spec: ``fresh``, ``worst10y``/``balance1y`` or the
     characterization-label spelling ``10y_worst``."""
-    if spec == "fresh":
-        return fresh()
-    match = (re.match(r"^(worst|balance)[-_]?(\d+(?:\.\d+)?)y?$", spec)
-             or re.match(r"^(\d+(?:\.\d+)?)y?[-_]?(worst|balance)$", spec))
-    if not match:
-        raise SystemExit(
-            "unknown scenario %r (expected e.g. worst10y, balance1y, "
-            "10y_worst or fresh)" % spec)
-    first, second = match.groups()
-    kind, years = ((first, second) if first in ("worst", "balance")
-                   else (second, first))
-    return (worst_case if kind == "worst" else balance_case)(float(years))
+    try:
+        return specs_mod.parse_scenario(spec)
+    except specs_mod.SpecError as exc:
+        raise SystemExit(str(exc))
 
 
 def _verify_scenarios(text):
@@ -136,7 +105,7 @@ def _manifest_config(args):
     """JSON-serializable view of the parsed arguments."""
     config = {}
     for name, value in sorted(vars(args).items()):
-        if name == "func" or callable(value):
+        if name == "func" or name.startswith("_") or callable(value):
             continue
         if isinstance(value, (list, tuple)):
             value = [v for v in value]
@@ -173,8 +142,15 @@ def _engine(args):
         raise SystemExit("cache directory %r does not exist "
                          "(create it first, or drop --cache-dir)"
                          % cache_dir)
-    scope = (cache_mod.cache_enabled(cache_dir) if cache_dir
-             else contextlib.nullcontext(cache_mod.get_cache()))
+    # A command may pre-build its own cache instance (repro serve shards
+    # its cache); scope that so the manifest reports its stats.
+    cache_instance = getattr(args, "_cache_instance", None)
+    if cache_instance is not None:
+        scope = cache_mod.cache_enabled(cache_instance)
+    elif cache_dir:
+        scope = cache_mod.cache_enabled(cache_dir)
+    else:
+        scope = contextlib.nullcontext(cache_mod.get_cache())
     tracer = obs_trace.Tracer()
     start = time.perf_counter()
     with scope as cache:
@@ -359,21 +335,66 @@ def cmd_verify(args):
     return 0 if report.passed else 1
 
 
+def cmd_serve(args):
+    from .serve import CharacterizationServer
+
+    root = args.cache_dir or os.environ.get(cache_mod.CACHE_DIR_ENV)
+    if not root:
+        raise SystemExit("serve needs a cache directory "
+                         "(--cache-dir or $REPRO_CACHE_DIR)")
+    os.makedirs(root, exist_ok=True)
+    args.cache_dir = root
+    try:
+        jobs = resolve_jobs(args.jobs)
+        cache = cache_mod.CharacterizationCache(
+            root, shards=jobs if args.shards is None else args.shards,
+            mem_entries=0 if args.no_mem_tier else args.mem_entries)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    # Scope the ambient cache to the server's sharded instance so the
+    # run manifest reports the session's real cache statistics.
+    args._cache_instance = cache
+
+    def ready(server):
+        print("serving characterization on http://%s:%d "
+              "(workers=%d, shards=%d, mem_entries=%d, dedup=%s)"
+              % (server.host, server.port, server.pool.jobs,
+                 server.cache.shards, server.cache.mem_entries,
+                 server.dedup), flush=True)
+
+    with _engine(args):
+        server = CharacterizationServer(
+            cache, host=args.host, port=args.port, workers=jobs,
+            dedup=not args.no_dedup, max_requests=args.max_requests)
+        try:
+            asyncio.run(server.run(ready=ready))
+        except KeyboardInterrupt:
+            pass
+        stats = server.stats()
+        print("served %d requests, %d points (%d dedup, %d mem, %d disk, "
+              "%d computed), %d errors"
+              % (stats["requests"], stats["points"], stats["dedup_hits"],
+                 stats["tier_hits"]["mem"], stats["tier_hits"]["disk"],
+                 stats["computes"], stats["errors"]))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-aging",
         description="Aging-induced approximations (DAC'17 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, design=False):
-        p.add_argument("--width", type=int, default=32,
-                       help="operand bit width (default 32)")
-        p.add_argument("--years", type=_years_list, default=[10.0],
-                       help="comma-separated lifetimes, e.g. 1,10")
-        p.add_argument("--stress", choices=("worst", "balance"),
-                       default="worst")
-        p.add_argument("--effort", default="ultra",
-                       choices=("low", "medium", "high", "ultra"))
+    def common(p, design=False, sweep=True):
+        if sweep:
+            p.add_argument("--width", type=int, default=32,
+                           help="operand bit width (default 32)")
+            p.add_argument("--years", type=_years_list, default=[10.0],
+                           help="comma-separated lifetimes, e.g. 1,10")
+            p.add_argument("--stress", choices=("worst", "balance"),
+                           default="worst")
+            p.add_argument("--effort", default="ultra",
+                           choices=specs_mod.EFFORTS)
         p.add_argument("--jobs", type=int, default=None,
                        help="characterization worker processes "
                             "(default: $REPRO_JOBS or 1; 0 = one per CPU)")
@@ -399,7 +420,7 @@ def build_parser():
         if design:
             p.add_argument("--design", default="idct",
                            help="idct | dct | fir")
-        else:
+        elif sweep:
             p.add_argument("--component", default="adder",
                            help=" | ".join(sorted(COMPONENTS)))
 
@@ -473,6 +494,33 @@ def build_parser():
     p.add_argument("--seed", type=int, default=20170618,
                    help="RNG seed for operands, stimulus and fuzzing")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve characterization queries over HTTP/JSON (asyncio "
+             "job server over the sharded multi-tier cache)")
+    common(p, sweep=False)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8737,
+                   help="bind port (default 8737; 0 = ephemeral, "
+                        "printed on startup)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="on-disk cache shard directories "
+                        "(default: one per worker)")
+    p.add_argument("--mem-entries", type=int, default=None,
+                   help="in-memory LRU tier capacity (default: "
+                        "$REPRO_CACHE_MEM_ENTRIES or %d)"
+                        % cache_mod.DEFAULT_MEM_ENTRIES)
+    p.add_argument("--no-mem-tier", action="store_true",
+                   help="disable the in-memory cache tier")
+    p.add_argument("--no-dedup", action="store_true",
+                   help="disable single-flight dedup of identical "
+                        "in-flight queries (for benchmarking)")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="shut down after serving N requests "
+                        "(smoke tests)")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

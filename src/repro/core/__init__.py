@@ -18,7 +18,7 @@ from .sensitivity import SensitivityReport, precision_sensitivity
 from . import instrument
 from .cache import (CharacterizationCache, CacheStats, cache_enabled,
                     get_cache, set_cache, synthesize_netlist_memoized)
-from .parallel import resolve_jobs
+from .parallel import WorkerPool, resolve_jobs
 
 __all__ = [
     "AgingScenario", "FRESH", "ONE_YEAR_BALANCE", "ONE_YEAR_WORST",
@@ -34,6 +34,6 @@ __all__ = [
     "PrecisionSchedule", "plan_graceful_degradation",
     "SensitivityReport", "precision_sensitivity",
     "CharacterizationCache", "CacheStats", "cache_enabled", "get_cache",
-    "set_cache", "synthesize_netlist_memoized", "resolve_jobs",
-    "instrument",
+    "set_cache", "synthesize_netlist_memoized", "WorkerPool",
+    "resolve_jobs", "instrument",
 ]

@@ -34,6 +34,7 @@ consumers that need the gate-level structure itself (e.g.
 ``Block.synthesized``), where a metrics-only disk entry cannot help.
 """
 
+import collections
 import dataclasses
 import hashlib
 import json
@@ -52,6 +53,35 @@ CACHE_SCHEMA = 1
 
 #: Environment variable naming the ambient cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable capping the in-memory read-through tier.
+MEM_ENTRIES_ENV = "REPRO_CACHE_MEM_ENTRIES"
+
+#: Default in-memory tier capacity (entries are ~1-2 KiB of parsed JSON,
+#: so the default tier tops out around half a megabyte).
+DEFAULT_MEM_ENTRIES = 256
+
+
+def resolve_mem_entries(mem_entries=None):
+    """Normalize a memory-tier capacity; None defers to the env var."""
+    if mem_entries is None:
+        raw = os.environ.get(MEM_ENTRIES_ENV, "").strip()
+        if not raw:
+            return DEFAULT_MEM_ENTRIES
+        try:
+            mem_entries = int(raw)
+        except ValueError:
+            raise ValueError("%s must be an integer, got %r"
+                             % (MEM_ENTRIES_ENV, raw))
+    mem_entries = int(mem_entries)
+    if mem_entries < 0:
+        raise ValueError("mem_entries must be >= 0, got %d" % mem_entries)
+    return mem_entries
+
+
+def shard_index(key, shards):
+    """Deterministic shard of *key* (a hex digest) among *shards* dirs."""
+    return int(key[:8], 16) % shards
 
 
 # ---------------------------------------------------------------------------
@@ -197,12 +227,18 @@ METRIC_FIELDS = ("delay_ps", "area_um2", "leakage_nw", "gates", "depth")
 
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss accounting of one :class:`CharacterizationCache`."""
+    """Hit/miss accounting of one :class:`CharacterizationCache`.
+
+    ``hits`` counts every successful load; ``mem_hits`` is the subset
+    answered by the in-memory tier without touching disk.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    mem_hits: int = 0
+    mem_evictions: int = 0
 
     def merge(self, other):
         """Fold another stats record (or its dict form) into this one."""
@@ -212,6 +248,8 @@ class CacheStats:
         self.misses += other.misses
         self.stores += other.stores
         self.errors += other.errors
+        self.mem_hits += other.mem_hits
+        self.mem_evictions += other.mem_evictions
         return self
 
     def as_dict(self):
@@ -219,34 +257,125 @@ class CacheStats:
 
 
 class CharacterizationCache:
-    """Content-addressed JSON store of characterization points.
+    """Content-addressed multi-tier JSON store of characterization points.
 
     Layout: ``<root>/<key[:2]>/<key>.json`` — one file per point, whose
     ``metrics`` dict holds the synthesis headline numbers and whose
     ``aged`` dict maps scenario fingerprints to ``{"label", "delay_ps"}``
-    records. Writes are atomic (temp file + ``os.replace``) so a crashed
+    records. With ``shards=N`` the layout gains a shard level
+    (``<root>/shard-<i>/<key[:2]>/...``, *i* derived from the key
+    digest) so heavy concurrent writers — the serving layer's worker
+    pool — spread across N directories instead of contending on one
+    tree. Writes are atomic (temp file + ``os.replace``) so a crashed
     or concurrent run never leaves a torn entry; unreadable entries are
-    deleted and treated as misses.
+    quarantined (renamed aside to ``*.corrupt``) and treated as misses.
+
+    A bounded in-memory LRU tier (``mem_entries``, default from
+    ``REPRO_CACHE_MEM_ENTRIES`` else :data:`DEFAULT_MEM_ENTRIES`;
+    0 disables it) sits in front of the disk tier: repeated warm loads
+    skip the read-and-parse entirely. Loaded entries are shared between
+    the tier and callers — treat them as read-only.
     """
 
-    def __init__(self, root):
+    def __init__(self, root, shards=0, mem_entries=None):
         self.root = os.fspath(root)
+        self.shards = int(shards)
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0, got %d" % self.shards)
+        self.mem_entries = resolve_mem_entries(mem_entries)
         self.stats = CacheStats()
+        self._mem = collections.OrderedDict()
         self._suppress_metrics = False
 
     def _path(self, key):
-        return os.path.join(self.root, key[:2], key + ".json")
+        parts = [self.root]
+        if self.shards:
+            parts.append("shard-%02d" % shard_index(key, self.shards))
+        parts.extend((key[:2], key + ".json"))
+        return os.path.join(*parts)
 
     def _emit(self, name, n=1):
         """Emit to the ambient metrics registry (unless peeking)."""
         if not self._suppress_metrics:
             obs_metrics.inc(name, n)
 
+    # -- in-memory tier ----------------------------------------------------
+    def _mem_get(self, key):
+        entry = self._mem.get(key)
+        if entry is not None:
+            self._mem.move_to_end(key)
+        return entry
+
+    def _mem_put(self, key, entry):
+        if self.mem_entries <= 0:
+            return
+        self._mem[key] = entry
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.mem_entries:
+            self._mem.popitem(last=False)
+            self.stats.mem_evictions += 1
+            self._emit(obs_metrics.CACHE_MEM_EVICTIONS)
+
+    def _mem_drop(self, key):
+        self._mem.pop(key, None)
+
     def load(self, key):
-        """Return the entry stored under *key*, or None (recording a miss).
+        """Return the entry stored under *key*, or None (recording a miss)."""
+        entry, __source = self.load_with_source(key)
+        return entry
+
+    def load_with_source(self, key, require=None):
+        """Like :meth:`load` but also says which tier answered.
+
+        Returns ``(entry, "mem"|"disk")`` on a hit, ``(None, None)`` on
+        a miss. The serving layer uses the source to report tier hit
+        ratios.
+
+        *require* is an optional iterable of scenario fingerprints: a
+        memory-tier entry missing any of them is treated as stale and
+        re-read from disk, because out-of-process writers (the serving
+        pool, concurrent CLI runs) extend entries the in-memory copy
+        never sees. Without the fall-through, a repeat query for a
+        newly stored scenario would recompute forever behind a stale
+        memory hit.
+        """
+        entry = self._mem_get(key)
+        if entry is not None:
+            required = list(require or ())
+            if all(fp in entry["aged"] for fp in required):
+                self.stats.hits += 1
+                self.stats.mem_hits += 1
+                self._emit(obs_metrics.CACHE_HITS)
+                self._emit(obs_metrics.CACHE_MEM_HITS)
+                return entry, "mem"
+        entry = self._load_disk(key)
+        if entry is None:
+            return None, None
+        self._mem_put(key, entry)
+        return entry, "disk"
+
+    def refresh(self, key):
+        """Re-read *key* from disk into the memory tier, quietly.
+
+        Used after an out-of-process store (a serving-pool worker wrote
+        the entry) to make the new scenarios visible to the memory tier
+        without waiting for it to age out. No hit/miss accounting: this
+        is tier maintenance, not a query. Returns the entry or None.
+        """
+        entry = self.peek(key)
+        if entry is None:
+            self._mem_drop(key)
+        else:
+            self._mem_put(key, entry)
+        return entry
+
+    def _load_disk(self, key):
+        """Disk-tier load: the entry under *key*, or None (a miss).
 
         A corrupted entry (bad JSON, wrong schema, missing fields) is
-        removed so the follow-up store starts clean.
+        quarantined — renamed aside to ``<entry>.corrupt`` — so repeated
+        loads don't re-parse a known-bad file and the follow-up store
+        starts clean, while the bytes survive for post-mortems.
         """
         path = self._path(key)
         try:
@@ -268,10 +397,10 @@ class CharacterizationCache:
             self.stats.misses += 1
             self._emit(obs_metrics.CACHE_ERRORS)
             self._emit(obs_metrics.CACHE_MISSES)
-            _log.warning("discarding corrupt cache entry %s (%s)",
+            _log.warning("quarantining corrupt cache entry %s (%s)",
                          path, exc)
             try:
-                os.remove(path)
+                os.replace(path, path + ".corrupt")
             except OSError:
                 pass
             return None
@@ -282,11 +411,17 @@ class CharacterizationCache:
         return entry
 
     def peek(self, key):
-        """Like :meth:`load` but without touching the hit/miss counters."""
+        """Disk-tier :meth:`load` without touching the hit/miss counters.
+
+        Bypasses the memory tier: :meth:`store` merges over *peek*'s
+        result, and the merge base must be the on-disk truth so a
+        concurrent writer's scenarios are never clobbered by a stale
+        in-memory copy.
+        """
         stats = dataclasses.replace(self.stats)
         self._suppress_metrics = True
         try:
-            entry = self.load(key)
+            entry = self._load_disk(key)
         finally:
             self._suppress_metrics = False
         self.stats = stats
@@ -322,6 +457,7 @@ class CharacterizationCache:
         with open(tmp, "w") as handle:
             handle.write(text)
         os.replace(tmp, path)
+        self._mem_put(key, entry)
         self.stats.stores += 1
         self._emit(obs_metrics.CACHE_STORES)
         self._emit(obs_metrics.CACHE_BYTES_WRITTEN, len(text))
@@ -330,7 +466,9 @@ class CharacterizationCache:
         return entry
 
     def __repr__(self):
-        return "CharacterizationCache(%r, %r)" % (self.root, self.stats)
+        return "CharacterizationCache(%r, shards=%d, mem=%d/%d, %r)" % (
+            self.root, self.shards, len(self._mem), self.mem_entries,
+            self.stats)
 
 
 # ---------------------------------------------------------------------------

@@ -267,8 +267,9 @@ def _characterize_point_inner(task, point_span):
     sta = task.get("sta", "batched")
 
     instr = instrument.Instrumentation()
-    store = (cache_mod.CharacterizationCache(cache_root)
-             if cache_root else None)
+    store = (cache_mod.CharacterizationCache(
+        cache_root, shards=task.get("cache_shards", 0))
+        if cache_root else None)
     entry = store.load(key) if store is not None else None
     if entry is not None \
             and all(fp in entry["aged"] for __s, __l, fp in scenarios):
@@ -360,10 +361,48 @@ def _scenario_label(spec):
             else spec.label)
 
 
+def scenario_specs(scenarios):
+    """Fingerprint scenarios once: ``[(spec, label, fingerprint)]``.
+
+    Shared input of every point task; hoisted out of the per-point loop
+    because actual-case operand streams can be large to fingerprint.
+    """
+    return [(spec, _scenario_label(spec),
+             cache_mod.scenario_fingerprint(spec))
+            for spec in scenarios]
+
+
+def make_point_task(component, precision, library, specs, effort="ultra",
+                    bti=DEFAULT_BTI, degradation=None, cache_root=None,
+                    cache_shards=0, engine="packed", sta="batched"):
+    """Build one picklable ``(component, precision)`` point task.
+
+    *specs* is a :func:`scenario_specs` list. The task is the unit both
+    :func:`characterize` and the serving layer (:mod:`repro.serve`)
+    dispatch to :func:`_characterize_point` — building it here keeps the
+    two entry points bit-identical by construction.
+    """
+    return {
+        "component": component,
+        "precision": precision,
+        "library": library,
+        "effort": effort,
+        "bti": bti,
+        "degradation": degradation,
+        "scenarios": specs,
+        "key": cache_mod.point_key(component, precision, effort, library,
+                                   bti, degradation),
+        "cache_root": cache_root,
+        "cache_shards": cache_shards,
+        "engine": engine,
+        "sta": sta,
+    }
+
+
 def characterize(component, library, scenarios, precisions=None,
                  effort="ultra", bti=DEFAULT_BTI, degradation=None,
                  jobs=None, cache=cache_mod.AMBIENT, engine="packed",
-                 sta="batched"):
+                 sta="batched", pool=None):
     """Characterize *component* across precisions and aging scenarios.
 
     Parameters
@@ -401,6 +440,10 @@ def characterize(component, library, scenarios, precisions=None,
         pass — the default) or ``"scalar"`` (per-corner
         :func:`repro.sta.sta.analyze`). Both are bit-identical, so the
         cache fingerprint is engine-independent.
+    pool:
+        Optional persistent :class:`~repro.core.parallel.WorkerPool`
+        to fan out over (overrides *jobs*); repeated sweeps reuse its
+        worker processes instead of spawning a pool per call.
 
     Returns
     -------
@@ -420,26 +463,17 @@ def characterize(component, library, scenarios, precisions=None,
 
     store = cache_mod.resolve_cache(cache)
     cache_root = store.root if store is not None else None
-    # Fingerprint shared inputs once (operand streams can be large).
-    scenario_specs = [(spec, _scenario_label(spec),
-                       cache_mod.scenario_fingerprint(spec))
-                      for spec in scenarios]
-    tasks = [{
-        "component": component,
-        "precision": precision,
-        "library": library,
-        "effort": effort,
-        "bti": bti,
-        "degradation": degradation,
-        "scenarios": scenario_specs,
-        "key": cache_mod.point_key(component, precision, effort, library,
-                                   bti, degradation),
-        "cache_root": cache_root,
-        "engine": engine,
-        "sta": sta,
-    } for precision in precisions]
+    cache_shards = store.shards if store is not None else 0
+    specs = scenario_specs(scenarios)
+    tasks = [make_point_task(component, precision, library, specs,
+                             effort=effort, bti=bti,
+                             degradation=degradation,
+                             cache_root=cache_root,
+                             cache_shards=cache_shards,
+                             engine=engine, sta=sta)
+             for precision in precisions]
 
-    jobs = resolve_jobs(jobs)
+    jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
     _log.info("characterizing %s: %d precision points x %d scenarios "
               "(effort=%s, jobs=%d, cache=%s)",
               component_key(component), len(tasks), len(scenarios),
@@ -453,7 +487,8 @@ def characterize(component, library, scenarios, precisions=None,
                         component=component_key(component), width=width,
                         points=len(tasks), scenarios=len(scenarios),
                         jobs=jobs):
-        results = map_tasks(_characterize_point, tasks, jobs=jobs)
+        results = map_tasks(_characterize_point, tasks, jobs=jobs,
+                            pool=pool)
         for point in results:
             precision = point["precision"]
             metrics = point["metrics"]

@@ -47,13 +47,18 @@ def resolve_jobs(jobs=None):
     return jobs
 
 
-def map_tasks(worker, tasks, jobs=1):
+def map_tasks(worker, tasks, jobs=1, pool=None):
     """Apply *worker* to every task, serially or over a process pool.
 
     Results come back in task order either way. *worker* must be a
     module-level function and *tasks* picklable when ``jobs > 1``.
+    Passing a :class:`WorkerPool` as *pool* reuses its persistent
+    workers instead of spawning (and tearing down) a pool for this call;
+    *jobs* is ignored in that case.
     """
     tasks = list(tasks)
+    if pool is not None and tasks:
+        return pool.map(worker, tasks)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         return [worker(task) for task in tasks]
@@ -66,3 +71,65 @@ def map_tasks(worker, tasks, jobs=1):
                         workers=workers):
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(worker, tasks))
+
+
+class WorkerPool:
+    """A persistent process pool for repeated characterization fan-out.
+
+    :func:`map_tasks` spins a fresh ``ProcessPoolExecutor`` up (and
+    down) per call — fine for one sweep, wasteful for a long-lived
+    service dispatching thousands of small jobs. A ``WorkerPool`` keeps
+    its worker processes alive across calls: the serving layer
+    (:mod:`repro.serve`) owns one for its whole session, and
+    :func:`repro.core.characterize.characterize` accepts one via
+    ``pool=`` so repeated sweeps amortize pool startup.
+
+    The executor is created lazily on first use; :meth:`submit` returns
+    a :class:`concurrent.futures.Future` (the asyncio server bridges it
+    with ``wrap_future``), :meth:`map` preserves task order like
+    :func:`map_tasks`. Use as a context manager or call
+    :meth:`shutdown` to reap the workers.
+    """
+
+    def __init__(self, jobs=None):
+        self.jobs = resolve_jobs(jobs)
+        self._executor = None
+
+    @property
+    def executor(self):
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            _log.info("starting persistent pool of %d worker processes",
+                      self.jobs)
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def submit(self, worker, task):
+        """Schedule one task; returns a ``concurrent.futures.Future``."""
+        return self.executor.submit(worker, task)
+
+    def map(self, worker, tasks):
+        """Apply *worker* to every task, preserving task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        with obs_trace.span("parallel.map", tasks=len(tasks),
+                            workers=self.jobs, persistent=True):
+            return list(self.executor.map(worker, tasks))
+
+    def shutdown(self, wait=True):
+        """Reap the worker processes (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=not wait)
+            self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+
+    def __repr__(self):
+        state = "idle" if self._executor is None else "running"
+        return "WorkerPool(jobs=%d, %s)" % (self.jobs, state)

@@ -41,7 +41,17 @@ CACHE_STORES = "cache.stores"
 CACHE_ERRORS = "cache.corrupt_recoveries"
 CACHE_BYTES_READ = "cache.bytes_read"
 CACHE_BYTES_WRITTEN = "cache.bytes_written"
+CACHE_MEM_HITS = "cache.mem_hits"
+CACHE_MEM_EVICTIONS = "cache.mem_evictions"
 NETLIST_MEMO_HITS = "cache.netlist_memo_hits"
+SERVE_REQUESTS = "serve.requests"
+SERVE_ERRORS = "serve.errors"
+SERVE_DEDUP_HITS = "serve.dedup_hits"
+SERVE_TIER_MEM = "serve.tier_hits_mem"
+SERVE_TIER_DISK = "serve.tier_hits_disk"
+SERVE_COMPUTES = "serve.computes"
+SERVE_QUEUE_DEPTH = "serve.queue_depth"
+SERVE_LATENCY_MS = "serve.latency_ms"
 SIM_RUNS = "sim.runs"
 SIM_VECTORS = "sim.vectors"
 SIM_VECTORS_PER_SEC = "sim.vectors_per_sec"
@@ -59,6 +69,12 @@ STRESS_EXTRACTIONS = "stress.extractions"
 #: Bucket edges for fraction-valued histograms (e.g. cone fractions in
 #: [0, 1]); the decade-wide defaults would lump everything together.
 FRACTION_BOUNDARIES = tuple(i / 10.0 for i in range(1, 11))
+
+#: Bucket edges for request-latency histograms in milliseconds:
+#: quarter-decade steps from 10 us to ~56 s, tight enough that
+#: interpolated p50/p95/p99 are meaningful.
+LATENCY_BOUNDARIES_MS = tuple(round(10.0 ** (e / 4.0), 6)
+                              for e in range(-8, 19))
 
 
 class Counter:
@@ -147,6 +163,34 @@ class Histogram:
     @property
     def mean(self):
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q):
+        """Estimate the *q*-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the containing bucket, with the
+        observed ``min``/``max`` clamping the open-ended first and last
+        buckets — exact for q=0/q=1, approximate elsewhere (bucket-width
+        resolution). Returns None for an empty histogram.
+        """
+        if self.count == 0:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        rank = q * self.count
+        cumulative = 0
+        for index, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            lo = self.min if index == 0 else self.boundaries[index - 1]
+            hi = (self.max if index == len(self.boundaries)
+                  else self.boundaries[index])
+            lo = max(lo, self.min)
+            hi = max(min(hi, self.max), lo)
+            if cumulative + n >= rank:
+                frac = (rank - cumulative) / n
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cumulative += n
+        return self.max
 
     def to_snapshot(self):
         return {"count": self.count, "sum": self.sum, "min": self.min,

@@ -1,0 +1,34 @@
+"""Characterization as a service.
+
+The pre-characterized aging/precision library (the paper's central
+artifact) is consumed by downstream flows — DSE loops, quantization
+searches, Monte Carlo campaigns — as thousands of overlapping
+``component x precision x scenario x lifetime`` queries. This package
+turns the library into a production API for that traffic: a
+dependency-free asyncio HTTP/JSON job server
+(:class:`~repro.serve.server.CharacterizationServer`) layered over the
+content-addressed cache with
+
+* an **in-memory LRU tier** over the on-disk store (warm queries never
+  re-read or re-parse JSON),
+* **single-flight dedup** of in-flight misses by cache digest — N
+  identical concurrent requests trigger exactly one ``characterize()``,
+* a **persistent process pool** (:class:`~repro.core.parallel.
+  WorkerPool`) computing misses over a **sharded** cache directory,
+* **incremental streaming** of batch grids as points complete, and
+* full :mod:`repro.obs` wiring: per-request spans (worker traces
+  re-parented), ``serve.*`` metrics and latency histograms.
+
+Results are bit-identical to calling
+:func:`repro.core.characterize.characterize` directly: the server
+dispatches the very same point tasks to the very same worker function.
+"""
+
+from .client import ServeClient, http_request
+from .protocol import ProtocolError, parse_query
+from .server import CharacterizationServer
+
+__all__ = [
+    "CharacterizationServer", "ServeClient", "http_request",
+    "ProtocolError", "parse_query",
+]

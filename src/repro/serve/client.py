@@ -1,0 +1,191 @@
+"""Clients for the characterization service.
+
+:class:`ServeClient` is the asyncio client used by the tests and the
+load generator: one keep-alive connection, JSON requests, and an async
+iterator over streamed batch (chunked NDJSON) responses.
+
+:func:`http_request` is a synchronous one-shot helper over
+``http.client`` for scripts that just want to poke an endpoint without
+an event loop.
+"""
+
+import asyncio
+import http.client
+import json
+
+
+class ServeError(RuntimeError):
+    """A non-2xx server response."""
+
+    def __init__(self, status, payload):
+        message = payload.get("error", payload) \
+            if isinstance(payload, dict) else payload
+        super().__init__("HTTP %d: %s" % (status, message))
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Asyncio client speaking the server's HTTP/JSON protocol.
+
+    One instance holds one keep-alive connection (reconnecting when the
+    server closes it); use separate instances for concurrent in-flight
+    requests — the load generator opens one per simulated client.
+    """
+
+    def __init__(self, host, port):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+
+    # -- connection --------------------------------------------------------
+    async def _connection(self):
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+        return self._reader, self._writer
+
+    async def close(self):
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.close()
+
+    # -- HTTP --------------------------------------------------------------
+    async def _send(self, method, path, payload=None):
+        reader, writer = await self._connection()
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = ("%s %s HTTP/1.1\r\n"
+                "Host: %s:%d\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: %d\r\n\r\n"
+                % (method, path, self.host, self.port, len(body)))
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        return reader
+
+    async def _read_head(self, reader):
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            raise ServeError(0, "malformed status line: %r" % status_line)
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def request(self, method, path, payload=None):
+        """One request/response; returns the decoded JSON body.
+
+        Raises :class:`ServeError` on a non-2xx status.
+        """
+        reader = await self._send(method, path, payload)
+        status, headers = await self._read_head(reader)
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            body = b"".join([chunk async for chunk in
+                             self._iter_chunks(reader)])
+        else:
+            length = int(headers.get("content-length", "0"))
+            body = await reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        decoded = json.loads(body) if body else None
+        if not 200 <= status < 300:
+            raise ServeError(status, decoded)
+        return decoded
+
+    @staticmethod
+    async def _iter_chunks(reader):
+        while True:
+            size_line = await reader.readline()
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await reader.readline()          # trailing CRLF
+                return
+            chunk = await reader.readexactly(size)
+            await reader.readexactly(2)          # chunk CRLF
+            yield chunk
+
+    # -- endpoints ---------------------------------------------------------
+    async def healthz(self):
+        return await self.request("GET", "/healthz")
+
+    async def stats(self):
+        return await self.request("GET", "/v1/stats")
+
+    async def metrics(self):
+        return await self.request("GET", "/v1/metrics")
+
+    async def characterize(self, query):
+        """POST one query; returns the full response dict."""
+        return await self.request("POST", "/v1/characterize", query)
+
+    async def batch(self, query):
+        """POST one query to ``/v1/batch``; yield records as streamed.
+
+        Yields each NDJSON point record the moment its chunk arrives
+        (completion order), ending with the ``{"done": true}`` summary.
+        """
+        reader = await self._send("POST", "/v1/batch", query)
+        status, headers = await self._read_head(reader)
+        if not 200 <= status < 300:
+            length = int(headers.get("content-length", "0"))
+            body = await reader.readexactly(length) if length else b""
+            raise ServeError(status, json.loads(body) if body else None)
+        buffer = b""
+        async for chunk in self._iter_chunks(reader):
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line)
+        if buffer.strip():
+            yield json.loads(buffer)
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+
+    async def shutdown(self):
+        """Ask the server to shut down gracefully."""
+        return await self.request("POST", "/v1/shutdown")
+
+
+def http_request(host, port, method, path, payload=None, timeout=30.0):
+    """Synchronous one-shot request; returns ``(status, decoded_json)``.
+
+    For scripts and smoke tests that don't run an event loop. Streams
+    are drained whole, so use :meth:`ServeClient.batch` when incremental
+    consumption matters.
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        raw = response.read()
+        if "ndjson" in (response.getheader("Content-Type") or ""):
+            decoded = [json.loads(line) for line in raw.splitlines()
+                       if line.strip()]
+        else:
+            decoded = json.loads(raw) if raw else None
+        return response.status, decoded
+    finally:
+        conn.close()

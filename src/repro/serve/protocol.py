@@ -1,0 +1,138 @@
+"""Query wire format of the characterization service.
+
+A **query** is a JSON object selecting a characterization grid::
+
+    {"component": "mult16",            # compact spec, or name + "width"
+     "precisions": [16, 15, 14],       # or "precision": 16; default width
+     "scenarios": ["worst10y", "balance1y", "fresh"],
+     "effort": "high"}                 # default "ultra"
+
+It parses (via :mod:`repro.core.specs`, the same vocabulary the CLI
+accepts) into one point task per precision — the exact task dicts
+:func:`repro.core.characterize.characterize` builds, so server answers
+are bit-identical to direct library calls by construction.
+
+A **point record** is the JSON answer for one grid point::
+
+    {"key": <cache digest>, "component": "multiplier_w16", "width": 16,
+     "precision": 14, "metrics": {"delay_ps": ..., "area_um2": ..., ...},
+     "aged": {"10y_worst": <delay_ps>, ...}, "source": "mem"}
+
+``source`` reports which tier answered: ``"mem"`` / ``"disk"`` (cache
+tiers), ``"computed"`` (this request ran the characterization) or
+``"dedup"`` (coalesced onto another request's in-flight computation).
+"""
+
+from ..core import specs
+from ..core.characterize import (component_key, make_point_task,
+                                 scenario_specs)
+
+#: Wire-format version, echoed in server responses.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed query; the message is sent back as an HTTP 400."""
+
+
+def parse_query(payload):
+    """Parse a query JSON object.
+
+    Returns ``(component, precisions, scenarios, effort)``; raises
+    :class:`ProtocolError` with a user-facing message on any problem.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("query must be a JSON object, got %s"
+                            % type(payload).__name__)
+    unknown = set(payload) - {"component", "width", "precision",
+                              "precisions", "scenarios", "effort"}
+    if unknown:
+        raise ProtocolError("unknown query fields: %s"
+                            % ", ".join(sorted(unknown)))
+    spec = payload.get("component")
+    if not isinstance(spec, str):
+        raise ProtocolError('query needs a "component" string '
+                            '(e.g. "mult16" or "adder" with "width")')
+    width = payload.get("width")
+    if width is not None and not isinstance(width, int):
+        raise ProtocolError('"width" must be an integer')
+    try:
+        component = specs.parse_component(spec, width=width)
+    except specs.SpecError as exc:
+        raise ProtocolError(str(exc))
+
+    if "precision" in payload and "precisions" in payload:
+        raise ProtocolError('give either "precision" or "precisions", '
+                            'not both')
+    raw = payload.get("precisions", payload.get("precision"))
+    if raw is None:
+        precisions = [component.width]
+    else:
+        if isinstance(raw, int):
+            raw = [raw]
+        if (not isinstance(raw, list) or not raw
+                or not all(isinstance(p, int) for p in raw)):
+            raise ProtocolError('"precisions" must be a non-empty list '
+                                'of integers')
+        precisions = sorted(set(raw), reverse=True)
+    for precision in precisions:
+        if not 1 <= precision <= component.width:
+            raise ProtocolError(
+                "precision %d out of range 1..%d for %s"
+                % (precision, component.width, component_key(component)))
+
+    raw = payload.get("scenarios", ["10y_worst"])
+    if isinstance(raw, str):
+        raw = [raw]
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError('"scenarios" must be a non-empty list of '
+                            'scenario specs (e.g. ["worst10y", "fresh"])')
+    try:
+        scenarios = [specs.parse_scenario(s) for s in raw]
+        effort = specs.parse_effort(payload.get("effort", "ultra"))
+    except specs.SpecError as exc:
+        raise ProtocolError(str(exc))
+    return component, precisions, scenarios, effort
+
+
+def point_tasks(component, precisions, scenarios, library, effort="ultra",
+                cache_root=None, cache_shards=0):
+    """Build the point tasks of a parsed query (one per precision)."""
+    shared = scenario_specs(scenarios)
+    return [make_point_task(
+        component, precision, library, shared, effort=effort,
+        cache_root=cache_root, cache_shards=cache_shards)
+        for precision in precisions]
+
+
+def record_from_entry(task, entry, source):
+    """Point record answered from a cache *entry* (all scenarios hit)."""
+    component = task["component"]
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "key": task["key"],
+        "component": component_key(component),
+        "width": component.width,
+        "precision": task["precision"],
+        "metrics": {name: entry["metrics"][name]
+                    for name in ("delay_ps", "area_um2", "leakage_nw",
+                                 "gates", "depth")},
+        "aged": {label: entry["aged"][fp]["delay_ps"]
+                 for __spec, label, fp in task["scenarios"]},
+        "source": source,
+    }
+
+
+def record_from_result(task, result, source):
+    """Point record from a ``_characterize_point`` worker *result*."""
+    component = task["component"]
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "key": task["key"],
+        "component": component_key(component),
+        "width": component.width,
+        "precision": result["precision"],
+        "metrics": dict(result["metrics"]),
+        "aged": {label: delay for label, delay in result["aged"]},
+        "source": source,
+    }

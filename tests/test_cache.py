@@ -164,6 +164,21 @@ class TestCorruption:
         small_characterize(lib, again)
         assert again.stats.hits == len(PRECISIONS)
 
+    def test_corrupt_entries_quarantined_not_deleted(self, lib, tmp_path):
+        files = self.warm(lib, tmp_path)
+        garbage = "{ not json !!"
+        files[0].write_text(garbage)
+        cache = CharacterizationCache(tmp_path)
+        assert cache.load(files[0].stem) is None
+        assert cache.stats.errors == 1
+        # The bad bytes were renamed aside for post-mortems, not lost.
+        assert not files[0].exists()
+        quarantined = files[0].with_name(files[0].name + ".corrupt")
+        assert quarantined.read_text() == garbage
+        # A repeated load is a plain miss: no re-parse, no new error.
+        assert cache.load(files[0].stem) is None
+        assert cache.stats.errors == 1
+
     def test_wrong_schema_is_a_miss(self, lib, tmp_path):
         files = self.warm(lib, tmp_path)
         entry = json.loads(files[0].read_text())
@@ -182,6 +197,130 @@ class TestCorruption:
         cache = CharacterizationCache(tmp_path)
         small_characterize(lib, cache)
         assert cache.stats.misses == 1
+
+
+class TestMemoryTier:
+    def warm_key(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        small_characterize(lib, cache)
+        return sorted(tmp_path.rglob("*.json"))[0].stem
+
+    def test_disk_hit_populates_mem_tier(self, lib, tmp_path):
+        key = self.warm_key(lib, tmp_path)
+        cache = CharacterizationCache(tmp_path)
+        entry, source = cache.load_with_source(key)
+        assert entry is not None and source == "disk"
+        assert cache.stats.mem_hits == 0
+        again, source = cache.load_with_source(key)
+        assert source == "mem"
+        assert again is entry
+        assert cache.stats.hits == 2
+        assert cache.stats.mem_hits == 1
+
+    def test_mem_hit_never_touches_disk(self, lib, tmp_path):
+        key = self.warm_key(lib, tmp_path)
+        cache = CharacterizationCache(tmp_path)
+        assert cache.load(key) is not None
+        # Remove the backing file: the memory tier still answers.
+        for path in tmp_path.rglob(key + ".json"):
+            path.unlink()
+        assert cache.load(key) is not None
+        # A fresh instance (empty memory tier) misses.
+        assert CharacterizationCache(tmp_path).load(key) is None
+
+    def test_store_populates_mem_tier(self, lib, tmp_path):
+        key = self.warm_key(lib, tmp_path)
+        cache = CharacterizationCache(tmp_path)
+        entry = cache.load(key)
+        cache.store(key, entry["metrics"], {})
+        for path in tmp_path.rglob(key + ".json"):
+            path.unlink()
+        __entry, source = cache.load_with_source(key)
+        assert source == "mem"
+
+    def test_lru_eviction_counted(self, tmp_path):
+        cache = CharacterizationCache(tmp_path, mem_entries=2)
+        metrics = {"delay_ps": 1.0, "area_um2": 1.0, "leakage_nw": 1.0,
+                   "gates": 1, "depth": 1}
+        for key in ("aa" * 32, "bb" * 32, "cc" * 32):
+            cache.store(key, metrics, {})
+        assert len(cache._mem) == 2
+        assert cache.stats.mem_evictions == 1
+
+    def test_lru_evicts_least_recently_used(self, tmp_path):
+        cache = CharacterizationCache(tmp_path, mem_entries=2)
+        metrics = {"delay_ps": 1.0, "area_um2": 1.0, "leakage_nw": 1.0,
+                   "gates": 1, "depth": 1}
+        keys = ["aa" * 32, "bb" * 32, "cc" * 32]
+        for key in keys[:2]:
+            cache.store(key, metrics, {})
+        assert cache.load_with_source(keys[0])[1] == "mem"  # refresh aa
+        cache.store(keys[2], metrics, {})                   # evicts bb
+        assert cache.load_with_source(keys[0])[1] == "mem"
+        assert cache.load_with_source(keys[2])[1] == "mem"
+        assert cache.load_with_source(keys[1])[1] == "disk"
+
+    def test_mem_tier_disabled(self, lib, tmp_path):
+        key = self.warm_key(lib, tmp_path)
+        cache = CharacterizationCache(tmp_path, mem_entries=0)
+        assert cache.load_with_source(key)[1] == "disk"
+        assert cache.load_with_source(key)[1] == "disk"
+        assert cache.stats.mem_hits == 0
+        assert cache._mem == {}
+
+    def test_env_var_caps_mem_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_mod.MEM_ENTRIES_ENV, "7")
+        assert CharacterizationCache(tmp_path).mem_entries == 7
+        monkeypatch.setenv(cache_mod.MEM_ENTRIES_ENV, "lots")
+        with pytest.raises(ValueError, match=cache_mod.MEM_ENTRIES_ENV):
+            CharacterizationCache(tmp_path)
+        monkeypatch.delenv(cache_mod.MEM_ENTRIES_ENV)
+        assert CharacterizationCache(tmp_path).mem_entries == \
+            cache_mod.DEFAULT_MEM_ENTRIES
+        with pytest.raises(ValueError, match="mem_entries"):
+            CharacterizationCache(tmp_path, mem_entries=-1)
+
+    def test_mem_metrics_emitted(self, lib, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        key = self.warm_key(lib, tmp_path)
+        cache = CharacterizationCache(tmp_path)
+        with obs_metrics.scoped() as registry:
+            cache.load(key)
+            cache.load(key)
+        assert registry.value(obs_metrics.CACHE_MEM_HITS) == 1
+        assert registry.value(obs_metrics.CACHE_HITS) == 2
+
+
+class TestSharding:
+    def test_sharded_characterize_round_trip(self, lib, tmp_path):
+        cache = CharacterizationCache(tmp_path, shards=4)
+        first = small_characterize(lib, cache)
+        assert cache.stats.misses == len(PRECISIONS)
+        # Entries landed under shard directories.
+        shard_dirs = {p.parts[len(tmp_path.parts)]
+                      for p in tmp_path.rglob("*.json")}
+        assert shard_dirs <= {"shard-%02d" % i for i in range(4)}
+        warm = CharacterizationCache(tmp_path, shards=4)
+        second = small_characterize(lib, warm)
+        assert warm.stats.hits == len(PRECISIONS)
+        assert entries_equal(first, second)
+
+    def test_shard_index_deterministic(self):
+        key = "deadbeef" * 8
+        assert cache_mod.shard_index(key, 8) == \
+            cache_mod.shard_index(key, 8)
+        assert 0 <= cache_mod.shard_index(key, 8) < 8
+        with pytest.raises(ValueError, match="shards"):
+            CharacterizationCache("x", shards=-1)
+
+    def test_characterize_tasks_inherit_shards(self, lib, tmp_path):
+        """Pool workers must write into the same sharded layout the
+        parent reads: the shard count rides along in the point task."""
+        cache = CharacterizationCache(tmp_path, shards=4)
+        small_characterize(lib, cache, jobs=2)
+        warm = CharacterizationCache(tmp_path, shards=4)
+        small_characterize(lib, warm)
+        assert warm.stats.hits == len(PRECISIONS)
 
 
 class TestAmbientCache:

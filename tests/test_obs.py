@@ -361,6 +361,55 @@ class TestMetrics:
         assert snap["histograms"][obs_metrics.SYNTH_DELAY_PS]["count"] == 1
 
 
+class TestHistogramQuantile:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = obs_metrics.Histogram(boundaries=(1.0, 10.0))
+        assert h.quantile(0.5) is None
+
+    def test_out_of_range_rejected(self):
+        h = obs_metrics.Histogram(boundaries=(1.0, 10.0))
+        h.observe(5.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(-0.1)
+
+    def test_single_observation_is_every_quantile(self):
+        h = obs_metrics.Histogram(boundaries=(1.0, 10.0))
+        h.observe(4.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(4.0)
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        h = obs_metrics.Histogram(boundaries=(1.0, 10.0, 100.0))
+        for value in (0.5, 3.0, 42.0, 250.0):
+            h.observe(value)
+        assert h.quantile(0.0) == pytest.approx(0.5)
+        assert h.quantile(1.0) == pytest.approx(250.0)
+
+    def test_interpolates_within_bucket(self):
+        h = obs_metrics.Histogram(boundaries=(0.0, 10.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            h.observe(value)
+        # All mass sits in (0, 10]; the median interpolates to mid-bucket.
+        assert h.quantile(0.5) == pytest.approx(4.0, abs=1.01)
+        assert 2.0 <= h.quantile(0.25) <= h.quantile(0.75) <= 8.0
+
+    def test_quantile_after_merge(self):
+        a = obs_metrics.Histogram(boundaries=(1.0, 10.0, 100.0))
+        b = obs_metrics.Histogram(boundaries=(1.0, 10.0, 100.0))
+        for value in (2.0, 3.0):
+            a.observe(value)
+        for value in (40.0, 50.0):
+            b.observe(value)
+        a.merge_snapshot(b.to_snapshot())
+        assert a.count == 4
+        assert a.quantile(0.0) == pytest.approx(2.0)
+        assert a.quantile(1.0) == pytest.approx(50.0)
+        # Median straddles the bucket boundary between the two sources.
+        assert 2.0 <= a.quantile(0.5) <= 50.0
+
+
 # ---------------------------------------------------------------------------
 # cache-effectiveness metrics
 # ---------------------------------------------------------------------------
@@ -381,7 +430,14 @@ class TestCacheMetrics:
         assert reg.value(obs_metrics.CACHE_STORES) == 1
         assert reg.value(obs_metrics.CACHE_HITS) == 1
         assert reg.value(obs_metrics.CACHE_BYTES_WRITTEN) > 0
-        assert reg.value(obs_metrics.CACHE_BYTES_READ) > 0
+        # store() populates the in-memory tier, so the warm hit above is
+        # served without touching disk; a fresh instance must read it.
+        assert reg.value(obs_metrics.CACHE_MEM_HITS) == 1
+        assert reg.value(obs_metrics.CACHE_BYTES_READ) == 0
+        with obs_metrics.scoped() as cold:
+            assert CharacterizationCache(tmp_path).load(self.KEY) is not None
+        assert cold.value(obs_metrics.CACHE_BYTES_READ) > 0
+        assert cold.value(obs_metrics.CACHE_MEM_HITS) == 0
         # Legacy CacheStats stayed in sync (the COUNT_CACHE_* aliases).
         assert cache.stats.hits == 1 and cache.stats.misses == 1
 
@@ -394,7 +450,7 @@ class TestCacheMetrics:
         assert reg.value(obs_metrics.CACHE_BYTES_READ) == 0
 
     def test_corrupt_entry_counts_recovery(self, tmp_path):
-        cache = CharacterizationCache(tmp_path)
+        cache = CharacterizationCache(tmp_path, mem_entries=0)
         cache.store(self.KEY, self.METRICS, {})
         path = cache._path(self.KEY)
         with open(path, "w") as handle:

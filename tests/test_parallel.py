@@ -3,8 +3,9 @@
 import pytest
 
 from repro.aging import worst_case
-from repro.core import (ActualCaseSpec, CharacterizationCache, characterize,
-                        cache_enabled, instrument, resolve_jobs)
+from repro.core import (ActualCaseSpec, CharacterizationCache, WorkerPool,
+                        characterize, cache_enabled, instrument,
+                        resolve_jobs)
 from repro.core.parallel import JOBS_ENV, map_tasks
 from repro.report import instrumentation_report_text
 from repro.rtl import Adder, Multiplier
@@ -47,6 +48,62 @@ class TestMapTasks:
     def test_parallel_preserves_order(self):
         assert map_tasks(_double, list(range(10)), jobs=3) == \
             [2 * i for i in range(10)]
+
+
+class TestWorkerPool:
+    def test_map_preserves_order_and_reuses_workers(self):
+        with WorkerPool(jobs=2) as pool:
+            assert pool.map(_double, [3, 1, 2]) == [6, 2, 4]
+            executor = pool._executor
+            assert executor is not None
+            # A second map reuses the same executor (no respawn).
+            assert pool.map(_double, list(range(5))) == \
+                [2 * i for i in range(5)]
+            assert pool._executor is executor
+        assert pool._executor is None          # context exit reaps
+
+    def test_lazy_executor_and_idempotent_shutdown(self):
+        pool = WorkerPool(jobs=2)
+        assert pool._executor is None           # nothing spawned yet
+        assert "idle" in repr(pool)
+        pool.shutdown()                         # safe before first use
+        future = pool.submit(_double, 21)
+        assert future.result(timeout=30) == 42
+        assert "running" in repr(pool)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_jobs_resolution(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert WorkerPool().jobs == 3
+        assert WorkerPool(jobs=2).jobs == 2
+
+    def test_map_tasks_routes_through_pool(self):
+        with WorkerPool(jobs=2) as pool:
+            assert map_tasks(_double, [4, 5], jobs=1, pool=pool) == [8, 10]
+            assert pool._executor is not None
+
+    def test_characterize_with_pool_equals_serial(self, lib):
+        """Acceptance: a persistent pool produces the same table as the
+        serial path, across repeated sweeps on one pool."""
+        scenarios = [worst_case(10)]
+        serial = characterize(Adder(8), lib, scenarios=scenarios,
+                              precisions=[8, 7, 6], effort="high",
+                              jobs=1, cache=None)
+        with WorkerPool(jobs=2) as pool:
+            first = characterize(Adder(8), lib, scenarios=scenarios,
+                                 precisions=[8, 7, 6], effort="high",
+                                 cache=None, pool=pool)
+            executor = pool._executor
+            second = characterize(Adder(8), lib, scenarios=scenarios,
+                                  precisions=[8, 7, 6], effort="high",
+                                  cache=None, pool=pool)
+            assert pool._executor is executor
+        for table in (first, second):
+            assert table.fresh_ps == serial.fresh_ps
+            assert table.aged_ps == serial.aged_ps
+            assert table.area_um2 == serial.area_um2
+            assert table.gates == serial.gates
 
 
 class TestParallelEquivalence:
