@@ -76,10 +76,25 @@ class CellLibrary:
         return candidate
 
     def next_drive_up(self, cell_name):
-        """Return the next stronger variant's name, or None at the top."""
-        cell = self[cell_name]
-        stronger = [c for c in self.variants(cell.kind) if c.drive > cell.drive]
-        return stronger[0].name if stronger else None
+        """Return the next stronger variant's name, or None at the top.
+
+        Memoized per library instance — sizing asks this for every
+        near-critical candidate of every round, and the drive ladder is
+        immutable once the library is built.
+        """
+        try:
+            memo = self._updrive
+        except AttributeError:
+            memo = self._updrive = {}
+        try:
+            return memo[cell_name]
+        except KeyError:
+            cell = self[cell_name]
+            stronger = [c for c in self.variants(cell.kind)
+                        if c.drive > cell.drive]
+            got = stronger[0].name if stronger else None
+            memo[cell_name] = got
+            return got
 
 
 # ---------------------------------------------------------------------------

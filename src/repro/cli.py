@@ -206,7 +206,8 @@ def cmd_characterize(args):
         scenarios = _scenarios(args.years, args.stress)
         entry = characterize(component, lib, scenarios=scenarios,
                              precisions=sweep, effort=args.effort,
-                             jobs=args.jobs, sta=args.sta)
+                             jobs=args.jobs, sta=args.sta,
+                             synth=args.synth)
         print(characterization_report(entry))
         if args.screen:
             from .core.characterize import truncation_screen
@@ -432,6 +433,12 @@ def build_parser():
     p.add_argument("--output", help="approximation-library JSON to write")
     p.add_argument("--update", action="store_true",
                    help="merge into an existing JSON library")
+    p.add_argument("--synth", choices=("sweep", "scratch"),
+                   default="sweep",
+                   help="variant synthesis strategy: one base synthesis "
+                        "per worker with cone-restricted derivation "
+                        "(sweep, default) or independent per-point "
+                        "synthesis (scratch); bit-identical results")
     p.add_argument("--sta", choices=("batched", "scalar"),
                    default="batched",
                    help="STA engine for the sweep (default batched)")

@@ -162,6 +162,25 @@ def degradation_fingerprint(degradation):
     })
 
 
+def netlist_fingerprint(netlist):
+    """Content fingerprint of a gate-level netlist.
+
+    Covers the design name, the primary input/output net lists and every
+    gate's ``(uid, cell, inputs, output)`` in gate-list order. Net
+    *names* are display metadata and excluded, so two structurally
+    identical netlists fingerprint equal however they were produced —
+    the identity :mod:`repro.verify` checks between scratch synthesis
+    and :mod:`repro.synth.sweep` derivation.
+    """
+    return fingerprint({
+        "name": netlist.name,
+        "inputs": list(netlist.primary_inputs),
+        "outputs": list(netlist.primary_outputs),
+        "gates": [[g.uid, g.cell, list(g.inputs), g.output]
+                  for g in netlist.gates],
+    })
+
+
 def component_fingerprint(component, precision=None):
     """Fingerprint of a component spec at *precision* (default: its own)."""
     return fingerprint({

@@ -34,6 +34,7 @@ from ..sta.engine import (analyze_batch, analyze_incremental,
                           truncated_input_nets)
 from ..sta.sta import critical_path_delay
 from ..synth.synthesize import synthesize
+from ..synth.sweep import synthesize_variant
 from ..sta.paths import logic_depth
 from . import cache as cache_mod
 from . import instrument
@@ -265,6 +266,7 @@ def _characterize_point_inner(task, point_span):
     cache_root = task["cache_root"]
     engine = task.get("engine", "packed")
     sta = task.get("sta", "batched")
+    synth = task.get("synth", "sweep")
 
     instr = instrument.Instrumentation()
     store = (cache_mod.CharacterizationCache(
@@ -296,7 +298,14 @@ def _characterize_point_inner(task, point_span):
 
     variant = component.with_precision(precision)
     with instr.stage(instrument.STAGE_SYNTHESIZE):
-        result = synthesize(variant, library, effort=effort)
+        if synth == "sweep":
+            # One base synthesis per worker process (memoized on the
+            # full-precision content), every truncated point derived by
+            # cone-restricted replay — bit-identical to from-scratch.
+            result = synthesize_variant(component, precision, library,
+                                        effort=effort)
+        else:
+            result = synthesize(variant, library, effort=effort)
     netlist = result.netlist
     metrics = {
         "delay_ps": result.delay_ps,
@@ -374,7 +383,8 @@ def scenario_specs(scenarios):
 
 def make_point_task(component, precision, library, specs, effort="ultra",
                     bti=DEFAULT_BTI, degradation=None, cache_root=None,
-                    cache_shards=0, engine="packed", sta="batched"):
+                    cache_shards=0, engine="packed", sta="batched",
+                    synth="sweep"):
     """Build one picklable ``(component, precision)`` point task.
 
     *specs* is a :func:`scenario_specs` list. The task is the unit both
@@ -396,13 +406,14 @@ def make_point_task(component, precision, library, specs, effort="ultra",
         "cache_shards": cache_shards,
         "engine": engine,
         "sta": sta,
+        "synth": synth,
     }
 
 
 def characterize(component, library, scenarios, precisions=None,
                  effort="ultra", bti=DEFAULT_BTI, degradation=None,
                  jobs=None, cache=cache_mod.AMBIENT, engine="packed",
-                 sta="batched", pool=None):
+                 sta="batched", synth="sweep", pool=None):
     """Characterize *component* across precisions and aging scenarios.
 
     Parameters
@@ -440,6 +451,14 @@ def characterize(component, library, scenarios, precisions=None,
         pass — the default) or ``"scalar"`` (per-corner
         :func:`repro.sta.sta.analyze`). Both are bit-identical, so the
         cache fingerprint is engine-independent.
+    synth:
+        Variant synthesis strategy: ``"sweep"`` (synthesize the
+        full-precision base once per worker process, derive each
+        truncated point by cone-restricted replay —
+        :func:`repro.synth.sweep.synthesize_variant`, the default) or
+        ``"scratch"`` (independent :func:`repro.synth.synthesize` per
+        point). Both are bit-identical, so the cache fingerprint is
+        strategy-independent.
     pool:
         Optional persistent :class:`~repro.core.parallel.WorkerPool`
         to fan out over (overrides *jobs*); repeated sweeps reuse its
@@ -460,6 +479,9 @@ def characterize(component, library, scenarios, precisions=None,
     if sta not in ("batched", "scalar"):
         raise ValueError("sta must be 'batched' or 'scalar', got %r"
                          % (sta,))
+    if synth not in ("sweep", "scratch"):
+        raise ValueError("synth must be 'sweep' or 'scratch', got %r"
+                         % (synth,))
 
     store = cache_mod.resolve_cache(cache)
     cache_root = store.root if store is not None else None
@@ -470,7 +492,7 @@ def characterize(component, library, scenarios, precisions=None,
                              degradation=degradation,
                              cache_root=cache_root,
                              cache_shards=cache_shards,
-                             engine=engine, sta=sta)
+                             engine=engine, sta=sta, synth=synth)
              for precision in precisions]
 
     jobs = pool.jobs if pool is not None else resolve_jobs(jobs)

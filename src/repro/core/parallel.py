@@ -47,19 +47,33 @@ def resolve_jobs(jobs=None):
     return jobs
 
 
-def map_tasks(worker, tasks, jobs=1, pool=None):
+#: Sentinel distinguishing "jobs not passed" from an explicit value, so
+#: the pool/jobs conflict warning only fires on a real caller mistake.
+_JOBS_UNSET = object()
+
+
+def map_tasks(worker, tasks, jobs=_JOBS_UNSET, pool=None):
     """Apply *worker* to every task, serially or over a process pool.
 
     Results come back in task order either way. *worker* must be a
     module-level function and *tasks* picklable when ``jobs > 1``.
     Passing a :class:`WorkerPool` as *pool* reuses its persistent
-    workers instead of spawning (and tearing down) a pool for this call;
-    *jobs* is ignored in that case.
+    workers instead of spawning (and tearing down) a pool for this
+    call; the pool's worker count wins, and an explicit *jobs* that
+    disagrees with it raises a :class:`RuntimeWarning` instead of being
+    silently ignored (``jobs=None`` defers, so it never conflicts).
     """
     tasks = list(tasks)
     if pool is not None and tasks:
+        if (jobs is not _JOBS_UNSET and jobs is not None
+                and resolve_jobs(jobs) != pool.jobs):
+            import warnings
+            warnings.warn(
+                "map_tasks: explicit jobs=%r conflicts with pool (%d "
+                "workers); the pool wins" % (jobs, pool.jobs),
+                RuntimeWarning, stacklevel=2)
         return pool.map(worker, tasks)
-    jobs = resolve_jobs(jobs)
+    jobs = resolve_jobs(None if jobs is _JOBS_UNSET else jobs)
     if jobs <= 1 or len(tasks) <= 1:
         return [worker(task) for task in tasks]
     from concurrent.futures import ProcessPoolExecutor

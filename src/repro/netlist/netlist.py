@@ -141,10 +141,34 @@ class Netlist:
             referenced.add(gate.output)
         return referenced
 
+    def _list_is_topological(self):
+        """True when ``self.gates`` is already input-to-output ordered.
+
+        A single forward scan: every gate must read only constants,
+        primary inputs, or outputs of earlier gates in the list. Builder
+        netlists satisfy this by construction (gates reference nets that
+        already exist), and the synthesis passes preserve it (rewires
+        always point at upstream nets).
+        """
+        ready = {CONST0, CONST1}
+        ready.update(self.primary_inputs)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in ready and net in self._driver:
+                    return False
+            ready.add(gate.output)
+        return True
+
     def topological_gates(self):
         """Return gates in topological (input-to-output) order.
 
-        The result is cached until the netlist is mutated.
+        When the gate list itself is already topologically sorted — true
+        for every builder-constructed netlist and everything the
+        synthesis passes produce — the list *is* the order, which makes
+        the order canonical (gate uids ascend for builder netlists) and
+        independent of traversal details. Kahn's algorithm is the
+        fallback for arbitrarily ordered netlists. The result is cached
+        until the netlist is mutated.
 
         Raises
         ------
@@ -153,6 +177,19 @@ class Netlist:
             an undriven, non-input net.
         """
         if self._topo_cache is not None:
+            return self._topo_cache
+        if self._list_is_topological():
+            # Still validate that every read net is driven.
+            driven = {CONST0, CONST1}
+            driven.update(self.primary_inputs)
+            driven.update(self._driver)
+            for gate in self.gates:
+                for net in gate.inputs:
+                    if net not in driven:
+                        raise NetlistError(
+                            "gate %d (%s) reads undriven net %d"
+                            % (gate.uid, gate.cell, net))
+            self._topo_cache = list(self.gates)
             return self._topo_cache
 
         ready = {CONST0, CONST1}

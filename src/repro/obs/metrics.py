@@ -58,6 +58,14 @@ SIM_VECTORS_PER_SEC = "sim.vectors_per_sec"
 SYNTH_RUNS = "synth.runs"
 SYNTH_DELAY_PS = "synth.delay_ps"
 SYNTH_AREA_UM2 = "synth.area_um2"
+SYNTH_CONSTPROP_REWRITES = "synth.constprop.rewrites"
+SYNTH_DEAD_GATES = "synth.dead_gates"
+SYNTH_SIZING_ROUNDS = "synth.sizing.rounds"
+SYNTH_SIZING_UPSIZES = "synth.sizing.upsizes"
+SYNTH_SWEEP_DERIVES = "synth.sweep.derives"
+SYNTH_SWEEP_CONE_GATES = "synth.sweep.cone_gates"
+SYNTH_SWEEP_BASE_MEMO_HITS = "synth.sweep.base_memo_hits"
+SYNTH_SWEEP_FALLBACKS = "synth.sweep.fallbacks"
 STA_RUNS = "sta.runs"
 STA_BATCH_RUNS = "sta.batch.runs"
 STA_BATCH_CORNERS = "sta.batch.corners"

@@ -6,6 +6,8 @@ from .optimize import (constant_propagation, dead_gate_elimination,
 from .synthesize import (EFFORTS, SynthesisResult, synthesize,
                          synthesize_netlist)
 from .sizing import SizingReport, upsize_critical_paths
+from .sweep import (SweepSynthesis, clear_sweep_memo, sweep_for,
+                    synthesize_variant)
 from .aging_aware import AgingAwareResult, aging_aware_synthesize
 
 __all__ = [
@@ -13,5 +15,7 @@ __all__ = [
     "remove_inverter_pairs", "structural_hashing",
     "EFFORTS", "SynthesisResult", "synthesize", "synthesize_netlist",
     "SizingReport", "upsize_critical_paths",
+    "SweepSynthesis", "clear_sweep_memo", "sweep_for",
+    "synthesize_variant",
     "AgingAwareResult", "aging_aware_synthesize",
 ]

@@ -10,10 +10,19 @@ area/power/delay savings.
 
 All passes mutate the given netlist in place and return it;
 :func:`repro.synth.synthesize.synthesize` works on a copy.
+
+Every pass can *journal* what it did — per gate, the entry state and the
+outcome (kept with rewired inputs, or substituted away to a constant /
+alias / hash representative). :mod:`repro.synth.sweep` replays such a
+journal through the fan-out cone of tied-low inputs to derive truncated
+variants without re-running the passes over the whole netlist, so the
+per-gate decision logic is factored into ``_constprop_step`` /
+``_hash_key`` helpers that both the passes and the replay share.
 """
 
 from ..cells.cell import cell_function
 from ..netlist.net import CONST0, CONST1, is_const, const_value
+from ..obs import metrics as obs_metrics
 
 
 def _resolver(subst):
@@ -122,36 +131,95 @@ def _simplify(kind, ins):
     return ("gate", kind, tuple(ins))
 
 
-def constant_propagation(netlist, library):
+def _constprop_step(kind, drive, ins, library):
+    """Constant-propagation outcome of one gate, given resolved inputs.
+
+    Shared by :func:`constant_propagation` and the sweep replay so both
+    apply byte-identical rewrite decisions. Returns ``("k", cell,
+    inputs)`` for a kept (possibly remapped) gate or ``("s", net)`` for a
+    gate substituted by a constant or alias net.
+    """
+    action = _simplify(kind, ins)
+    if action[0] == "gate" and "~s" in action[2]:
+        # Rewrites that would need a new inverter are not worth it;
+        # keep the original (resolved-input) gate.
+        action = ("gate", kind, ins)
+    if action[0] == "const":
+        return ("s", CONST1 if action[1] else CONST0)
+    if action[0] == "alias":
+        return ("s", action[1])
+    __, new_kind, new_ins = action
+    cell = "%s_X%d" % (new_kind, drive)
+    if cell not in library:
+        cell = "%s_X1" % new_kind
+    return ("k", cell, tuple(new_ins))
+
+
+_COMMUTATIVE = {"AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2"}
+
+
+def _hash_key(kind, ins):
+    """Structural-hashing key: kind + canonicalized input tuple."""
+    return (kind, tuple(sorted(ins)) if kind in _COMMUTATIVE else ins)
+
+
+class OptimizeJournal:
+    """Recording of one :func:`optimize` run for sweep replay.
+
+    ``rounds`` holds one dict per optimization round with the per-pass
+    entry lists (``"cp"`` / ``"inv"`` / ``"sh"`` / ``"dge"``) and the
+    primary-output list after each substituting pass. Entry tuples are:
+
+    * ``cp`` / ``inv``: ``(uid, out, cell, ins, kept_cell, kept_ins)``
+      for kept gates (entry state + post state) or
+      ``(uid, out, cell, ins, None, target)`` for substituted gates
+      (*target* is the one-step substitution as created);
+    * ``sh``: kept as above, substituted gates carry
+      ``(uid, out, cell, ins, None, (rep, key_ins))`` — the
+      representative net plus the resolved inputs that formed the hash
+      key;
+    * ``dge``: ``(uid, out, cell, ins, kept_bool)``.
+    """
+
+    def __init__(self):
+        self.rounds = []
+
+    def begin_round(self):
+        rec = {"cp": [], "inv": [], "sh": [], "dge": [],
+               "po": {}, "count_after": None}
+        self.rounds.append(rec)
+        return rec
+
+
+def constant_propagation(netlist, library, record=None, po_record=None):
     """Fold constants and algebraic identities through the netlist."""
     subst = {}
     resolve = _resolver(subst)
     kept = []
     for gate in netlist.topological_gates():
         ins = tuple(resolve(n) for n in gate.inputs)
-        action = _simplify(gate.kind, ins)
-        if action[0] == "gate" and "~s" in action[2]:
-            # Rewrites that would need a new inverter are not worth it;
-            # keep the original (resolved-input) gate.
-            action = ("gate", gate.kind, ins)
-        if action[0] == "const":
-            subst[gate.output] = CONST1 if action[1] else CONST0
-        elif action[0] == "alias":
-            subst[gate.output] = action[1]
+        step = _constprop_step(gate.kind, gate.drive, ins, library)
+        if step[0] == "s":
+            subst[gate.output] = step[1]
+            if record is not None:
+                record.append((gate.uid, gate.output, gate.cell,
+                               gate.inputs, None, step[1]))
         else:
-            __, kind, new_ins = action
-            cell = "%s_X%d" % (kind, gate.drive)
-            if cell not in library:
-                cell = "%s_X1" % kind
+            __, cell, new_ins = step
+            if record is not None:
+                record.append((gate.uid, gate.output, gate.cell,
+                               gate.inputs, cell, new_ins))
             kept.append(gate.with_cell(cell) if cell != gate.cell else gate)
             if new_ins != gate.inputs:
-                kept[-1].inputs = tuple(new_ins)
+                kept[-1].inputs = new_ins
     netlist.rebuild(kept)
     netlist.primary_outputs = [resolve(n) for n in netlist.primary_outputs]
+    if po_record is not None:
+        po_record["cp"] = list(netlist.primary_outputs)
     return netlist
 
 
-def remove_inverter_pairs(netlist, library):
+def remove_inverter_pairs(netlist, library, record=None, po_record=None):
     """Collapse INV(INV(x)) chains and BUFs into aliases."""
     subst = {}
     resolve = _resolver(subst)
@@ -160,24 +228,33 @@ def remove_inverter_pairs(netlist, library):
         ins = tuple(resolve(n) for n in gate.inputs)
         if gate.kind == "BUF":
             subst[gate.output] = ins[0]
+            if record is not None:
+                record.append((gate.uid, gate.output, gate.cell,
+                               gate.inputs, None, ins[0]))
             continue
         if gate.kind == "INV":
             driver = netlist.driver_of(ins[0])
             if driver is not None and driver.kind == "INV":
-                subst[gate.output] = resolve(driver.inputs[0])
+                target = resolve(driver.inputs[0])
+                subst[gate.output] = target
+                if record is not None:
+                    record.append((gate.uid, gate.output, gate.cell,
+                                   gate.inputs, None, target))
                 continue
+        if record is not None:
+            record.append((gate.uid, gate.output, gate.cell, gate.inputs,
+                           gate.cell, ins))
         if ins != gate.inputs:
             gate.inputs = ins
         kept.append(gate)
     netlist.rebuild(kept)
     netlist.primary_outputs = [resolve(n) for n in netlist.primary_outputs]
+    if po_record is not None:
+        po_record["inv"] = list(netlist.primary_outputs)
     return netlist
 
 
-_COMMUTATIVE = {"AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2"}
-
-
-def structural_hashing(netlist, library=None):
+def structural_hashing(netlist, library=None, record=None, po_record=None):
     """Merge structurally identical gates (common-subexpression elim).
 
     Two gates of the same kind reading the same (canonicalized) inputs
@@ -192,41 +269,76 @@ def structural_hashing(netlist, library=None):
     kept = []
     for gate in netlist.topological_gates():
         ins = tuple(resolve(n) for n in gate.inputs)
-        key_ins = tuple(sorted(ins)) if gate.kind in _COMMUTATIVE else ins
-        key = (gate.kind, key_ins)
+        key = _hash_key(gate.kind, ins)
         existing = seen.get(key)
         if existing is not None:
             subst[gate.output] = existing
+            if record is not None:
+                record.append((gate.uid, gate.output, gate.cell,
+                               gate.inputs, None, (existing, key[1])))
             continue
         seen[key] = gate.output
+        if record is not None:
+            record.append((gate.uid, gate.output, gate.cell, gate.inputs,
+                           gate.cell, ins))
         if ins != gate.inputs:
             gate.inputs = ins
         kept.append(gate)
     netlist.rebuild(kept)
     netlist.primary_outputs = [resolve(n) for n in netlist.primary_outputs]
+    if po_record is not None:
+        po_record["sh"] = list(netlist.primary_outputs)
     return netlist
 
 
-def dead_gate_elimination(netlist, library=None):
+def dead_gate_elimination(netlist, library=None, record=None):
     """Drop gates whose outputs cannot reach any primary output."""
     needed = set(netlist.primary_outputs)
     # Walk backwards in reverse topological order.
     for gate in reversed(netlist.topological_gates()):
         if gate.output in needed:
             needed.update(gate.inputs)
+    if record is not None:
+        for gate in netlist.gates:
+            record.append((gate.uid, gate.output, gate.cell, gate.inputs,
+                           gate.output in needed))
     kept = [g for g in netlist.gates if g.output in needed]
     netlist.rebuild(kept)
     return netlist
 
 
-def optimize(netlist, library, max_rounds=8):
-    """Run all passes to a fixpoint (bounded by *max_rounds*)."""
+def optimize(netlist, library, max_rounds=8, journal=None):
+    """Run all passes to a fixpoint (bounded by *max_rounds*).
+
+    When *journal* (an :class:`OptimizeJournal`) is given, every pass
+    application is recorded for cone-restricted replay by
+    :mod:`repro.synth.sweep`.
+    """
     for __ in range(max_rounds):
         before = netlist.num_gates
-        constant_propagation(netlist, library)
-        remove_inverter_pairs(netlist, library)
-        structural_hashing(netlist, library)
-        dead_gate_elimination(netlist, library)
+        rec = journal.begin_round() if journal is not None else None
+        if rec is None:
+            constant_propagation(netlist, library)
+            after_cp = netlist.num_gates
+            remove_inverter_pairs(netlist, library)
+            structural_hashing(netlist, library)
+            after_sh = netlist.num_gates
+            dead_gate_elimination(netlist, library)
+        else:
+            constant_propagation(netlist, library, record=rec["cp"],
+                                 po_record=rec["po"])
+            after_cp = netlist.num_gates
+            remove_inverter_pairs(netlist, library, record=rec["inv"],
+                                  po_record=rec["po"])
+            structural_hashing(netlist, library, record=rec["sh"],
+                               po_record=rec["po"])
+            after_sh = netlist.num_gates
+            dead_gate_elimination(netlist, library, record=rec["dge"])
+            rec["count_after"] = netlist.num_gates
+        obs_metrics.inc(obs_metrics.SYNTH_CONSTPROP_REWRITES,
+                        before - after_cp)
+        obs_metrics.inc(obs_metrics.SYNTH_DEAD_GATES,
+                        after_sh - netlist.num_gates)
         if netlist.num_gates == before:
             break
     return netlist

@@ -20,6 +20,7 @@ Two users:
 from dataclasses import dataclass
 
 from ..aging.bti import DEFAULT_BTI
+from ..obs import metrics as obs_metrics
 from ..sta.engine import analyze_batch
 
 
@@ -119,13 +120,13 @@ def upsize_critical_paths(netlist, library, target_ps, scenario=None,
     while rounds < max_rounds:
         cp = report.critical_path_ps
         if cp <= target_ps:
-            return SizingReport(met=True, target_ps=target_ps,
-                                achieved_ps=cp, upsized=upsized,
-                                rounds=rounds)
+            return _record(SizingReport(met=True, target_ps=target_ps,
+                                        achieved_ps=cp, upsized=upsized,
+                                        rounds=rounds))
         if max_area_um2 is not None and netlist.area(library) >= max_area_um2:
-            return SizingReport(met=False, target_ps=target_ps,
-                                achieved_ps=cp, upsized=upsized,
-                                rounds=rounds)
+            return _record(SizingReport(met=False, target_ps=target_ps,
+                                        achieved_ps=cp, upsized=upsized,
+                                        rounds=rounds))
         if cp < best_cp - 1e-9:
             best_cp = cp
             stalled = 0
@@ -136,7 +137,12 @@ def upsize_critical_paths(netlist, library, target_ps, scenario=None,
         slacks = gate_slacks(netlist, report, cp)
         margin = slack_margin * cp
         changed = 0
-        for uid, slack in slacks.items():
+        # Candidates are visited in sorted-uid order so the upsize
+        # sequence is a pure function of netlist *content*, independent
+        # of gate-list or dict-iteration order (required for bit-exact
+        # sweep-vs-scratch equality in repro.synth.sweep).
+        for uid in sorted(slacks):
+            slack = slacks[uid]
             if slack > margin:
                 continue
             gate = gates_by_uid[uid]
@@ -151,7 +157,14 @@ def upsize_critical_paths(netlist, library, target_ps, scenario=None,
         netlist._topo_cache = None  # cell changes keep the topology
         report = _analyze(netlist, library, scenario, bti, degradation)
     report = _analyze(netlist, library, scenario, bti, degradation)
-    return SizingReport(met=report.critical_path_ps <= target_ps,
-                        target_ps=target_ps,
-                        achieved_ps=report.critical_path_ps,
-                        upsized=upsized, rounds=rounds)
+    return _record(SizingReport(met=report.critical_path_ps <= target_ps,
+                                target_ps=target_ps,
+                                achieved_ps=report.critical_path_ps,
+                                upsized=upsized, rounds=rounds))
+
+
+def _record(report):
+    """Count sizing work in the ambient metrics registry."""
+    obs_metrics.inc(obs_metrics.SYNTH_SIZING_ROUNDS, report.rounds)
+    obs_metrics.inc(obs_metrics.SYNTH_SIZING_UPSIZES, report.upsized)
+    return report

@@ -39,7 +39,8 @@ from .fuzz import (FuzzReport, fuzz_engines, load_corpus, netlist_from_dict,
 from .golden import GoldenMismatch, check_golden, golden_model
 from .invariants import (InvariantResult, check_characterization,
                          check_error_shape, check_psnr_endpoints,
-                         check_slack_rule, check_sta_engine)
+                         check_slack_rule, check_sta_engine,
+                         check_synth_sweep)
 from .oracles import (ENGINES, Counterexample, EngineMismatch, OracleReport,
                       cross_engine_check, diff_engines, engine_outputs,
                       minimize_counterexample)
@@ -51,7 +52,7 @@ __all__ = [
     "GoldenMismatch", "InvariantResult", "OracleReport",
     "VerificationReport", "check_characterization", "check_error_shape",
     "check_golden", "check_psnr_endpoints", "check_slack_rule",
-    "check_sta_engine",
+    "check_sta_engine", "check_synth_sweep",
     "cross_engine_check", "diff_engines", "engine_outputs", "fuzz_engines",
     "golden_model", "load_corpus", "minimize_counterexample",
     "netlist_from_dict", "netlist_to_dict", "random_netlist",

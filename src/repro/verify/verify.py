@@ -33,7 +33,8 @@ from ..obs import logs, trace as obs_trace
 from .fuzz import FuzzReport, fuzz_engines
 from .golden import GoldenMismatch, check_golden
 from .invariants import (InvariantResult, check_characterization,
-                         check_error_shape, check_sta_engine)
+                         check_error_shape, check_sta_engine,
+                         check_synth_sweep)
 from .oracles import ENGINES, EVENT_VECTOR_CAP, OracleReport, \
     cross_engine_check
 
@@ -165,6 +166,8 @@ def verify_component(component, library, scenarios, vectors=96,
             report.invariants += check_error_shape(
                 component, library, years=error_shape_years, rng=rng,
                 effort=effort, netlist=netlist)
+            report.invariants += check_synth_sweep(
+                component, library, efforts=(effort,))
         failed = [r.name for r in report.invariants if not r.passed]
         _log.info("invariants: %d checked, %d failed%s",
                   len(report.invariants), len(failed),

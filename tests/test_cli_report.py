@@ -167,7 +167,11 @@ class TestObservabilityFlags:
         timed = [e for e in payload["traceEvents"] if e["ph"] == "X"]
         names = {e["name"] for e in timed}
         assert "cli.flow" in names
-        assert {"synth.synthesize", "sta.analyze"} <= names
+        assert "sta.analyze" in names
+        # Point synthesis traces as the one-time base synthesis plus
+        # sweep derivations; a warm per-process base memo (inherited by
+        # forked pool workers) can elide the former.
+        assert "synth.synthesize" in names or "synth.sweep.derive" in names
         ts = [e["ts"] for e in timed]
         assert ts == sorted(ts)
         assert all(e["dur"] >= 0 for e in timed)
@@ -175,16 +179,24 @@ class TestObservabilityFlags:
         assert len({e["pid"] for e in timed}) >= 1
 
         snap = json.loads(metrics.read_text())
-        assert snap["counters"]["synth.runs"] > 0
-        assert snap["counters"]["sta.runs"] > 0
-        assert snap["histograms"]["synth.delay_ps"]["count"] > 0
+        counters = snap["counters"]
+        # A warm per-process sweep memo (inherited by forked workers)
+        # can serve every point without re-synthesizing; either path
+        # must leave a metrics footprint.
+        assert (counters.get("synth.runs", 0) > 0
+                or counters.get("synth.sweep.base_memo_hits", 0) > 0)
+        assert counters["sta.runs"] > 0
+        if counters.get("synth.runs", 0) > 0:
+            assert snap["histograms"]["synth.delay_ps"]["count"] > 0
 
         manifest = json.loads(
             (tmp_path / "metrics.manifest.json").read_text())
         assert manifest["command"] == "repro-aging flow"
         assert manifest["config"]["design"] == "fir"
         assert manifest["library"]["name"]
-        assert manifest["metrics"]["counters"]["synth.runs"] > 0
+        mcounters = manifest["metrics"]["counters"]
+        assert (mcounters.get("synth.runs", 0) > 0
+                or mcounters.get("synth.sweep.base_memo_hits", 0) > 0)
         assert manifest["stages"]
         assert (manifest["peak_rss_bytes"] is None
                 or manifest["peak_rss_bytes"] > 0)

@@ -80,8 +80,23 @@ class TestWorkerPool:
 
     def test_map_tasks_routes_through_pool(self):
         with WorkerPool(jobs=2) as pool:
-            assert map_tasks(_double, [4, 5], jobs=1, pool=pool) == [8, 10]
+            assert map_tasks(_double, [4, 5], pool=pool) == [8, 10]
             assert pool._executor is not None
+
+    def test_map_tasks_warns_on_conflicting_jobs(self):
+        """An explicit jobs= that disagrees with the pool used to be
+        silently ignored; now it warns (the pool still wins)."""
+        with WorkerPool(jobs=2) as pool:
+            with pytest.warns(RuntimeWarning, match="conflicts with pool"):
+                assert map_tasks(_double, [4, 5], jobs=1, pool=pool) \
+                    == [8, 10]
+            # Matching or deferred job counts stay silent.
+            import warnings
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert map_tasks(_double, [6], jobs=2, pool=pool) == [12]
+                assert map_tasks(_double, [7], jobs=None, pool=pool) \
+                    == [14]
 
     def test_characterize_with_pool_equals_serial(self, lib):
         """Acceptance: a persistent pool produces the same table as the

@@ -1,0 +1,238 @@
+"""Incremental sweep synthesis: bit-exact equivalence with scratch.
+
+:mod:`repro.synth.sweep` is a perf optimization with a hard contract —
+every derived truncated variant must be *content-fingerprint identical*
+to an independent from-scratch ``synthesize()`` of the explicitly
+truncated component, with float-equal delay/area/leakage. These tests
+hold it to that contract across component families, efforts and
+precisions, and cover the satellites that ride along: canonical sizing
+order, per-pass metrics, the per-process base memo and the
+characterize/verify wiring.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells import default_library
+from repro.core import characterize
+from repro.core.cache import netlist_fingerprint
+from repro.core.specs import parse_component
+from repro.obs import metrics as obs_metrics
+from repro.synth import (SweepSynthesis, clear_sweep_memo, sweep_for,
+                         synthesize, synthesize_variant,
+                         upsize_critical_paths)
+from repro.synth.sweep import SweepFallback
+from repro.verify import check_synth_sweep
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sweep_memo():
+    clear_sweep_memo()
+    yield
+    clear_sweep_memo()
+
+
+def assert_point_identical(derived, scratch, label):
+    assert netlist_fingerprint(derived.netlist) \
+        == netlist_fingerprint(scratch.netlist), label
+    assert derived.delay_ps == scratch.delay_ps, label
+    assert derived.area_um2 == scratch.area_um2, label
+    assert derived.leakage_nw == scratch.leakage_nw, label
+    assert derived.final_gates == scratch.final_gates, label
+
+
+class TestReplayMatchesScratch:
+    @pytest.mark.parametrize("spec", ["adder8", "mult8", "mac4", "csel8"])
+    @pytest.mark.parametrize("effort", ["low", "medium", "ultra"])
+    def test_families(self, lib, spec, effort):
+        component = parse_component(spec)
+        with obs_metrics.scoped() as registry:
+            sweep = SweepSynthesis(component, lib, effort=effort)
+            width = component.width
+            for precision in range(width, max(width - 4, 1) - 1, -1):
+                derived = sweep.derive(precision)
+                scratch = synthesize(component.with_precision(precision),
+                                     lib, effort=effort)
+                assert_point_identical(
+                    derived, scratch, "%s p=%d %s" % (spec, precision,
+                                                      effort))
+            counters = registry.snapshot()["counters"]
+        assert counters.get(obs_metrics.SYNTH_SWEEP_FALLBACKS, 0) == 0
+
+    def test_full_precision_is_base(self, lib):
+        component = parse_component("adder8")
+        sweep = SweepSynthesis(component, lib, effort="medium")
+        assert sweep.derive(8) is sweep.base_result
+
+    def test_target_ps_sizing_path(self, lib):
+        """Sized-to-target derivations stay bit-identical too."""
+        component = parse_component("adder8")
+        target = 120.0
+        sweep = SweepSynthesis(component, lib, effort="ultra",
+                               target_ps=target)
+        for precision in (7, 5):
+            derived = sweep.derive(precision)
+            scratch = synthesize(component.with_precision(precision),
+                                 lib, effort="ultra", target_ps=target)
+            assert_point_identical(derived, scratch, "p=%d" % precision)
+
+    def test_derivation_is_memoized(self, lib):
+        component = parse_component("adder8")
+        sweep = SweepSynthesis(component, lib, effort="medium")
+        assert sweep.derive(6) is sweep.derive(6)
+        sweep.clear_derived()
+        again = sweep.derive(6)
+        assert again is sweep.derive(6)
+
+    def test_fallback_counts_and_still_answers(self, lib, monkeypatch):
+        component = parse_component("adder8")
+        sweep = SweepSynthesis(component, lib, effort="medium")
+
+        def boom(precision):
+            raise SweepFallback("forced by test")
+
+        monkeypatch.setattr(sweep, "_derive", boom)
+        with obs_metrics.scoped() as registry:
+            derived = sweep.derive(6)
+            counters = registry.snapshot()["counters"]
+        assert counters.get(obs_metrics.SYNTH_SWEEP_FALLBACKS) == 1
+        scratch = synthesize(component.with_precision(6), lib,
+                             effort="medium")
+        assert_point_identical(derived, scratch, "fallback path")
+
+
+@given(spec=st.sampled_from(["adder", "rca", "multiplier", "mac"]),
+       width=st.integers(min_value=4, max_value=8),
+       effort=st.sampled_from(["low", "medium", "high", "ultra"]),
+       data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_sweep_equals_scratch_property(spec, width, effort, data):
+    """Property: any (family, width, effort, precision) derives a
+    variant fingerprint-identical to from-scratch synthesis."""
+    lib = default_library()
+    component = parse_component(spec, width=width)
+    precision = data.draw(
+        st.integers(min_value=max(1, width - 3), max_value=width),
+        label="precision")
+    sweep = sweep_for(component, lib, effort=effort)
+    derived = sweep.derive(precision)
+    scratch = synthesize(component.with_precision(precision), lib,
+                         effort=effort)
+    assert_point_identical(
+        derived, scratch, "%s w=%d p=%d %s" % (spec, width, precision,
+                                               effort))
+
+
+class TestSizingCanonicalOrder:
+    def test_permuted_insertion_order_sizes_identically(self, lib):
+        """The upsize order is a function of netlist content, not of
+        gate-list insertion order."""
+        component = parse_component("adder8")
+        result = synthesize(component, lib, effort="high")  # unsized
+        first = result.netlist.copy()
+        second = result.netlist.copy()
+        second.gates = list(reversed(second.gates))
+        second._topo_cache = None
+
+        upsize_critical_paths(first, lib, target_ps=0.0, max_rounds=6)
+        upsize_critical_paths(second, lib, target_ps=0.0, max_rounds=6)
+        cells_first = {g.uid: g.cell for g in first.gates}
+        cells_second = {g.uid: g.cell for g in second.gates}
+        assert cells_first == cells_second
+
+
+class TestMetrics:
+    def test_sweep_metrics_recorded(self, lib):
+        component = parse_component("adder8")
+        with obs_metrics.scoped() as registry:
+            synthesize_variant(component, 6, lib, effort="ultra")
+            snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters.get(obs_metrics.SYNTH_SWEEP_DERIVES) == 1
+        assert counters.get(obs_metrics.SYNTH_CONSTPROP_REWRITES, 0) > 0
+        assert counters.get(obs_metrics.SYNTH_DEAD_GATES, 0) > 0
+        assert counters.get(obs_metrics.SYNTH_SIZING_ROUNDS, 0) > 0
+        assert obs_metrics.SYNTH_SWEEP_CONE_GATES in snap["histograms"]
+        cone = snap["histograms"][obs_metrics.SYNTH_SWEEP_CONE_GATES]
+        assert cone["count"] == 1 and cone["sum"] > 0
+
+    def test_scalar_sizing_metrics_recorded(self, lib):
+        component = parse_component("adder8")
+        with obs_metrics.scoped() as registry:
+            synthesize(component, lib, effort="ultra")
+            counters = registry.snapshot()["counters"]
+        assert counters.get(obs_metrics.SYNTH_SIZING_ROUNDS, 0) > 0
+        assert counters.get(obs_metrics.SYNTH_SIZING_UPSIZES, 0) > 0
+
+
+class TestProcessMemo:
+    def test_sweep_for_memoizes_base(self, lib):
+        component = parse_component("mult8")
+        with obs_metrics.scoped() as registry:
+            first = sweep_for(component, lib, effort="medium")
+            second = sweep_for(component.with_precision(5), lib,
+                               effort="medium")
+            counters = registry.snapshot()["counters"]
+        assert first is second
+        assert counters.get(obs_metrics.SYNTH_SWEEP_BASE_MEMO_HITS) == 1
+        assert sweep_for(component, lib, effort="ultra") is not first
+
+    def test_synthesize_variant_drop_in(self, lib):
+        component = parse_component("mult8")
+        derived = synthesize_variant(component, 5, lib, effort="medium")
+        scratch = synthesize(component.with_precision(5), lib,
+                             effort="medium")
+        assert_point_identical(derived, scratch, "synthesize_variant")
+
+
+class TestCharacterizeWiring:
+    def test_characterize_sweep_equals_scratch(self, lib):
+        from repro.aging import worst_case
+        component = parse_component("adder8")
+        scenarios = [worst_case(10.0)]
+        kwargs = dict(scenarios=scenarios, precisions=[8, 7, 6],
+                      effort="ultra", cache=None)
+        swept = characterize(component, lib, synth="sweep", **kwargs)
+        scratch = characterize(component, lib, synth="scratch", **kwargs)
+        assert swept.fresh_ps == scratch.fresh_ps
+        assert swept.aged_ps == scratch.aged_ps
+        assert swept.area_um2 == scratch.area_um2
+        assert swept.leakage_nw == scratch.leakage_nw
+        assert swept.gates == scratch.gates
+        assert swept.depth == scratch.depth
+
+    def test_characterize_rejects_unknown_synth(self, lib):
+        from repro.aging import worst_case
+        with pytest.raises(ValueError, match="synth"):
+            characterize(parse_component("adder8"), lib,
+                         scenarios=[worst_case(10.0)], synth="magic",
+                         cache=None)
+
+    def test_point_key_is_synth_independent(self, lib):
+        """Sweep and scratch share cache entries — the fingerprint must
+        not depend on the synthesis strategy."""
+        from repro.aging import worst_case
+        from repro.core.characterize import make_point_task, scenario_specs
+        component = parse_component("adder8")
+        specs = scenario_specs([worst_case(10.0)])
+        a = make_point_task(component, 6, lib, specs, synth="sweep")
+        b = make_point_task(component, 6, lib, specs, synth="scratch")
+        assert a["key"] == b["key"]
+        assert a["synth"] == "sweep" and b["synth"] == "scratch"
+
+
+class TestVerifyInvariant:
+    def test_check_synth_sweep_passes(self, lib):
+        component = parse_component("adder8")
+        results = check_synth_sweep(component, lib, efforts=("ultra",),
+                                    precisions=[8, 7, 5])
+        assert [r.name for r in results] == ["synth_sweep_bit_exact",
+                                             "synth_sweep_no_fallback"]
+        assert all(r.passed for r in results), \
+            [(r.name, r.detail) for r in results]
