@@ -33,6 +33,17 @@ def machine_stamp():
     }
 
 
+def load_trajectory(path):
+    """Load a ``BENCH_*.json`` as ``{"benchmark", "runs": [...]}``.
+
+    Legacy single-run documents come back as one-entry trajectories;
+    shared with ``repro bench-report`` so both read the same shape.
+    """
+    from repro.bench_report import load_trajectory as _load
+
+    return _load(path)
+
+
 def append_run(path, run):
     """Append *run* to the trajectory at *path* (created if missing).
 

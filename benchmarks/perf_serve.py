@@ -22,7 +22,18 @@ Two phases are timed per server:
   herd single-flight dedup exists to absorb. The >= 5x PR target is
   for this phase;
 * **warm replay**: the same schedule again, now fully cached — pure
-  tier-serving cost (memory hits vs disk read+parse per point).
+  tier-serving cost (memory hits vs disk read+parse per point);
+* **profiled replay** (tiered server only): the warm replay once more
+  with the wall-clock sampling profiler attached, to measure profiler
+  overhead on the steady-state mix (recorded as
+  ``profiler.overhead_pct``; the PR target is <= 5%).
+
+The tiered server also runs the periodic time-series recorder, and its
+final-sample p50/p95/p99 latency quantiles are cross-checked for exact
+equality against the ``/v1/stats`` histogram path — two independent
+read paths over the same registry. ``--flamegraph`` and
+``--timeseries`` write the profiler's Chrome flame chart and the
+time-series JSONL journal as CI artifacts.
 
 Every response is cross-checked bit-exactly between the two servers
 before anything is reported, and a sample of queries is checked against
@@ -52,6 +63,7 @@ from repro.core.cache import CharacterizationCache
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.profile import SamplingProfiler
 from repro.rtl import Multiplier
 from repro.serve import CharacterizationServer, ServeClient
 
@@ -183,12 +195,16 @@ async def warmup(server, args):
 
 
 async def bench_server(label, root, lib, args, population, schedule,
-                       dedup, mem_entries):
+                       dedup, mem_entries, profile=False,
+                       flamegraph=None, ts_jsonl=None):
     cache = CharacterizationCache(root, shards=args.shards,
                                   mem_entries=mem_entries)
     server = CharacterizationServer(cache, library=lib,
-                                    workers=args.workers, dedup=dedup)
+                                    workers=args.workers, dedup=dedup,
+                                    ts_interval=0.5, ts_jsonl=ts_jsonl)
     outer = obs_metrics.registry()
+    prof_replies = None
+    profiled = None
     with obs_trace.span("bench.serve." + label, dedup=dedup,
                         mem_entries=mem_entries), \
             obs_metrics.scoped() as server_registry:
@@ -204,6 +220,27 @@ async def bench_server(label, root, lib, args, population, schedule,
             warm_s, warm_replies = await drive(server, population, schedule,
                                                args.concurrency)
             warm_stats = server.stats()
+            if profile:
+                # Warm replay once more with the sampling profiler
+                # attached: its wall-clock ratio to the unprofiled warm
+                # replay is the profiler's steady-state overhead.
+                profiler = SamplingProfiler()
+                profiler.start()
+                prof_s, prof_replies = await drive(
+                    server, population, schedule, args.concurrency)
+                profiler.stop()
+                profiled = {
+                    "wall_s": prof_s,
+                    "samples": profiler.sample_count(),
+                    "interval_s": profiler.interval,
+                    "overhead_pct": 100.0 * (prof_s / warm_s - 1.0),
+                }
+                if flamegraph:
+                    profiler.write_chrome(flamegraph)
+                    print("profiler flame chart written to %s "
+                          "(%d samples)" % (flamegraph,
+                                            profiler.sample_count()))
+            final_stats = server.stats()
         finally:
             await server.stop()
     outer.merge(server_registry.snapshot())
@@ -214,6 +251,24 @@ async def bench_server(label, root, lib, args, population, schedule,
         "warm": phase_report(warm_s, warm_replies, warm_stats, mix_stats),
         "latency_ms": warm_stats["latency_ms"],
     }
+    if profiled is not None:
+        report["profiler"] = profiled
+    # Final time-series sample (taken by server.stop()) must agree
+    # exactly with the /v1/stats histogram path: same registry, two
+    # independent read paths.
+    sample = server.recorder.latest() if server.recorder else None
+    ts_quantiles = (sample or {}).get("quantiles", {}).get(
+        obs_metrics.SERVE_LATENCY_MS)
+    if ts_quantiles and final_stats["latency_ms"]:
+        for key in ("p50", "p95", "p99"):
+            if ts_quantiles[key] != final_stats["latency_ms"][key]:
+                raise SystemExit(
+                    "time-series %s (%r) diverges from histogram %s "
+                    "(%r)" % (key, ts_quantiles[key], key,
+                              final_stats["latency_ms"][key]))
+        report["timeseries_latency_ms"] = {
+            key: ts_quantiles[key] for key in ("p50", "p95", "p99")}
+        report["timeseries_matches_histogram"] = True
     for phase in ("mix", "warm"):
         p = report[phase]
         print("%-8s %-5s %7.2f s  %7.1f req/s  %6d computes  "
@@ -221,7 +276,7 @@ async def bench_server(label, root, lib, args, population, schedule,
               % (label, phase, p["wall_s"], p["requests_per_s"],
                  p["computes"], 100 * p["dedup_ratio"],
                  p["tier_hits"]["mem"], p["tier_hits"]["disk"]))
-    return report, mix_replies, warm_replies
+    return report, mix_replies, warm_replies, prof_replies
 
 
 def check_against_direct(lib, args, population, replies, schedule):
@@ -263,19 +318,24 @@ async def _run(args, lib, scratch):
              (len(population) + args.width - 1) // args.width,
              len(schedule), args.concurrency, args.skew, args.workers))
 
-    baseline, base_mix, base_warm = await bench_server(
+    baseline, base_mix, base_warm, __ = await bench_server(
         "baseline", os.path.join(scratch, "baseline"), lib, args,
         population, schedule, dedup=False, mem_entries=0)
-    tiered, tier_mix, tier_warm = await bench_server(
+    tiered, tier_mix, tier_warm, tier_prof = await bench_server(
         "tiered", os.path.join(scratch, "tiered"), lib, args,
-        population, schedule, dedup=True, mem_entries=args.mem_entries)
+        population, schedule, dedup=True, mem_entries=args.mem_entries,
+        profile=not args.no_profile, flamegraph=args.flamegraph,
+        ts_jsonl=args.timeseries)
 
     # Correctness gate: identical schedule -> bit-identical answers from
     # every client, every tier of both servers, and the library directly.
     compared = 0
+    phases = [base_mix, base_warm, tier_mix, tier_warm]
+    if tier_prof is not None:
+        phases.append(tier_prof)
     for index in range(len(schedule)):
         canon = canonical(base_mix[0][index])
-        for phase in (base_mix, base_warm, tier_mix, tier_warm):
+        for phase in phases:
             for per_client in phase:
                 if canonical(per_client[index]) != canon:
                     raise SystemExit(
@@ -296,8 +356,19 @@ async def _run(args, lib, scratch):
           % (mix_speedup, warm_speedup, cold_vs_warm,
              100 * tiered["mix"]["dedup_ratio"],
              100 * tiered["warm"]["mem_hit_ratio"]))
+    if "profiler" in tiered:
+        print("profiler: %d samples at %.0f ms, warm-mix overhead "
+              "%+.1f%% (target <= 5%%)"
+              % (tiered["profiler"]["samples"],
+                 tiered["profiler"]["interval_s"] * 1e3,
+                 tiered["profiler"]["overhead_pct"]))
+    if tiered.get("timeseries_matches_histogram"):
+        ts = tiered["timeseries_latency_ms"]
+        print("time-series final sample matches /v1/stats histogram "
+              "exactly: p50=%.3f p95=%.3f p99=%.3f ms"
+              % (ts["p50"], ts["p95"], ts["p99"]))
 
-    return {
+    report = {
         "benchmark": "serve",
         "component": "mult%d" % args.width,
         "effort": args.effort,
@@ -315,6 +386,11 @@ async def _run(args, lib, scratch):
         "cold_vs_warm_speedup": cold_vs_warm,
         "target_mix_speedup": 5.0,
     }
+    if "profiler" in tiered:
+        report["profiler_overhead_pct"] = \
+            tiered["profiler"]["overhead_pct"]
+        report["target_profiler_overhead_pct"] = 5.0
+    return report
 
 
 def main(argv=None):
@@ -355,6 +431,15 @@ def main(argv=None):
     parser.add_argument("--trace", default=None,
                         help="also write a Chrome trace of the benchmark "
                              "run (plus a run manifest next to it)")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the profiled warm replay (and its "
+                             "overhead measurement)")
+    parser.add_argument("--flamegraph", default=None, metavar="PATH",
+                        help="write the profiled replay's Chrome flame "
+                             "chart here (CI artifact)")
+    parser.add_argument("--timeseries", default=None, metavar="PATH",
+                        help="journal the tiered server's metric time "
+                             "series to this JSONL file (CI artifact)")
     args = parser.parse_args(argv)
 
     lib = default_library()

@@ -1,0 +1,186 @@
+"""Benchmark-trajectory regression analysis (``repro bench-report``).
+
+The committed ``BENCH_*.json`` files are perf *trajectories* (see
+``benchmarks/bench_util.py``): every benchmark run appends a
+machine-stamped entry instead of overwriting, so the history of each
+speedup metric is in the repository. This module turns those
+trajectories into a regression gate:
+
+* every ``*_speedup`` field of the latest run is compared against the
+  benchmark's **recorded floor** — an explicit ``min_<field>`` value
+  when the run carries one, otherwise the minimum of the field across
+  *prior* runs scaled by a tolerance (new metrics with no history pass
+  vacuously);
+* aspirational ``target_<field>`` values are annotated but **never
+  gate** — a target is where the benchmark wants to get to, not where
+  it has been.
+
+``repro bench-report`` renders the analysis; ``--check`` exits nonzero
+on any regression, which is how CI gates on it.
+"""
+
+import glob
+import json
+import os
+
+from .report import format_table
+
+#: Fraction of the historical floor a run may drop below before it
+#: counts as a regression (run-to-run noise allowance).
+DEFAULT_TOLERANCE = 0.2
+
+
+def load_trajectory(path):
+    """Load a ``BENCH_*.json`` file as ``{"benchmark", "runs": [...]}``.
+
+    Handles both the ``repro.bench/2`` trajectory schema and legacy
+    single-run documents (wrapped as a one-entry trajectory).
+    """
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        raise ValueError("%s: not a benchmark document" % path)
+    if "runs" in doc:
+        runs = [run for run in doc["runs"] if isinstance(run, dict)]
+        name = doc.get("benchmark") or _name_from_path(path)
+    else:
+        runs = [doc]
+        name = doc.get("benchmark") or _name_from_path(path)
+    return {"benchmark": name, "runs": runs}
+
+
+def _name_from_path(path):
+    base = os.path.basename(path)
+    if base.startswith("BENCH_") and base.endswith(".json"):
+        return base[len("BENCH_"):-len(".json")]
+    return base
+
+
+def speedup_fields(run):
+    """Gated metric names of a run: every numeric ``*_speedup`` field
+    that is not itself a floor (``min_*``) or target (``target_*``)."""
+    return sorted(
+        name for name, value in run.items()
+        if name.endswith("_speedup")
+        and not name.startswith(("min_", "target_"))
+        and isinstance(value, (int, float)))
+
+
+def analyze_trajectory(doc, tolerance=DEFAULT_TOLERANCE):
+    """Regression rows for one trajectory dict (see
+    :func:`load_trajectory`). One row per speedup field of the latest
+    run::
+
+        {"benchmark", "field", "latest", "floor", "floor_source",
+         "ok", "target", "target_met", "runs"}
+
+    ``floor`` is None (and ``ok`` True) when there is neither an
+    explicit ``min_<field>`` nor any prior run recording the field.
+    """
+    runs = doc["runs"]
+    if not runs:
+        return []
+    latest = runs[-1]
+    prior = runs[:-1]
+    rows = []
+    for field in speedup_fields(latest):
+        value = float(latest[field])
+        explicit = latest.get("min_" + field)
+        if isinstance(explicit, (int, float)):
+            floor = float(explicit)
+            source = "explicit min_%s" % field
+        else:
+            history = [float(run[field]) for run in prior
+                       if isinstance(run.get(field), (int, float))]
+            if history:
+                floor = min(history) * (1.0 - tolerance)
+                source = ("trajectory min %.2f - %d%% tolerance"
+                          % (min(history), round(tolerance * 100)))
+            else:
+                floor = None
+                source = "no history"
+        target = latest.get("target_" + field)
+        target = (float(target)
+                  if isinstance(target, (int, float)) else None)
+        rows.append({
+            "benchmark": doc["benchmark"],
+            "field": field,
+            "latest": value,
+            "floor": floor,
+            "floor_source": source,
+            "ok": floor is None or value >= floor,
+            "target": target,
+            "target_met": (None if target is None
+                           else value >= target),
+            "runs": len(runs),
+        })
+    return rows
+
+
+def analyze_paths(paths, tolerance=DEFAULT_TOLERANCE):
+    """Rows (see :func:`analyze_trajectory`) for many BENCH files."""
+    rows = []
+    for path in paths:
+        rows.extend(analyze_trajectory(load_trajectory(path),
+                                       tolerance=tolerance))
+    return rows
+
+
+def default_paths(root="."):
+    """The committed ``BENCH_*.json`` files under *root*, sorted."""
+    return sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+
+
+def bench_report_text(rows):
+    """Aligned text report of :func:`analyze_paths` rows."""
+    if not rows:
+        return "bench-report: no benchmark trajectories found"
+    table = format_table(
+        ["benchmark", "metric", "latest", "floor", "runs", "status"],
+        [[row["benchmark"], row["field"],
+          "%.2fx" % row["latest"],
+          "%.2fx" % row["floor"] if row["floor"] is not None else "-",
+          row["runs"],
+          "ok" if row["ok"] else "REGRESSED"]
+         for row in rows])
+    lines = [table]
+    for row in rows:
+        if not row["ok"]:
+            lines.append(
+                "REGRESSION: %s %s = %.2fx is below its floor %.2fx "
+                "(%s)" % (row["benchmark"], row["field"], row["latest"],
+                          row["floor"], row["floor_source"]))
+    targets = [row for row in rows if row["target"] is not None]
+    if targets:
+        lines.append("")
+        lines.append("targets (aspirational, non-gating):")
+        for row in targets:
+            lines.append("  %s %s: %.2fx of target %.2fx (%s)"
+                         % (row["benchmark"], row["field"],
+                            row["latest"], row["target"],
+                            "met" if row["target_met"] else "not met"))
+    regressed = sum(1 for row in rows if not row["ok"])
+    lines.append("")
+    lines.append("bench-report: %d metric(s) checked, %d regression(s)"
+                 % (len(rows), regressed))
+    return "\n".join(lines)
+
+
+def run_report(paths=None, check=False, tolerance=DEFAULT_TOLERANCE,
+               out=None):
+    """CLI entry: print the report, return a process exit code.
+
+    *check* makes regressions fatal (exit 1); without it the report is
+    informational (always exit 0, the "annotated step" CI mode).
+    """
+    import sys
+
+    if out is None:
+        out = sys.stdout
+    if not paths:
+        paths = default_paths()
+    rows = analyze_paths(paths, tolerance=tolerance)
+    out.write(bench_report_text(rows) + "\n")
+    if check and any(not row["ok"] for row in rows):
+        return 1
+    return 0

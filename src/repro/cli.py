@@ -38,9 +38,11 @@ from .core import instrument
 from .core import specs as specs_mod
 from .core.adaptive import plan_graceful_degradation
 from .core.parallel import resolve_jobs
+from . import bench_report as bench_report_mod
 from .obs import logs as obs_logs
 from .obs import manifest as obs_manifest
 from .obs import metrics as obs_metrics
+from .obs import slo as obs_slo
 from .obs import trace as obs_trace
 from .netlist.netlist import NetlistError
 from .report import (characterization_report, flow_report_text,
@@ -132,6 +134,7 @@ def _engine(args):
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     manifest_path = getattr(args, "manifest", None)
+    profile_path = getattr(args, "profile", None)
     if manifest_path is None:
         # A trace/metrics request implies provenance: derive a path.
         manifest_path = obs_manifest.default_manifest_path(metrics_path,
@@ -152,6 +155,7 @@ def _engine(args):
     else:
         scope = contextlib.nullcontext(cache_mod.get_cache())
     tracer = obs_trace.Tracer()
+    profiler = None
     start = time.perf_counter()
     with scope as cache:
         with obs_metrics.scoped() as registry:
@@ -161,7 +165,15 @@ def _engine(args):
                 with obs_trace.span("cli." + args.command,
                                     command=args.command):
                     with instrument.collect() as instr:
-                        yield
+                        if profile_path:
+                            from .obs.profile import SamplingProfiler
+                            profiler = SamplingProfiler(registry=registry)
+                            profiler.start()
+                        try:
+                            yield
+                        finally:
+                            if profiler is not None:
+                                profiler.stop()
             duration = time.perf_counter() - start
             snapshot = registry.snapshot()
         if getattr(args, "timings", False):
@@ -182,6 +194,13 @@ def _engine(args):
                 json.dump(snapshot, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print("metrics written to %s" % metrics_path)
+        if profiler is not None:
+            profiler.write_collapsed(profile_path)
+            chrome_path = profile_path + ".chrome.json"
+            profiler.write_chrome(chrome_path)
+            print("profile written to %s (collapsed stacks) and %s "
+                  "(Chrome flame chart, %d samples)"
+                  % (profile_path, chrome_path, profiler.sample_count()))
         if manifest_path:
             manifest = obs_manifest.build_manifest(
                 "repro-aging " + args.command,
@@ -363,10 +382,18 @@ def cmd_serve(args):
                  server.cache.shards, server.cache.mem_entries,
                  server.dedup), flush=True)
 
+    try:
+        slos = ([] if args.no_slo
+                else [obs_slo.parse_slo(spec) for spec in args.slo]
+                if args.slo else None)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     with _engine(args):
         server = CharacterizationServer(
             cache, host=args.host, port=args.port, workers=jobs,
-            dedup=not args.no_dedup, max_requests=args.max_requests)
+            dedup=not args.no_dedup, max_requests=args.max_requests,
+            ts_interval=args.ts_interval, ts_jsonl=args.timeseries,
+            slos=slos, drain_grace_s=args.drain_grace)
         try:
             asyncio.run(server.run(ready=ready))
         except KeyboardInterrupt:
@@ -377,7 +404,23 @@ def cmd_serve(args):
               % (stats["requests"], stats["points"], stats["dedup_hits"],
                  stats["tier_hits"]["mem"], stats["tier_hits"]["disk"],
                  stats["computes"], stats["errors"]))
+        slo_stats = stats.get("slo", {})
+        if slo_stats.get("objectives"):
+            print("slo: worst burn rate %.2f, %d breach(es) across %d "
+                  "objective(s)"
+                  % (slo_stats["worst_burn_rate"], slo_stats["breaches"],
+                     len(slo_stats["objectives"])))
+        if args.timeseries:
+            print("time series journaled to %s (%d samples)"
+                  % (args.timeseries, stats["timeseries"]["samples"]))
     return 0
+
+
+def cmd_bench_report(args):
+    from .bench_report import run_report
+
+    return run_report(args.paths, check=args.check,
+                      tolerance=args.tolerance)
 
 
 def build_parser():
@@ -418,6 +461,10 @@ def build_parser():
         p.add_argument("--log-level", default=None,
                        choices=obs_logs.LEVELS,
                        help="verbosity of the repro.* logging hierarchy")
+        p.add_argument("--profile", default=None, metavar="PATH",
+                       help="run the wall-clock sampling profiler and "
+                            "write collapsed stacks to PATH plus a "
+                            "Chrome flame chart to PATH.chrome.json")
         if design:
             p.add_argument("--design", default="idct",
                            help="idct | dct | fir")
@@ -527,7 +574,40 @@ def build_parser():
     p.add_argument("--max-requests", type=int, default=None,
                    help="shut down after serving N requests "
                         "(smoke tests)")
+    p.add_argument("--timeseries", default=None, metavar="PATH",
+                   help="journal periodic metric time-series samples "
+                        "to this JSONL file")
+    p.add_argument("--ts-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="time-series sampling interval (default 1.0)")
+    p.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                   help="service-level objective, repeatable: "
+                        "latency:pN:threshold_ms[:window_s] or "
+                        "errors:availability_pct[:window_s] "
+                        "(default: %s)" % ", ".join(obs_slo.DEFAULT_SLOS))
+    p.add_argument("--no-slo", action="store_true",
+                   help="disable SLO evaluation entirely")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="seconds to wait for in-flight requests during "
+                        "shutdown before force-closing (default 10)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "bench-report",
+        help="analyze committed BENCH_*.json perf trajectories for "
+             "speedup regressions")
+    p.add_argument("paths", nargs="*", metavar="BENCH.json",
+                   help="trajectory files (default: ./BENCH_*.json)")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero on any regression (CI gate)")
+    p.add_argument("--tolerance", type=float,
+                   default=bench_report_mod.DEFAULT_TOLERANCE,
+                   metavar="FRAC",
+                   help="allowed fractional drop below the historical "
+                        "floor (default %.2f)"
+                        % bench_report_mod.DEFAULT_TOLERANCE)
+    p.set_defaults(func=cmd_bench_report)
     return parser
 
 

@@ -238,10 +238,12 @@ def _characterize_point(task):
     metric snapshot back to the parent (workers cannot share the
     parent's ambient collectors): the returned ``"trace"`` /
     ``"metrics"`` entries are re-parented / merged by
-    :func:`characterize`.
+    :func:`characterize`. A ``"trace"`` propagation context in the task
+    (stamped by :mod:`repro.core.parallel` or the serve layer) stitches
+    this worker's spans into the submitting trace by identity.
     """
     with obs_trace.capture() as tracer, obs_metrics.scoped() as registry:
-        with obs_trace.span(
+        with obs_trace.propagated(task.get("trace")), obs_trace.span(
                 "characterize.point",
                 component=task["component"].family,
                 width=task["component"].width,

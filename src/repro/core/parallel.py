@@ -52,6 +52,24 @@ def resolve_jobs(jobs=None):
 _JOBS_UNSET = object()
 
 
+def _stamp_trace(tasks):
+    """Shallow-copy dict tasks with the ambient trace identity.
+
+    Pool workers cannot share the parent's contextvars; a ``"trace"``
+    propagation context in the task dict lets the worker re-enter the
+    submitting trace (:func:`repro.obs.trace.propagated`), so its
+    shipped span tree stitches into one connected request tree. No-op
+    when tracing is off, for non-dict tasks, and for tasks that already
+    carry an explicit context (the serve layer stamps per-point spans).
+    """
+    ctx = obs_trace.propagation_context()
+    if ctx is None:
+        return tasks
+    return [dict(task, trace=ctx)
+            if isinstance(task, dict) and "trace" not in task else task
+            for task in tasks]
+
+
 def map_tasks(worker, tasks, jobs=_JOBS_UNSET, pool=None):
     """Apply *worker* to every task, serially or over a process pool.
 
@@ -84,7 +102,7 @@ def map_tasks(worker, tasks, jobs=_JOBS_UNSET, pool=None):
     with obs_trace.span("parallel.map", tasks=len(tasks),
                         workers=workers):
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(worker, tasks))
+            return list(pool.map(worker, _stamp_trace(tasks)))
 
 
 class WorkerPool:
@@ -130,7 +148,7 @@ class WorkerPool:
             return []
         with obs_trace.span("parallel.map", tasks=len(tasks),
                             workers=self.jobs, persistent=True):
-            return list(self.executor.map(worker, tasks))
+            return list(self.executor.map(worker, _stamp_trace(tasks)))
 
     def shutdown(self, wait=True):
         """Reap the worker processes (idempotent)."""

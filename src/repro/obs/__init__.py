@@ -11,29 +11,47 @@ Three pillars, each usable on its own:
   (config fingerprints, library identity, stage totals, metric
   snapshot, peak RSS);
 
-plus :mod:`repro.obs.logs`, the ``repro.*`` :mod:`logging` hierarchy.
+plus the live-telemetry layer:
+
+* :mod:`repro.obs.timeseries` — ring-buffer periodic sampling of a
+  registry (rates, quantiles, JSONL journal);
+* :mod:`repro.obs.profile` — stdlib wall-clock sampling profiler with
+  collapsed-stack and Chrome flame-chart export;
+* :mod:`repro.obs.slo` — declarative latency/error-budget objectives
+  with windowed burn rates;
+* :mod:`repro.obs.logs` — the ``repro.*`` :mod:`logging` hierarchy and
+  per-request access-log lines.
 
 The legacy per-stage collector, :mod:`repro.core.instrument`, is a thin
 compatibility shim over this package.
 """
 
-from . import logs, metrics, trace
+from . import logs, metrics, profile, slo, timeseries, trace
 from . import manifest  # imported last: lazily reaches into repro.core
-from .logs import configure as configure_logging, get_logger
+from .logs import configure as configure_logging, get_logger, log_access
 from .manifest import (build_manifest, default_manifest_path,
                        peak_rss_bytes, write_manifest)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, observe,
-                      registry, scoped)
-from .trace import Span, Tracer, adopt, capture, current_span, span
+                      prometheus_text, registry, scoped)
+from .profile import SamplingProfiler
+from .slo import SLO, SLOEvaluator, parse_slo
+from .timeseries import TimeSeriesRecorder
+from .trace import (Span, Tracer, adopt, capture, current_span,
+                    parse_traceparent, propagated, propagation_context,
+                    span)
 
 __all__ = [
-    "logs", "metrics", "trace", "manifest",
-    "configure_logging", "get_logger",
+    "logs", "metrics", "trace", "manifest", "timeseries", "profile",
+    "slo",
+    "configure_logging", "get_logger", "log_access",
     "build_manifest", "default_manifest_path", "peak_rss_bytes",
     "write_manifest",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "observe",
-    "registry", "scoped",
-    "Span", "Tracer", "adopt", "capture", "current_span", "span",
+    "prometheus_text", "registry", "scoped",
+    "SamplingProfiler", "SLO", "SLOEvaluator", "parse_slo",
+    "TimeSeriesRecorder",
+    "Span", "Tracer", "adopt", "capture", "current_span",
+    "parse_traceparent", "propagated", "propagation_context", "span",
     "propagate",
 ]
 

@@ -38,6 +38,54 @@ def get_logger(name=None):
     return logging.getLogger("%s.%s" % (ROOT, name))
 
 
+#: Logger name for per-request server access lines.
+ACCESS = "serve.access"
+
+
+def access_logger():
+    """The ``repro.serve.access`` logger (one line per request)."""
+    return get_logger(ACCESS)
+
+
+def format_access(**fields):
+    """Render one access-log line as stable ``key=value`` pairs.
+
+    Core request fields come first in a fixed order (trace id, client,
+    method/path/status, latency, tier, dedup) so lines stay greppable;
+    any extra fields follow sorted. None values are dropped; values
+    with spaces are quoted.
+    """
+    order = ("trace", "client", "method", "path", "status",
+             "latency_ms", "tier", "dedup")
+    parts = []
+    seen = set()
+    for key in order:
+        if key in fields and fields[key] is not None:
+            parts.append(_access_pair(key, fields[key]))
+            seen.add(key)
+    for key in sorted(fields):
+        if key not in seen and fields[key] is not None:
+            parts.append(_access_pair(key, fields[key]))
+    return " ".join(parts)
+
+
+def _access_pair(key, value):
+    if isinstance(value, float):
+        value = "%.3f" % value
+    elif isinstance(value, bool):
+        value = "yes" if value else "no"
+    else:
+        value = str(value)
+    if " " in value or '"' in value:
+        value = '"%s"' % value.replace('"', "'")
+    return "%s=%s" % (key, value)
+
+
+def log_access(**fields):
+    """Emit one per-request access line at INFO on the access logger."""
+    access_logger().info("%s", format_access(**fields))
+
+
 def configure(level="warning", stream=None):
     """Set the ``repro`` root level and attach one stderr handler.
 

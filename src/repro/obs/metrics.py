@@ -73,6 +73,13 @@ STA_INCREMENTAL_RUNS = "sta.incremental.runs"
 STA_INCREMENTAL_CONE_FRACTION = "sta.incremental.cone_fraction"
 TIMING_MEMO_HITS = "cache.timing_memo_hits"
 STRESS_EXTRACTIONS = "stress.extractions"
+OBS_TS_SAMPLES = "obs.ts.samples"
+OBS_TS_DROPPED = "obs.ts.dropped"
+OBS_TS_FLUSHES = "obs.ts.flushes"
+OBS_PROFILE_SAMPLES = "obs.profile.samples"
+SERVE_SLO_BURN_RATE = "serve.slo.burn_rate"
+SERVE_SLO_BREACHES = "serve.slo.breaches"
+SERVE_SLO_WORST = "serve.slo.worst_burn_rate"
 
 #: Bucket edges for fraction-valued histograms (e.g. cone fractions in
 #: [0, 1]); the decade-wide defaults would lump everything together.
@@ -172,33 +179,57 @@ class Histogram:
     def mean(self):
         return self.sum / self.count if self.count else 0.0
 
+    def _bucket_edges(self, index):
+        """Effective ``(lo, hi)`` interpolation edges of bucket *index*.
+
+        Observed ``min``/``max`` clamp the open-ended first and overflow
+        buckets when known; histograms reconstructed from bucket-only
+        wire data (windowed deltas, partial merges) have ``min``/``max``
+        of None and fall back to the boundary edges themselves.
+        """
+        lo = self.boundaries[index - 1] if index > 0 else (
+            self.min if self.min is not None else
+            min(self.boundaries[0], 0.0))
+        hi = (self.boundaries[index] if index < len(self.boundaries)
+              else (self.max if self.max is not None
+                    else self.boundaries[-1]))
+        if self.min is not None:
+            lo = max(lo, self.min)
+        if self.max is not None:
+            hi = min(hi, self.max)
+        return lo, max(hi, lo)
+
     def quantile(self, q):
         """Estimate the *q*-quantile (``0 <= q <= 1``) from the buckets.
 
         Linear interpolation inside the containing bucket, with the
-        observed ``min``/``max`` clamping the open-ended first and last
-        buckets — exact for q=0/q=1, approximate elsewhere (bucket-width
-        resolution). Returns None for an empty histogram.
+        observed ``min``/``max`` (when known) clamping the open-ended
+        first and last buckets — exact for q=0/q=1, approximate
+        elsewhere (bucket-width resolution). Histograms merged from
+        bucket-only wire data (no min/max) interpolate against the
+        boundary edges instead. Returns None for an empty histogram.
         """
         if self.count == 0:
             return None
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        occupied = [i for i, n in enumerate(self.buckets) if n]
+        if q == 0.0:
+            return (self.min if self.min is not None
+                    else self._bucket_edges(occupied[0])[0])
+        if q == 1.0:
+            return (self.max if self.max is not None
+                    else self._bucket_edges(occupied[-1])[1])
         rank = q * self.count
         cumulative = 0
-        for index, n in enumerate(self.buckets):
-            if n == 0:
-                continue
-            lo = self.min if index == 0 else self.boundaries[index - 1]
-            hi = (self.max if index == len(self.boundaries)
-                  else self.boundaries[index])
-            lo = max(lo, self.min)
-            hi = max(min(hi, self.max), lo)
+        for index in occupied:
+            n = self.buckets[index]
             if cumulative + n >= rank:
+                lo, hi = self._bucket_edges(index)
                 frac = (rank - cumulative) / n
                 return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
             cumulative += n
-        return self.max
+        return self._bucket_edges(occupied[-1])[1]
 
     def to_snapshot(self):
         return {"count": self.count, "sum": self.sum, "min": self.min,
@@ -223,6 +254,64 @@ class Histogram:
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _prom_name(name):
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isascii() and ch.isalnum()) or ch == "_"
+                   else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return "repro_" + text
+
+
+def _prom_number(value):
+    """Render a float the way Prometheus text format expects."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(snapshot):
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text
+    exposition format (version 0.0.4, the ``/metrics`` scrape format).
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``le``-labelled buckets (including ``+Inf``) plus
+    ``_sum``/``_count`` series. Dots become underscores and every name
+    is prefixed ``repro_`` so scrapes from mixed fleets don't collide.
+    """
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = _prom_name(name) + "_total"
+        lines.append("# TYPE %s counter" % prom)
+        lines.append("%s %s" % (
+            prom, _prom_number(snapshot["counters"][name])))
+    for name in sorted(snapshot.get("gauges", {})):
+        prom = _prom_name(name)
+        lines.append("# TYPE %s gauge" % prom)
+        lines.append("%s %s" % (
+            prom, _prom_number(snapshot["gauges"][name])))
+    for name in sorted(snapshot.get("histograms", {})):
+        state = snapshot["histograms"][name]
+        prom = _prom_name(name)
+        lines.append("# TYPE %s histogram" % prom)
+        cumulative = 0
+        edges = list(state.get("boundaries", ())) + [float("inf")]
+        for edge, count in zip(edges, state.get("buckets", ())):
+            cumulative += count
+            lines.append('%s_bucket{le="%s"} %d' % (
+                prom, _prom_number(edge), cumulative))
+        lines.append("%s_sum %s" % (prom, _prom_number(state["sum"])))
+        lines.append("%s_count %d" % (prom, state["count"]))
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 class MetricsRegistry:

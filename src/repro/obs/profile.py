@@ -1,0 +1,228 @@
+"""Wall-clock sampling profiler, stdlib-only.
+
+A background thread wakes every *interval* seconds and snapshots every
+thread's Python stack via :func:`sys._current_frames` — no signals (so
+it works off the main thread and inside asyncio servers), no tracing
+hooks (so overhead stays bounded by ``stack_depth / interval`` rather
+than by call rate; at the default 5 ms interval the serve benchmark
+measures well under 5%).
+
+Two export formats:
+
+* **collapsed stacks** (:meth:`SamplingProfiler.collapsed`) — the
+  ``root;caller;callee <count>`` lines Brendan Gregg's ``flamegraph.pl``
+  and https://www.speedscope.app consume directly;
+* **Chrome trace** (:meth:`SamplingProfiler.write_chrome`) — a flame
+  *chart* (time on the x-axis) built by merging consecutive samples
+  that share a stack prefix, loadable in ``chrome://tracing`` and
+  Perfetto.
+
+Use as a context manager, or via ``--profile`` on any CLI subcommand
+and ``/v1/profile?seconds=N`` on a live server.
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+
+from . import metrics as _metrics
+
+#: Default seconds between samples: 5 ms = 200 Hz.
+DEFAULT_INTERVAL = 0.005
+
+
+def _frame_label(frame):
+    """``function (module.py:line-of-def)`` — stable per function."""
+    code = frame.f_code
+    return "%s (%s:%d)" % (code.co_name,
+                           os.path.basename(code.co_filename),
+                           code.co_firstlineno)
+
+
+def _stack_of(frame):
+    """Outermost-first tuple of frame labels for one thread."""
+    labels = []
+    while frame is not None:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler.
+
+    :param interval: seconds between samples.
+    :param registry: metrics registry credited with
+        ``obs.profile.samples``; ambient when None.
+    """
+
+    def __init__(self, interval=DEFAULT_INTERVAL, registry=None):
+        if interval <= 0:
+            raise ValueError("interval must be positive, got %r"
+                             % (interval,))
+        self.interval = float(interval)
+        self._registry = registry
+        #: list of ``(t, {tid: stack tuple})`` in sample order.
+        self._samples = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = None
+        self._t0 = None
+        self._t1 = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self):
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._t0 = time.time()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.interval * 10 + 1.0)
+        self._t1 = time.time()
+        reg = (self._registry if self._registry is not None
+               else _metrics.registry())
+        reg.counter(_metrics.OBS_PROFILE_SAMPLES).inc(len(self._samples))
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+    def _run(self):
+        own = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            now = time.time()
+            stacks = {}
+            for tid, frame in sys._current_frames().items():
+                if tid == own:
+                    continue
+                stack = _stack_of(frame)
+                if stack:
+                    stacks[tid] = stack
+            if stacks:
+                with self._lock:
+                    self._samples.append((now, stacks))
+
+    # -- accessors ---------------------------------------------------------
+    def sample_count(self):
+        with self._lock:
+            return len(self._samples)
+
+    def duration(self):
+        """Wall seconds covered by the run (0 before :meth:`stop`)."""
+        if self._t0 is None:
+            return 0.0
+        return max(0.0, (self._t1 or time.time()) - self._t0)
+
+    # -- collapsed stacks --------------------------------------------------
+    def collapsed_counts(self):
+        """``{stack tuple: sample count}`` across all threads."""
+        counts = {}
+        with self._lock:
+            for __t, stacks in self._samples:
+                for stack in stacks.values():
+                    counts[stack] = counts.get(stack, 0) + 1
+        return counts
+
+    def collapsed(self):
+        """Collapsed-stack text: ``frame;frame;frame count`` per line,
+        most-sampled first — feed to flamegraph.pl / speedscope."""
+        counts = self.collapsed_counts()
+        lines = [";".join(stack) + " %d" % count
+                 for stack, count in sorted(counts.items(),
+                                            key=lambda kv: -kv[1])]
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def write_collapsed(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.collapsed())
+
+    # -- Chrome flame chart ------------------------------------------------
+    def chrome_events(self):
+        """Flame-chart ``X`` events: consecutive samples sharing a stack
+        prefix merge into one slice per frame, per thread."""
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
+            return []
+        base = samples[0][0]
+        pid = os.getpid()
+        events = [{"ph": "M", "name": "process_name", "pid": pid,
+                   "tid": 0, "args": {"name": "repro profile"}}]
+        by_tid = {}
+        for t, stacks in samples:
+            for tid, stack in stacks.items():
+                by_tid.setdefault(tid, []).append((t, stack))
+        for tid, rows in sorted(by_tid.items()):
+            open_frames = []  # parallel lists: label, start time
+            prev_t = rows[0][0]
+
+            def close_from(depth, end):
+                while len(open_frames) > depth:
+                    label, start = open_frames.pop()
+                    events.append({
+                        "name": label, "cat": "sample", "ph": "X",
+                        "ts": (start - base) * 1e6,
+                        "dur": max(0.0, (end - start) * 1e6),
+                        "pid": pid, "tid": tid, "args": {},
+                    })
+
+            for t, stack in rows:
+                # A gap wider than 4 sampling intervals means the thread
+                # was missing from samples in between; close everything.
+                if t - prev_t > self.interval * 4:
+                    close_from(0, prev_t + self.interval)
+                common = 0
+                while (common < len(open_frames) and common < len(stack)
+                       and open_frames[common][0] == stack[common]):
+                    common += 1
+                close_from(common, t)
+                for label in stack[common:]:
+                    open_frames.append((label, t))
+                prev_t = t
+            close_from(0, prev_t + self.interval)
+        events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
+        return events
+
+    def write_chrome(self, path):
+        payload = {"traceEvents": self.chrome_events(),
+                   "displayTimeUnit": "ms",
+                   "otherData": {"producer": "repro.obs.profile",
+                                 "interval_s": self.interval}}
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+
+    def report(self):
+        """Summary dict (sample count, duration, top stacks) for JSON
+        transports like ``/v1/profile``."""
+        counts = self.collapsed_counts()
+        total = sum(counts.values())
+        top = sorted(counts.items(), key=lambda kv: -kv[1])[:20]
+        return {
+            "samples": self.sample_count(),
+            "stacks": len(counts),
+            "duration_s": self.duration(),
+            "interval_s": self.interval,
+            "top": [{"stack": list(stack), "count": count,
+                     "share": (count / total if total else 0.0)}
+                    for stack, count in top],
+        }
+
+    def __repr__(self):
+        return "SamplingProfiler(%d samples @ %.1fms)" % (
+            self.sample_count(), self.interval * 1e3)

@@ -1,0 +1,251 @@
+"""Declarative SLOs evaluated from the metric time series.
+
+An :class:`SLO` states an objective over a trailing window — "99% of
+requests complete under 250 ms" (``latency:p99:250``) or "99.9% of
+requests succeed" (``errors:99.9``). The :class:`SLOEvaluator` diffs
+the oldest and newest :class:`~repro.obs.timeseries.TimeSeriesRecorder`
+samples inside the window (counter deltas, histogram bucket deltas — a
+window-local view no cumulative snapshot can give) and reports a **burn
+rate** per objective:
+
+    burn = bad_fraction / allowed_bad_fraction
+
+1.0 means the error budget is being spent exactly as fast as the
+objective allows; above 1.0 the objective is being breached — the
+overload signal ``repro.serve`` surfaces in ``/v1/stats`` and the
+``serve.slo.*`` gauges.
+
+Windowed bucket deltas have no meaningful min/max, so observed
+quantiles are computed through :meth:`Histogram.quantile`'s
+boundary-edge fallback path.
+"""
+
+from . import metrics as _metrics
+
+#: Default trailing evaluation window, seconds.
+DEFAULT_WINDOW_S = 60.0
+
+#: Burn-rate ceiling: reported for a zero-width budget being breached,
+#: and capping ordinary ratios. Large finite rather than ``inf`` so
+#: results stay strictly-JSON-serializable end to end.
+INFINITE_BURN = 1e9
+
+
+class SLO:
+    """One parsed objective.
+
+    :param kind: ``"latency"`` or ``"errors"``.
+    :param name: stable identifier used in gauge names and reports.
+    :param good_target: required fraction of good events (0..1).
+    :param threshold_ms: latency cut-off (latency kind only).
+    :param window_s: trailing evaluation window.
+    :param histogram: latency histogram metric name.
+    :param total_counter / bad_counter: error-ratio counter names.
+    """
+
+    __slots__ = ("kind", "name", "good_target", "threshold_ms",
+                 "window_s", "histogram", "total_counter", "bad_counter")
+
+    def __init__(self, kind, name, good_target, threshold_ms=None,
+                 window_s=DEFAULT_WINDOW_S,
+                 histogram=_metrics.SERVE_LATENCY_MS,
+                 total_counter=_metrics.SERVE_REQUESTS,
+                 bad_counter=_metrics.SERVE_ERRORS):
+        if kind not in ("latency", "errors"):
+            raise ValueError("SLO kind must be latency|errors, got %r"
+                             % (kind,))
+        if not 0.0 < good_target < 1.0:
+            raise ValueError("SLO target must be in (0, 1), got %r"
+                             % (good_target,))
+        if kind == "latency" and (threshold_ms is None
+                                  or threshold_ms <= 0):
+            raise ValueError("latency SLO needs a positive threshold")
+        self.kind = kind
+        self.name = name
+        self.good_target = float(good_target)
+        self.threshold_ms = (None if threshold_ms is None
+                             else float(threshold_ms))
+        self.window_s = float(window_s)
+        self.histogram = histogram
+        self.total_counter = total_counter
+        self.bad_counter = bad_counter
+
+    @property
+    def budget(self):
+        """Allowed bad fraction (the error budget), e.g. 0.01 for p99."""
+        return 1.0 - self.good_target
+
+    def describe(self):
+        if self.kind == "latency":
+            return "%g%% of requests under %gms over %gs" % (
+                self.good_target * 100.0, self.threshold_ms,
+                self.window_s)
+        return "%g%% of requests succeed over %gs" % (
+            self.good_target * 100.0, self.window_s)
+
+    def __repr__(self):
+        return "SLO(%s: %s)" % (self.name, self.describe())
+
+
+def parse_slo(spec):
+    """Parse a CLI ``--slo`` spec into an :class:`SLO`.
+
+    Grammar (window optional, seconds):
+
+    * ``latency:p99:250`` / ``latency:p95:50:30`` — pN names both the
+      objective quantile and the good-fraction target (p99 -> 99%);
+    * ``errors:99.9`` / ``errors:99:300`` — availability percentage.
+    """
+    parts = [p.strip() for p in str(spec).split(":")]
+    kind = parts[0].lower() if parts else ""
+    try:
+        if kind == "latency" and len(parts) in (3, 4):
+            if not parts[1].lower().startswith("p"):
+                raise ValueError
+            pct = float(parts[1][1:])
+            threshold = float(parts[2])
+            window = float(parts[3]) if len(parts) == 4 \
+                else DEFAULT_WINDOW_S
+            name = "latency_%s_under_%gms" % (parts[1].lower(),
+                                              threshold)
+            return SLO("latency", name, pct / 100.0,
+                       threshold_ms=threshold, window_s=window)
+        if kind == "errors" and len(parts) in (2, 3):
+            pct = float(parts[1])
+            window = float(parts[2]) if len(parts) == 3 \
+                else DEFAULT_WINDOW_S
+            return SLO("errors", "availability_%g" % pct, pct / 100.0,
+                       window_s=window)
+    except ValueError:
+        pass
+    raise ValueError(
+        "bad SLO spec %r: expected latency:pN:threshold_ms[:window_s] "
+        "or errors:availability_pct[:window_s]" % (spec,))
+
+
+#: Server defaults: p99 under 500 ms, 99.9%% availability, 60 s window.
+DEFAULT_SLOS = ("latency:p99:500", "errors:99.9")
+
+
+def fraction_under(boundaries, buckets, threshold):
+    """Fraction of bucketed observations at or below *threshold*.
+
+    Linear interpolation inside the containing bucket; the overflow
+    bucket counts as *above* any finite threshold (conservative).
+    Returns None when the buckets are empty.
+    """
+    total = sum(buckets)
+    if total == 0:
+        return None
+    under = 0.0
+    for index, count in enumerate(buckets):
+        if count == 0:
+            continue
+        if index >= len(boundaries):
+            break  # overflow bucket: above threshold
+        hi = boundaries[index]
+        lo = boundaries[index - 1] if index > 0 else min(0.0, hi)
+        if hi <= threshold:
+            under += count
+        elif lo < threshold:
+            under += count * (threshold - lo) / (hi - lo)
+    return under / total
+
+
+class SLOEvaluator:
+    """Evaluates objectives against a recorder; maintains gauges.
+
+    Each :meth:`evaluate` sets ``serve.slo.burn_rate.<name>`` per
+    objective and ``serve.slo.worst_burn_rate`` overall, and counts a
+    ``serve.slo.breaches`` event on each ok->breach transition.
+    """
+
+    def __init__(self, objectives, recorder, registry=None):
+        self.objectives = list(objectives)
+        self.recorder = recorder
+        self._registry = registry
+        self._was_ok = {slo.name: True for slo in self.objectives}
+
+    def _reg(self):
+        return (self._registry if self._registry is not None
+                else _metrics.registry())
+
+    def _window_delta(self, slo):
+        """(oldest, newest) samples spanning the objective's window."""
+        window = self.recorder.samples(window_s=slo.window_s)
+        if len(window) < 2:
+            return None, None
+        return window[0], window[-1]
+
+    def _evaluate_one(self, slo):
+        result = {"name": slo.name, "kind": slo.kind,
+                  "objective": slo.describe(),
+                  "window_s": slo.window_s, "budget": slo.budget,
+                  "events": 0, "bad_fraction": None,
+                  "burn_rate": None, "ok": True}
+        first, last = self._window_delta(slo)
+        if first is None:
+            return result  # not enough history: vacuously ok
+        if slo.kind == "errors":
+            total = (last["counters"].get(slo.total_counter, 0)
+                     - first["counters"].get(slo.total_counter, 0))
+            bad = (last["counters"].get(slo.bad_counter, 0)
+                   - first["counters"].get(slo.bad_counter, 0))
+            if total <= 0:
+                return result
+            bad_fraction = max(0.0, min(1.0, bad / total))
+            result["events"] = total
+        else:
+            newest = last["histograms"].get(slo.histogram)
+            oldest = first["histograms"].get(slo.histogram)
+            if newest is None:
+                return result
+            boundaries = newest["boundaries"]
+            buckets = list(newest["buckets"])
+            if oldest is not None \
+                    and oldest["boundaries"] == boundaries:
+                for index, count in enumerate(oldest["buckets"]):
+                    buckets[index] -= count
+            total = sum(buckets)
+            if total <= 0:
+                return result
+            good = fraction_under(boundaries, buckets,
+                                  slo.threshold_ms)
+            bad_fraction = 1.0 - (good or 0.0)
+            result["events"] = total
+            # Observed quantile of the window, via the bucket-only
+            # (min/max-free) interpolation path.
+            delta = _metrics.Histogram(boundaries)
+            delta.buckets = buckets
+            delta.count = total
+            result["observed_quantile_ms"] = delta.quantile(
+                slo.good_target)
+        result["bad_fraction"] = bad_fraction
+        if slo.budget > 0:
+            result["burn_rate"] = min(bad_fraction / slo.budget,
+                                      INFINITE_BURN)
+        else:
+            result["burn_rate"] = (0.0 if bad_fraction == 0
+                                   else INFINITE_BURN)
+        result["ok"] = result["burn_rate"] <= 1.0
+        return result
+
+    def evaluate(self):
+        """Evaluate every objective; returns the result dicts."""
+        reg = self._reg()
+        results = [self._evaluate_one(slo) for slo in self.objectives]
+        worst = 0.0
+        for result in results:
+            burn = result["burn_rate"]
+            if burn is None:
+                continue
+            reg.gauge("%s.%s" % (_metrics.SERVE_SLO_BURN_RATE,
+                                 result["name"])).set(
+                min(burn, 1e9))
+            worst = max(worst, burn)
+            if not result["ok"] and self._was_ok.get(result["name"],
+                                                     True):
+                reg.counter(_metrics.SERVE_SLO_BREACHES).inc()
+            self._was_ok[result["name"]] = result["ok"]
+        reg.gauge(_metrics.SERVE_SLO_WORST).set(min(worst, 1e9))
+        return results

@@ -1,0 +1,206 @@
+"""Time-resolved metric sampling over a :class:`MetricsRegistry`.
+
+End-of-run snapshots answer "what happened"; a live service needs
+"what is happening *now*". :class:`TimeSeriesRecorder` samples a
+registry on a wall-clock interval into a bounded ring buffer, deriving
+per-second **rates** from counter deltas and **p50/p95/p99** from
+histogram state, so the server can expose `/v1/timeseries` (JSON),
+`/metrics` (Prometheus text of the latest state) and the SLO evaluator
+(:mod:`repro.obs.slo`) can compute windowed burn rates — all without
+any external dependency.
+
+Samples carry *cumulative* counter values and histogram buckets next to
+the derived rates: cumulative state is what windowed consumers diff,
+and it makes the final sample's quantiles bit-identical to calling
+:meth:`Histogram.quantile` on the registry directly (the property
+``benchmarks/perf_serve.py`` cross-checks).
+
+The recorder also journals every sample to a JSONL file when
+*jsonl_path* is set — one self-contained JSON object per line, suitable
+for offline analysis and CI artifacts.
+"""
+
+import json
+import threading
+import time
+
+from . import metrics as _metrics
+
+#: Schema tag stamped into every flushed JSONL row.
+TS_SCHEMA = "repro.obs.ts/1"
+
+#: Quantiles recorded per histogram in every sample.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _quantile_key(q):
+    """``0.95 -> "p95"``, ``0.5 -> "p50"``, ``0.999 -> "p99.9"``."""
+    pct = q * 100.0
+    if abs(pct - round(pct)) < 1e-9:
+        return "p%d" % round(pct)
+    return ("p%g" % pct)
+
+
+class TimeSeriesRecorder:
+    """Bounded ring buffer of periodic metric samples.
+
+    :param registry: the :class:`MetricsRegistry` to sample; when None
+        the ambient registry is resolved at every sample (so CLI runs
+        inside :func:`repro.obs.metrics.scoped` just work).
+    :param interval: target seconds between background samples.
+    :param capacity: ring size; the oldest sample is dropped (and
+        ``obs.ts.dropped`` incremented) once full.
+    :param jsonl_path: when set, :meth:`flush` appends newly taken
+        samples here, one JSON object per line.
+    :param quantiles: quantiles derived per histogram in each sample.
+    """
+
+    def __init__(self, registry=None, interval=1.0, capacity=600,
+                 jsonl_path=None, quantiles=DEFAULT_QUANTILES):
+        if interval <= 0:
+            raise ValueError("interval must be positive, got %r"
+                             % (interval,))
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2, got %r"
+                             % (capacity,))
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.jsonl_path = jsonl_path
+        self.quantiles = tuple(quantiles)
+        self._registry = registry
+        self._samples = []
+        self._unflushed = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = None
+
+    # -- sampling ----------------------------------------------------------
+    def _target(self):
+        reg = self._registry
+        return reg if reg is not None else _metrics.registry()
+
+    def sample_now(self):
+        """Take one sample immediately; returns the sample dict."""
+        reg = self._target()
+        now = time.time()
+        snapshot = reg.snapshot()
+        sample = {
+            "schema": TS_SCHEMA,
+            "t": now,
+            "counters": dict(snapshot.get("counters", {})),
+            "gauges": dict(snapshot.get("gauges", {})),
+            "rates": {},
+            "histograms": {},
+            "quantiles": {},
+        }
+        for name, state in snapshot.get("histograms", {}).items():
+            sample["histograms"][name] = {
+                "count": state["count"], "sum": state["sum"],
+                "min": state.get("min"), "max": state.get("max"),
+                "boundaries": list(state.get("boundaries", ())),
+                "buckets": list(state.get("buckets", ())),
+            }
+            hist = reg.get(name)
+            if hist is not None and hist.count:
+                sample["quantiles"][name] = {
+                    _quantile_key(q): hist.quantile(q)
+                    for q in self.quantiles}
+        with self._lock:
+            prev = self._samples[-1] if self._samples else None
+            if prev is not None:
+                dt = now - prev["t"]
+                if dt > 0:
+                    for name, value in sample["counters"].items():
+                        delta = value - prev["counters"].get(name, 0)
+                        sample["rates"][name] = delta / dt
+            self._samples.append(sample)
+            self._unflushed.append(sample)
+            if len(self._samples) > self.capacity:
+                del self._samples[0]
+                self._dropped += 1
+                reg.counter(_metrics.OBS_TS_DROPPED).inc()
+        reg.counter(_metrics.OBS_TS_SAMPLES).inc()
+        return sample
+
+    # -- ring access -------------------------------------------------------
+    def samples(self, window_s=None):
+        """Samples held in the ring, oldest first.
+
+        With *window_s*, only samples whose timestamp falls within the
+        trailing window (measured from the newest sample) are returned.
+        """
+        with self._lock:
+            out = list(self._samples)
+        if window_s is not None and out:
+            horizon = out[-1]["t"] - float(window_s)
+            out = [s for s in out if s["t"] >= horizon]
+        return out
+
+    def latest(self):
+        """The most recent sample, or None before the first one."""
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def dropped(self):
+        """Samples evicted from the ring so far."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self):
+        with self._lock:
+            return len(self._samples)
+
+    # -- JSONL journal -----------------------------------------------------
+    def flush(self):
+        """Append samples taken since the last flush to *jsonl_path*.
+
+        No-op without a path. Returns the number of rows written.
+        """
+        if self.jsonl_path is None:
+            return 0
+        with self._lock:
+            pending, self._unflushed = self._unflushed, []
+        if not pending:
+            return 0
+        with open(self.jsonl_path, "a") as handle:
+            for sample in pending:
+                handle.write(json.dumps(sample))
+                handle.write("\n")
+        self._target().counter(_metrics.OBS_TS_FLUSHES).inc()
+        return len(pending)
+
+    # -- background thread -------------------------------------------------
+    def start(self):
+        """Start the background sampling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-ts", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self):
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample_now()
+                self.flush()
+            except Exception:  # pragma: no cover - keep sampling alive
+                pass
+
+    def stop(self, final_sample=True):
+        """Stop sampling; take one last sample and flush by default.
+
+        The final sample makes shutdown state (drained request counts,
+        last latency quantiles) visible to offline analysis even when
+        the process exits between interval ticks.
+        """
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.interval + 5.0)
+        if final_sample:
+            self.sample_now()
+        self.flush()
+        return self

@@ -20,6 +20,17 @@ its result; the parent calls :func:`adopt` while its submitting span is
 still open, re-parenting the worker trees under it. Wall-clock starts
 (``time.time``) make worker timestamps comparable across processes.
 
+Beyond process pools, spans carry **distributed trace identities**:
+every span has a ``trace_id`` (shared by the whole request tree, across
+processes and hosts) and a ``span_id``, plus a ``parent_id`` link. A
+remote hop — an HTTP request to :mod:`repro.serve`, a task dict shipped
+to a pool worker — forwards ``(trace_id, span_id)`` as a **propagation
+context** (:func:`propagation_context`, the ``X-Repro-Trace`` header's
+payload); the receiving side re-enters it with :func:`propagated`, so
+its root spans become children of the remote caller and one
+client-issued query yields a single connected span tree stitched from
+every process that touched it.
+
 Export formats:
 
 * :meth:`Tracer.write_chrome` — Chrome trace format JSON, loadable in
@@ -35,17 +46,26 @@ import threading
 import time
 from contextlib import contextmanager
 
-#: Bump when the serialized span layout changes.
-TRACE_SCHEMA = 1
+#: Bump when the serialized span layout changes. 2 added the
+#: ``trace_id``/``span_id``/``parent_id`` identity fields (schema-1
+#: trees still load: identities are regenerated on adoption).
+TRACE_SCHEMA = 2
+
+
+def new_id():
+    """A fresh 16-hex-digit trace/span identifier."""
+    return os.urandom(8).hex()
 
 
 class Span:
     """One timed, named, attributed region of a trace tree."""
 
-    __slots__ = ("name", "attrs", "t0", "dur", "pid", "tid", "children")
+    __slots__ = ("name", "attrs", "t0", "dur", "pid", "tid", "children",
+                 "trace_id", "span_id", "parent_id")
 
     def __init__(self, name, attrs=None, t0=None, dur=0.0, pid=None,
-                 tid=None, children=None):
+                 tid=None, children=None, trace_id=None, span_id=None,
+                 parent_id=None):
         self.name = name
         self.attrs = dict(attrs or {})
         self.t0 = time.time() if t0 is None else t0
@@ -53,11 +73,16 @@ class Span:
         self.pid = os.getpid() if pid is None else pid
         self.tid = threading.get_ident() if tid is None else tid
         self.children = list(children or [])
+        self.span_id = span_id if span_id is not None else new_id()
+        self.trace_id = trace_id if trace_id is not None else self.span_id
+        self.parent_id = parent_id
 
     def to_dict(self):
         """JSON-serializable tree — the worker -> parent wire format."""
         return {"name": self.name, "attrs": self.attrs, "t0": self.t0,
                 "dur": self.dur, "pid": self.pid, "tid": self.tid,
+                "trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id,
                 "children": [c.to_dict() for c in self.children]}
 
     @classmethod
@@ -65,8 +90,25 @@ class Span:
         return cls(name=data["name"], attrs=data.get("attrs"),
                    t0=data["t0"], dur=data.get("dur", 0.0),
                    pid=data.get("pid"), tid=data.get("tid"),
+                   trace_id=data.get("trace_id"),
+                   span_id=data.get("span_id"),
+                   parent_id=data.get("parent_id"),
                    children=[cls.from_dict(c)
                              for c in data.get("children", ())])
+
+    def link_children(self):
+        """Stamp this subtree's parent/trace links from its structure.
+
+        Children lacking an explicit identity inherit this span's
+        ``trace_id`` and point their ``parent_id`` here — used when
+        adopting schema-1 trees that predate span identities.
+        """
+        for child in self.children:
+            if child.parent_id is None:
+                child.parent_id = self.span_id
+            if child.trace_id == child.span_id:
+                child.trace_id = self.trace_id
+            child.link_children()
 
     def walk(self, depth=0, parent=None):
         """Yield ``(span, depth, parent)`` over this subtree, pre-order."""
@@ -102,8 +144,21 @@ class Tracer:
         return [root.to_dict() for root in self.roots]
 
     def adopt(self, trees, parent=None):
-        """Attach serialized span *trees* under *parent* (or as roots)."""
+        """Attach serialized span *trees* under *parent* (or as roots).
+
+        Adopted roots that were not produced under a propagated context
+        (no ``parent_id`` of their own) are stitched into *parent*'s
+        trace: they inherit its ``trace_id`` and point their
+        ``parent_id`` at it. Roots that already carry a remote identity
+        (the worker ran inside :func:`propagated`) keep it — their links
+        already name the right parent.
+        """
         spans = [Span.from_dict(tree) for tree in trees]
+        for span_ in spans:
+            if parent is not None and span_.parent_id is None:
+                span_.parent_id = parent.span_id
+                span_.trace_id = parent.trace_id
+            span_.link_children()
         if parent is None:
             self.roots.extend(spans)
         else:
@@ -140,11 +195,16 @@ class Tracer:
                            "tid": 0, "args": {"name": label}})
         timed = []
         for s in spans:
+            args = dict(s.attrs)
+            args["trace_id"] = s.trace_id
+            args["span_id"] = s.span_id
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
             timed.append({
                 "name": s.name, "cat": "repro", "ph": "X",
                 "ts": max(0.0, (s.t0 - base) * 1e6),
                 "dur": max(0.0, s.dur * 1e6),
-                "pid": s.pid, "tid": s.tid, "args": dict(s.attrs),
+                "pid": s.pid, "tid": s.tid, "args": args,
             })
         timed.sort(key=lambda e: e["ts"])
         return events + timed
@@ -168,6 +228,8 @@ class Tracer:
                     "name": span_.name, "t0": span_.t0, "dur": span_.dur,
                     "pid": span_.pid, "tid": span_.tid, "depth": depth,
                     "parent": parent.name if parent else None,
+                    "trace_id": span_.trace_id, "span_id": span_.span_id,
+                    "parent_id": span_.parent_id,
                     "attrs": span_.attrs,
                 }))
                 handle.write("\n")
@@ -182,6 +244,84 @@ class Tracer:
 
 #: Active ``(tracer, innermost open span | None)``; None = tracing off.
 _ACTIVE = contextvars.ContextVar("repro_obs_trace", default=None)
+
+#: Remote propagation context: ``(trace_id, parent_span_id)`` carried in
+#: from another process/host; new root spans attach to it.
+_REMOTE = contextvars.ContextVar("repro_obs_trace_remote", default=None)
+
+#: HTTP header carrying a propagation context between processes.
+TRACE_HEADER = "X-Repro-Trace"
+
+
+def propagation_context():
+    """The current span's identity for a remote hop, or None.
+
+    Returns ``{"trace_id", "span_id"}`` of the innermost open span —
+    the payload a client puts in the ``X-Repro-Trace`` header, or a
+    parent stamps into a worker's task dict (``task["trace"]``) —
+    falling back to the inbound remote context when no span is open.
+    """
+    active = _ACTIVE.get()
+    if active is not None and active[1] is not None:
+        span_ = active[1]
+        return {"trace_id": span_.trace_id, "span_id": span_.span_id}
+    remote = _REMOTE.get()
+    if remote is not None:
+        return {"trace_id": remote[0], "span_id": remote[1]}
+    return None
+
+
+@contextmanager
+def propagated(context):
+    """Adopt a remote propagation *context* for a scope.
+
+    *context* is a :func:`propagation_context` dict (or None / malformed
+    — both no-ops, so receivers can pass untrusted input straight in).
+    Root spans opened inside the scope join the remote caller's trace:
+    same ``trace_id``, ``parent_id`` pointing at the caller's span.
+    """
+    trace_id = parent_id = None
+    if isinstance(context, dict):
+        trace_id = context.get("trace_id")
+        parent_id = context.get("span_id")
+    if not (isinstance(trace_id, str) and isinstance(parent_id, str)):
+        yield
+        return
+    token = _REMOTE.set((trace_id, parent_id))
+    try:
+        yield
+    finally:
+        _REMOTE.reset(token)
+
+
+def format_traceparent(context=None):
+    """``X-Repro-Trace`` header value of *context* (default: ambient).
+
+    Returns ``"<trace_id>-<span_id>"`` or None when there is nothing to
+    propagate.
+    """
+    if context is None:
+        context = propagation_context()
+    if not context:
+        return None
+    return "%s-%s" % (context["trace_id"], context["span_id"])
+
+
+def parse_traceparent(value):
+    """Parse an ``X-Repro-Trace`` header into a propagation context.
+
+    Returns ``{"trace_id", "span_id"}`` or None for missing/malformed
+    values (propagation is best-effort; bad headers never fail a
+    request).
+    """
+    if not value or not isinstance(value, str):
+        return None
+    trace_id, sep, span_id = value.strip().partition("-")
+    if not sep or not trace_id or not span_id:
+        return None
+    if not all(c in "0123456789abcdef" for c in trace_id + span_id):
+        return None
+    return {"trace_id": trace_id, "span_id": span_id}
 
 
 def active_tracer():
@@ -226,6 +366,13 @@ def span(name, **attrs):
         return
     tracer, parent = active
     s = Span(name, attrs)
+    if parent is not None:
+        s.trace_id = parent.trace_id
+        s.parent_id = parent.span_id
+    else:
+        remote = _REMOTE.get()
+        if remote is not None:
+            s.trace_id, s.parent_id = remote
     token = _ACTIVE.set((tracer, s))
     start = time.perf_counter()
     try:

@@ -158,8 +158,64 @@ def instrumentation_report_text(instr, cache_stats=None):
     return "\n".join(lines)
 
 
+#: Metric-family prefixes rendered first, in this order; anything else
+#: follows alphabetically.
+_METRIC_GROUPS = ("cache", "serve", "sta", "synth", "sim", "obs")
+
+
+def _metric_unit(name):
+    """Display unit of a metric, inferred from its name ('' if none)."""
+    if name.endswith("_ms") or ".latency" in name:
+        return "ms"
+    if "bytes" in name:
+        return "B"
+    if name.endswith("_ps"):
+        return "ps"
+    if name.endswith("_um2"):
+        return "um2"
+    if name.endswith("_nw"):
+        return "nW"
+    return ""
+
+
+def _metric_value(value, unit):
+    if isinstance(value, float):
+        text = "%.3f" % value if abs(value) < 1e4 else "%.4g" % value
+    else:
+        text = str(value)
+    return "%s %s" % (text, unit) if unit else text
+
+
+def _histogram_line(name, state):
+    """One line per histogram: count, mean and p50/p95/p99."""
+    from .obs.metrics import DEFAULT_BOUNDARIES, Histogram
+
+    hist = Histogram(state.get("boundaries", DEFAULT_BOUNDARIES))
+    hist.merge_snapshot(state)
+    if hist.count == 0:
+        return "%s  (empty)" % name
+    unit = _metric_unit(name)
+
+    def fmt(value):
+        return _metric_value(float(value), unit)
+
+    return ("%s  count=%d mean=%s p50=%s p95=%s p99=%s min=%s max=%s"
+            % (name, hist.count, fmt(hist.mean),
+               fmt(hist.quantile(0.50)), fmt(hist.quantile(0.95)),
+               fmt(hist.quantile(0.99)),
+               fmt(hist.min if hist.min is not None
+                   else hist.quantile(0.0)),
+               fmt(hist.max if hist.max is not None
+                   else hist.quantile(1.0))))
+
+
 def metrics_report_text(snapshot):
-    """Render a metrics-registry snapshot as aligned text tables.
+    """Render a metrics-registry snapshot as grouped, aligned text.
+
+    Metric families are grouped by name prefix (``cache.*``,
+    ``serve.*``, ``sta.*``, ``synth.*``, ...) in a stable order,
+    histograms render count/mean/p50/p95/p99 on one line each, and
+    latency/bytes/area rows carry their units.
 
     Parameters
     ----------
@@ -176,21 +232,39 @@ def metrics_report_text(snapshot):
     if not (counters or gauges or histograms):
         lines.append("  (no metrics recorded)")
         return "\n".join(lines)
-    rows = [[name, value] for name, value in sorted(counters.items())]
-    rows += [[name, float(value)] for name, value in sorted(gauges.items())]
-    if rows:
-        lines.append(format_table(["name", "value"], rows))
-    if histograms:
-        lines.append(format_table(
-            ["histogram", "count", "mean", "min", "max"],
-            [[name, h["count"],
-              h["sum"] / h["count"] if h["count"] else 0.0,
-              h["min"] if h["min"] is not None else 0.0,
-              h["max"] if h["max"] is not None else 0.0]
-             for name, h in sorted(histograms.items())]))
+
+    def prefix_of(name):
+        return name.split(".", 1)[0]
+
+    every = set(counters) | set(gauges) | set(histograms)
+    prefixes = sorted(
+        {prefix_of(name) for name in every},
+        key=lambda p: (_METRIC_GROUPS.index(p) if p in _METRIC_GROUPS
+                       else len(_METRIC_GROUPS), p))
+    for prefix in prefixes:
+        lines.append("")
+        lines.append("%s.*" % prefix)
+        rows = []
+        for name in sorted(n for n in counters
+                           if prefix_of(n) == prefix):
+            rows.append([name, _metric_value(counters[name],
+                                             _metric_unit(name)),
+                         "counter"])
+        for name in sorted(n for n in gauges if prefix_of(n) == prefix):
+            rows.append([name, _metric_value(float(gauges[name]),
+                                             _metric_unit(name)),
+                         "gauge"])
+        if rows:
+            for line in format_table(["name", "value", "kind"],
+                                     rows).splitlines():
+                lines.append("  " + line)
+        for name in sorted(n for n in histograms
+                           if prefix_of(n) == prefix):
+            lines.append("  " + _histogram_line(name, histograms[name]))
     hits = counters.get("cache.hits", 0)
     misses = counters.get("cache.misses", 0)
     if hits or misses:
+        lines.append("")
         lines.append("cache hit ratio: %.0f%% (%d read / %d written "
                      "bytes)"
                      % (100.0 * hits / (hits + misses),

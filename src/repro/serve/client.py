@@ -7,11 +7,17 @@ iterator over streamed batch (chunked NDJSON) responses.
 :func:`http_request` is a synchronous one-shot helper over
 ``http.client`` for scripts that just want to poke an endpoint without
 an event loop.
+
+When tracing is active (:func:`repro.obs.trace.capture`), every request
+carries the caller's trace identity in the ``X-Repro-Trace`` header, so
+the server's spans — and its workers' — stitch into the client's trace.
 """
 
 import asyncio
 import http.client
 import json
+
+from ..obs import trace as obs_trace
 
 
 class ServeError(RuntimeError):
@@ -68,8 +74,12 @@ class ServeClient:
         head = ("%s %s HTTP/1.1\r\n"
                 "Host: %s:%d\r\n"
                 "Content-Type: application/json\r\n"
-                "Content-Length: %d\r\n\r\n"
+                "Content-Length: %d\r\n"
                 % (method, path, self.host, self.port, len(body)))
+        traceparent = obs_trace.format_traceparent()
+        if traceparent is not None:
+            head += "%s: %s\r\n" % (obs_trace.TRACE_HEADER, traceparent)
+        head += "\r\n"
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
         return reader
@@ -107,7 +117,12 @@ class ServeClient:
             body = await reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":
             await self.close()
-        decoded = json.loads(body) if body else None
+        if not body:
+            decoded = None
+        elif "json" in headers.get("content-type", "json"):
+            decoded = json.loads(body)
+        else:
+            decoded = body.decode("utf-8", "replace")
         if not 200 <= status < 300:
             raise ServeError(status, decoded)
         return decoded
@@ -133,6 +148,28 @@ class ServeClient:
 
     async def metrics(self):
         return await self.request("GET", "/v1/metrics")
+
+    async def prometheus(self):
+        """GET ``/metrics``; returns the Prometheus text (a str)."""
+        return await self.request("GET", "/metrics")
+
+    async def timeseries(self, window_s=None):
+        """GET ``/v1/timeseries`` (optionally a trailing window)."""
+        path = "/v1/timeseries"
+        if window_s is not None:
+            path += "?window_s=%g" % window_s
+        return await self.request("GET", path)
+
+    async def profile(self, seconds=1.0, fmt=None):
+        """GET ``/v1/profile`` — sample the server for *seconds*.
+
+        *fmt* ``"chrome"`` returns the flame-chart trace JSON instead
+        of the collapsed-stack summary report.
+        """
+        path = "/v1/profile?seconds=%g" % seconds
+        if fmt:
+            path += "&format=%s" % fmt
+        return await self.request("GET", path)
 
     async def characterize(self, query):
         """POST one query; returns the full response dict."""
@@ -177,15 +214,21 @@ def http_request(host, port, method, path, payload=None, timeout=30.0):
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         body = None if payload is None else json.dumps(payload)
-        conn.request(method, path, body=body,
-                     headers={"Content-Type": "application/json"})
+        headers = {"Content-Type": "application/json"}
+        traceparent = obs_trace.format_traceparent()
+        if traceparent is not None:
+            headers[obs_trace.TRACE_HEADER] = traceparent
+        conn.request(method, path, body=body, headers=headers)
         response = conn.getresponse()
         raw = response.read()
-        if "ndjson" in (response.getheader("Content-Type") or ""):
+        ctype = response.getheader("Content-Type") or ""
+        if "ndjson" in ctype:
             decoded = [json.loads(line) for line in raw.splitlines()
                        if line.strip()]
-        else:
+        elif "json" in ctype:
             decoded = json.loads(raw) if raw else None
+        else:
+            decoded = raw.decode("utf-8", "replace")
         return response.status, decoded
     finally:
         conn.close()

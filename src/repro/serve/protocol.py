@@ -26,6 +26,7 @@ tiers), ``"computed"`` (this request ran the characterization) or
 from ..core import specs
 from ..core.characterize import (component_key, make_point_task,
                                  scenario_specs)
+from ..obs.trace import TRACE_HEADER  # noqa: F401  (wire-format surface)
 
 #: Wire-format version, echoed in server responses.
 PROTOCOL_VERSION = 1

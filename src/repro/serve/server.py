@@ -33,26 +33,58 @@ Endpoints
     summary line.
 ``GET /v1/stats``
     Serving counters: requests, in-flight dedup hits, tier hit ratios,
-    queue depth, latency percentiles (p50/p95/p99), cache stats.
+    queue depth, latency percentiles (p50/p95/p99), cache stats, SLO
+    burn rates (the overload signal).
 ``GET /v1/metrics``
     Full :mod:`repro.obs.metrics` registry snapshot.
+``GET /metrics``
+    The same registry in Prometheus text exposition format, scrapable
+    by any Prometheus-compatible collector.
+``GET /v1/timeseries``
+    The :class:`~repro.obs.timeseries.TimeSeriesRecorder` ring —
+    periodic samples with counter rates and latency quantiles
+    (``?window_s=N`` trims to a trailing window).
+``GET /v1/profile?seconds=N``
+    Run the sampling profiler (:mod:`repro.obs.profile`) on the live
+    server for N seconds; returns collapsed stacks (or the Chrome
+    flame chart with ``&format=chrome``). One run at a time (409).
 ``POST /v1/shutdown``
     Graceful shutdown (acknowledged before the server stops).
+
+Every request is access-logged (trace id, peer, latency, tier/dedup
+outcome) on the ``repro.serve.access`` logger, and an inbound
+``X-Repro-Trace`` header stitches the request's spans — including the
+pool workers' — into the calling client's trace.
+
+Shutdown — signal-driven or ``--max-requests`` budget — **drains**:
+accepting stops, idle keep-alive connections close immediately,
+in-flight requests run to completion (bounded by *drain_grace_s*),
+and a final time-series sample is taken and flushed before exit.
 """
 
 import asyncio
+import contextvars
 import json
 import signal
 import time
+import urllib.parse
 from collections import OrderedDict
 
 from ..core import cache as cache_mod
 from ..core.characterize import _characterize_point, component_key
 from ..core.parallel import WorkerPool
-from ..obs import logs, metrics as obs_metrics, trace as obs_trace
+from ..obs import (logs, metrics as obs_metrics, profile as obs_profile,
+                   slo as obs_slo, timeseries as obs_timeseries,
+                   trace as obs_trace)
 from . import protocol
 
 _log = logs.get_logger("serve.server")
+
+#: Per-request tier/dedup outcome counts, shared with the point
+#: resolution tasks a request fans out (they inherit the request
+#: handler's context, and mutate the same dict).
+_REQ_SOURCES = contextvars.ContextVar("repro_serve_req_sources",
+                                      default=None)
 
 #: Reject request bodies beyond this size (queries are tiny).
 MAX_BODY_BYTES = 1 << 20
@@ -61,8 +93,8 @@ MAX_BODY_BYTES = 1 << 20
 TASK_MEMO_ENTRIES = 4096
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error"}
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 500: "Internal Server Error"}
 
 
 class _BadRequest(Exception):
@@ -111,11 +143,23 @@ class CharacterizationServer:
     dedup:
         Single-flight coalescing of identical in-flight misses; disable
         only to measure its effect (the benchmark's baseline).
+    ts_interval / ts_capacity / ts_jsonl:
+        Time-series sampling cadence (seconds), ring size, and optional
+        JSONL journal path.
+    slos:
+        Iterable of SLO specs (:func:`repro.obs.slo.parse_slo` strings
+        or :class:`~repro.obs.slo.SLO` objects). None enables the
+        defaults (p99 < 500 ms, 99.9% availability); an empty iterable
+        disables SLO evaluation.
+    drain_grace_s:
+        Seconds shutdown waits for in-flight requests before
+        force-closing their connections.
     """
 
     def __init__(self, cache, library=None, host="127.0.0.1", port=0,
                  workers=None, shards=None, mem_entries=None, dedup=True,
-                 max_requests=None):
+                 max_requests=None, ts_interval=1.0, ts_capacity=600,
+                 ts_jsonl=None, slos=None, drain_grace_s=10.0):
         self.pool = WorkerPool(workers)
         if isinstance(cache, cache_mod.CharacterizationCache):
             self.cache = cache
@@ -131,15 +175,27 @@ class CharacterizationServer:
         self.port = port
         self.dedup = bool(dedup)
         self.max_requests = max_requests
+        self.ts_interval = float(ts_interval)
+        self.ts_capacity = int(ts_capacity)
+        self.ts_jsonl = ts_jsonl
+        self.slos = slos
+        self.drain_grace_s = float(drain_grace_s)
         self._served = 0
         self._inflight = {}
         self._task_memo = OrderedDict()
         self._queue_depth = 0
         self._connections = {}
+        self._busy = set()
+        self._draining = False
         self._server = None
         self._shutdown = None
         self._registry = None
         self._tracer = None
+        self.recorder = None
+        self._slo_eval = None
+        self._slo_results = []
+        self._ts_task = None
+        self._profiling = False
         self.started_unix = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -148,7 +204,19 @@ class CharacterizationServer:
         self._registry = obs_metrics.registry()
         self._tracer = obs_trace.active_tracer()
         self._shutdown = asyncio.Event()
+        self._draining = False
         self.started_unix = time.time()
+        self.recorder = obs_timeseries.TimeSeriesRecorder(
+            registry=self._registry, interval=self.ts_interval,
+            capacity=self.ts_capacity, jsonl_path=self.ts_jsonl)
+        specs = obs_slo.DEFAULT_SLOS if self.slos is None else self.slos
+        objectives = [spec if isinstance(spec, obs_slo.SLO)
+                      else obs_slo.parse_slo(spec) for spec in specs]
+        self._slo_eval = (obs_slo.SLOEvaluator(
+            objectives, self.recorder, registry=self._registry)
+            if objectives else None)
+        self.recorder.sample_now()  # t0 baseline for windowed deltas
+        self._ts_task = asyncio.ensure_future(self._telemetry_loop())
         self._server = await asyncio.start_server(
             self._client_connected, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -158,22 +226,63 @@ class CharacterizationServer:
                   self.cache.mem_entries, self.dedup)
         return self
 
-    async def stop(self):
-        """Stop accepting, then reap the worker pool (idempotent).
+    async def _telemetry_loop(self):
+        """Periodic sample + JSONL flush + SLO evaluation."""
+        while True:
+            await asyncio.sleep(self.ts_interval)
+            try:
+                self.recorder.sample_now()
+                if self._slo_eval is not None:
+                    self._slo_results = self._slo_eval.evaluate()
+                self.recorder.flush()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                _log.exception("telemetry tick failed")
 
-        Open keep-alive connections are closed (handlers see EOF and
-        exit) so no task is left to be cancelled at loop teardown.
+    async def stop(self):
+        """Drain in-flight requests, then stop (idempotent).
+
+        One shutdown routine for every trigger (signal, request budget,
+        ``/v1/shutdown``, direct call): stop accepting, close **idle**
+        keep-alive connections immediately, let requests already being
+        handled run to completion (bounded by ``drain_grace_s``, then
+        force-closed), take and flush a final time-series sample, and
+        reap the worker pool.
         """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         for writer in list(self._connections):
-            writer.close()
+            if writer not in self._busy:
+                writer.close()
         tasks = [t for t in self._connections.values() if not t.done()]
         if tasks:
-            await asyncio.wait(tasks, timeout=5.0)
+            __done, pending = await asyncio.wait(
+                tasks, timeout=self.drain_grace_s)
+            if pending:
+                _log.warning(
+                    "%d request(s) still in flight after %.1fs drain; "
+                    "force-closing", len(pending), self.drain_grace_s)
+                for writer in list(self._connections):
+                    writer.close()
+                await asyncio.wait(pending, timeout=5.0)
         self._connections.clear()
+        self._busy.clear()
+        if self._ts_task is not None:
+            self._ts_task.cancel()
+            try:
+                await self._ts_task
+            except asyncio.CancelledError:
+                pass
+            self._ts_task = None
+        if self.recorder is not None:
+            self.recorder.sample_now()
+            if self._slo_eval is not None:
+                self._slo_results = self._slo_eval.evaluate()
+            self.recorder.flush()
         self.pool.shutdown()
 
     def request_shutdown(self):
@@ -230,8 +339,17 @@ class CharacterizationServer:
                     break
                 if request is None:
                     break
-                keep = await self._handle(request, writer)
+                # Busy connections are spared the immediate close at
+                # drain time; idle ones (parked in _read_request above)
+                # are not.
+                self._busy.add(writer)
+                try:
+                    keep = await self._handle(request, writer)
+                finally:
+                    self._busy.discard(writer)
                 await writer.drain()
+                if self._draining:
+                    keep = False
                 if not keep:
                     break
         except (ConnectionResetError, BrokenPipeError,
@@ -275,26 +393,36 @@ class CharacterizationServer:
         t0 = time.perf_counter()
         self._registry.counter(obs_metrics.SERVE_REQUESTS).inc()
         keep = request.keep_alive
+        remote = obs_trace.parse_traceparent(
+            request.headers.get(obs_trace.TRACE_HEADER.lower()))
+        sources = {"mem": 0, "disk": 0, "dedup": 0, "computed": 0}
+        sources_token = _REQ_SOURCES.set(sources)
+        status = 200
+        # Every access line gets a trace id, even with tracing off —
+        # a remote header or active span wins, else a fresh one.
+        trace_id = (remote["trace_id"] if remote
+                    else obs_trace.new_id())
         try:
-            with obs_trace.span("serve.request", method=request.method,
-                                path=request.path) as span:
+            with obs_trace.propagated(remote), \
+                    obs_trace.span("serve.request", method=request.method,
+                                   path=request.path) as span:
+                if span is not None:
+                    trace_id = span.trace_id
                 try:
                     keep = await self._route(request, writer, keep)
-                    if span is not None:
-                        span.attrs["status"] = 200
                 except (protocol.ProtocolError, _BadRequest) as exc:
+                    status = 400
                     self._respond(writer, 400, {"error": str(exc)},
                                   keep=keep)
-                    if span is not None:
-                        span.attrs["status"] = 400
                 except _Routed as routed:
+                    status = routed.status
                     self._respond(writer, routed.status,
                                   {"error": routed.message}, keep=keep)
-                    if span is not None:
-                        span.attrs["status"] = routed.status
                 except (ConnectionResetError, BrokenPipeError):
+                    status = 0  # peer gone; logged, not answered
                     raise
                 except Exception as exc:
+                    status = 500
                     self._registry.counter(obs_metrics.SERVE_ERRORS).inc()
                     _log.exception("request %s %s failed", request.method,
                                    request.path)
@@ -302,13 +430,17 @@ class CharacterizationServer:
                                   {"error": "%s: %s"
                                    % (type(exc).__name__, exc)},
                                   keep=keep)
+                finally:
                     if span is not None:
-                        span.attrs["status"] = 500
+                        span.attrs["status"] = status
         finally:
+            _REQ_SOURCES.reset(sources_token)
             elapsed_ms = (time.perf_counter() - t0) * 1e3
             self._registry.histogram(
                 obs_metrics.SERVE_LATENCY_MS,
                 obs_metrics.LATENCY_BOUNDARIES_MS).observe(elapsed_ms)
+            self._log_access(request, writer, status, elapsed_ms,
+                             trace_id, sources)
         self._served += 1
         if self.max_requests and self._served >= self.max_requests:
             _log.info("request budget of %d reached, shutting down",
@@ -316,6 +448,21 @@ class CharacterizationServer:
             self.request_shutdown()
             keep = False
         return keep
+
+    @staticmethod
+    def _log_access(request, writer, status, elapsed_ms, trace_id,
+                    sources):
+        """One ``repro.serve.access`` line per request."""
+        peer = writer.get_extra_info("peername")
+        client = ("%s:%s" % peer[:2] if isinstance(peer, tuple)
+                  and len(peer) >= 2 else str(peer))
+        tiers = ",".join("%s:%d" % (name, count)
+                         for name, count in sorted(sources.items())
+                         if count and name != "dedup") or None
+        logs.log_access(
+            trace=trace_id, client=client, method=request.method,
+            path=request.path, status=status, latency_ms=elapsed_ms,
+            tier=tiers, dedup=sources["dedup"] or None)
 
     async def _route(self, request, writer, keep):
         path = request.path.split("?", 1)[0]
@@ -332,6 +479,28 @@ class CharacterizationServer:
             self._require(request, "GET")
             self._respond(writer, 200, self._registry.snapshot(),
                           keep=keep)
+        elif path == "/metrics":
+            self._require(request, "GET")
+            self._respond_text(
+                writer, 200,
+                obs_metrics.prometheus_text(self._registry.snapshot()),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+                keep=keep)
+        elif path == "/v1/timeseries":
+            self._require(request, "GET")
+            query = self._query_params(request)
+            window = query.get("window_s")
+            self._respond(writer, 200, {
+                "schema": obs_timeseries.TS_SCHEMA,
+                "interval_s": self.recorder.interval,
+                "capacity": self.recorder.capacity,
+                "dropped": self.recorder.dropped(),
+                "samples": self.recorder.samples(
+                    window_s=float(window) if window else None),
+            }, keep=keep)
+        elif path == "/v1/profile":
+            self._require(request, "GET")
+            keep = await self._profile(request, writer, keep)
         elif path == "/v1/characterize":
             self._require(request, "POST")
             tasks = self._tasks(request)
@@ -358,6 +527,46 @@ class CharacterizationServer:
     def _require(request, method):
         if request.method != method:
             raise _Routed(405, "%s needs %s" % (request.path, method))
+
+    @staticmethod
+    def _query_params(request):
+        """First value of each query-string parameter."""
+        query = urllib.parse.urlsplit(request.path).query
+        return {name: values[0] for name, values
+                in urllib.parse.parse_qs(query).items()}
+
+    async def _profile(self, request, writer, keep):
+        """``/v1/profile``: sample the server process on demand."""
+        query = self._query_params(request)
+        try:
+            seconds = float(query.get("seconds", "1.0"))
+        except ValueError:
+            raise _BadRequest("seconds must be a number")
+        if not 0.0 < seconds <= 60.0:
+            raise _BadRequest("seconds must be in (0, 60]")
+        fmt = query.get("format", "collapsed")
+        if fmt not in ("collapsed", "chrome"):
+            raise _BadRequest("format must be collapsed or chrome")
+        if self._profiling:
+            raise _Routed(409, "a profiling run is already in progress")
+        self._profiling = True
+        profiler = obs_profile.SamplingProfiler(registry=self._registry)
+        try:
+            profiler.start()
+            await asyncio.sleep(seconds)
+        finally:
+            profiler.stop()
+            self._profiling = False
+        if fmt == "chrome":
+            payload = {"traceEvents": profiler.chrome_events(),
+                       "displayTimeUnit": "ms",
+                       "otherData": {"producer": "repro.obs.profile",
+                                     "interval_s": profiler.interval}}
+        else:
+            payload = profiler.report()
+            payload["collapsed"] = profiler.collapsed()
+        self._respond(writer, 200, payload, keep=keep)
+        return keep
 
     def _tasks(self, request):
         """Parse the query body into point tasks.
@@ -390,6 +599,13 @@ class CharacterizationServer:
         return tasks
 
     # -- the serving core: tiers + single-flight + pool ---------------------
+    @staticmethod
+    def _count_source(source):
+        """Credit a point outcome to the enclosing request's tally."""
+        sources = _REQ_SOURCES.get()
+        if sources is not None:
+            sources[source] = sources.get(source, 0) + 1
+
     async def _resolve_point(self, task):
         """Answer one grid point from the fastest tier that can."""
         key = task["key"]
@@ -405,6 +621,7 @@ class CharacterizationServer:
             inflight = self._inflight.get(flight) if self.dedup else None
             if inflight is not None:
                 self._registry.counter(obs_metrics.SERVE_DEDUP_HITS).inc()
+                self._count_source("dedup")
                 if span is not None:
                     span.attrs["source"] = "dedup"
                 result = await asyncio.shield(inflight)
@@ -415,13 +632,22 @@ class CharacterizationServer:
                 self._registry.counter(
                     obs_metrics.SERVE_TIER_MEM if tier == "mem"
                     else obs_metrics.SERVE_TIER_DISK).inc()
+                self._count_source(tier)
                 if span is not None:
                     span.attrs["source"] = tier
                 return protocol.record_from_entry(task, entry, tier)
 
+            # Stamp this point span's trace identity into a shallow copy
+            # (the memoized task list is shared and read-only) so the
+            # worker's span tree stitches under it across the process
+            # boundary.
+            ctx = obs_trace.propagation_context()
+            worker_task = dict(task, trace=ctx) if ctx is not None \
+                else task
             loop = asyncio.get_running_loop()
             future = loop.run_in_executor(self.pool.executor,
-                                          _characterize_point, task)
+                                          _characterize_point,
+                                          worker_task)
             if self.dedup:
                 self._inflight[flight] = future
             self._queue_depth += 1
@@ -437,6 +663,7 @@ class CharacterizationServer:
             future.add_done_callback(_done)
             result = await asyncio.shield(future)
             self._registry.counter(obs_metrics.SERVE_COMPUTES).inc()
+            self._count_source("computed")
             # Re-parent the worker's span tree and fold its metrics and
             # cache accounting into the server session.
             obs_trace.adopt(result["trace"])
@@ -496,6 +723,18 @@ class CharacterizationServer:
 
     # -- plain responses ----------------------------------------------------
     @staticmethod
+    def _respond_text(writer, status, text, content_type="text/plain",
+                      keep=True):
+        body = text.encode("utf-8")
+        head = ("HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: %s\r\n\r\n"
+                % (status, _REASONS.get(status, "Unknown"), content_type,
+                   len(body), "keep-alive" if keep else "close"))
+        writer.write(head.encode("latin-1") + body)
+
+    @staticmethod
     def _respond(writer, status, payload, keep=True):
         body = json.dumps(payload).encode("utf-8")
         head = ("HTTP/1.1 %d %s\r\n"
@@ -544,6 +783,19 @@ class CharacterizationServer:
             "queue_depth": self._queue_depth,
             "inflight": len(self._inflight),
             "latency_ms": latency,
+            "slo": {
+                "objectives": list(self._slo_results),
+                "worst_burn_rate": reg.value(
+                    obs_metrics.SERVE_SLO_WORST, 0.0),
+                "breaches": reg.value(obs_metrics.SERVE_SLO_BREACHES),
+            },
+            "timeseries": {
+                "samples": len(self.recorder) if self.recorder else 0,
+                "interval_s": (self.recorder.interval
+                               if self.recorder else None),
+                "dropped": (self.recorder.dropped()
+                            if self.recorder else 0),
+            },
             "cache": self.cache.stats.as_dict(),
             "config": {
                 "workers": self.pool.jobs,

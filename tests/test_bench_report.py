@@ -1,0 +1,147 @@
+"""Tests for the benchmark-trajectory regression gate
+(``repro bench-report``).
+
+Covers trajectory loading (schema 2 and legacy single-run), floor
+selection (explicit ``min_*`` vs trajectory-derived vs no-history),
+target annotation, the synthetic-regression failure mode the CI gate
+exists for, and the CLI subcommand — including a run over the
+repository's own committed BENCH files, which must pass.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench_report import (DEFAULT_TOLERANCE, analyze_trajectory,
+                                bench_report_text, default_paths,
+                                load_trajectory, run_report,
+                                speedup_fields)
+from repro.cli import main as cli_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_doc(tmp_path, runs, name="demo", filename=None):
+    path = str(tmp_path / (filename or ("BENCH_%s.json" % name)))
+    with open(path, "w") as handle:
+        json.dump({"schema": "repro.bench/2", "benchmark": name,
+                   "runs": runs}, handle)
+    return path
+
+
+class TestLoading:
+    def test_trajectory_schema(self, tmp_path):
+        path = write_doc(tmp_path, [{"x_speedup": 2.0}])
+        doc = load_trajectory(path)
+        assert doc["benchmark"] == "demo"
+        assert doc["runs"] == [{"x_speedup": 2.0}]
+
+    def test_legacy_single_run_wraps(self, tmp_path):
+        path = str(tmp_path / "BENCH_old.json")
+        with open(path, "w") as handle:
+            json.dump({"benchmark": "old", "x_speedup": 3.0}, handle)
+        doc = load_trajectory(path)
+        assert doc["benchmark"] == "old" and len(doc["runs"]) == 1
+
+    def test_name_falls_back_to_filename(self, tmp_path):
+        path = write_doc(tmp_path, [{"x_speedup": 1.0}], name=None,
+                         filename="BENCH_nameless.json")
+        assert load_trajectory(path)["benchmark"] == "nameless"
+
+    def test_speedup_fields_excludes_floors_and_targets(self):
+        run = {"mix_speedup": 5.0, "min_mix_speedup": 3.0,
+               "target_mix_speedup": 10.0, "warm_speedup": 2.0,
+               "wall_s": 1.2, "note_speedup": "n/a"}
+        assert speedup_fields(run) == ["mix_speedup", "warm_speedup"]
+
+
+class TestFloors:
+    def test_explicit_min_wins(self, tmp_path):
+        runs = [{"x_speedup": 9.0},
+                {"x_speedup": 4.0, "min_x_speedup": 3.5}]
+        (row,) = analyze_trajectory(load_trajectory(
+            write_doc(tmp_path, runs)))
+        assert row["floor"] == 3.5 and row["ok"] is True
+        assert "explicit" in row["floor_source"]
+
+    def test_trajectory_floor_with_tolerance(self, tmp_path):
+        runs = [{"x_speedup": 10.0}, {"x_speedup": 8.0},
+                {"x_speedup": 7.0}]
+        (row,) = analyze_trajectory(load_trajectory(
+            write_doc(tmp_path, runs)))
+        # floor = min(prior) * (1 - tolerance) = 8.0 * 0.8 = 6.4
+        assert row["floor"] == pytest.approx(
+            8.0 * (1 - DEFAULT_TOLERANCE))
+        assert row["ok"] is True
+
+    def test_no_history_is_vacuously_ok(self, tmp_path):
+        (row,) = analyze_trajectory(load_trajectory(
+            write_doc(tmp_path, [{"x_speedup": 0.01}])))
+        assert row["floor"] is None and row["ok"] is True
+        assert row["floor_source"] == "no history"
+
+    def test_regression_detected(self, tmp_path):
+        runs = [{"x_speedup": 10.0}, {"x_speedup": 2.0}]
+        (row,) = analyze_trajectory(load_trajectory(
+            write_doc(tmp_path, runs)))
+        assert row["ok"] is False
+        assert row["latest"] == 2.0
+        assert row["floor"] == pytest.approx(8.0)
+
+    def test_targets_annotate_but_never_gate(self, tmp_path):
+        runs = [{"x_speedup": 3.0, "target_x_speedup": 10.0}]
+        (row,) = analyze_trajectory(load_trajectory(
+            write_doc(tmp_path, runs)))
+        assert row["target"] == 10.0 and row["target_met"] is False
+        assert row["ok"] is True  # unmet target is not a regression
+
+
+class TestRunReport:
+    def test_check_fails_on_synthetic_regression(self, tmp_path, capsys):
+        path = write_doc(tmp_path, [{"x_speedup": 10.0},
+                                    {"x_speedup": 1.0}])
+        assert run_report([path], check=True) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "REGRESSED" in out
+
+    def test_without_check_regressions_are_informational(self, tmp_path,
+                                                         capsys):
+        path = write_doc(tmp_path, [{"x_speedup": 10.0},
+                                    {"x_speedup": 1.0}])
+        assert run_report([path], check=False) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_committed_bench_files_pass_the_gate(self, capsys):
+        """Acceptance: the repository's own BENCH_*.json trajectories
+        must pass ``bench-report --check`` (CI runs exactly this)."""
+        paths = default_paths(REPO_ROOT)
+        assert paths, "no committed BENCH_*.json found"
+        assert run_report(paths, check=True) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_empty_report_text(self):
+        assert bench_report_text([]).startswith("bench-report:")
+
+
+class TestCLI:
+    def test_cli_check_passes_on_committed_files(self, capsys):
+        paths = default_paths(REPO_ROOT)
+        assert cli_main(["bench-report", "--check"] + paths) == 0
+        assert "regression" in capsys.readouterr().out
+
+    def test_cli_check_fails_on_regression(self, tmp_path, capsys):
+        path = write_doc(tmp_path, [{"x_speedup": 10.0},
+                                    {"x_speedup": 1.0}])
+        assert cli_main(["bench-report", "--check", path]) == 1
+
+    def test_cli_tolerance_flag(self, tmp_path, capsys):
+        # 6.0 vs prior 7.0 regresses at 5% tolerance, passes at 20%.
+        runs = [{"x_speedup": 7.0}, {"x_speedup": 6.0}]
+        path = write_doc(tmp_path, runs)
+        assert cli_main(["bench-report", "--check",
+                         "--tolerance", "0.05", path]) == 1
+        capsys.readouterr()
+        assert cli_main(["bench-report", "--check",
+                         "--tolerance", "0.2", path]) == 0

@@ -415,6 +415,122 @@ class TestHistogramQuantile:
         # Median straddles the bucket boundary between the two sources.
         assert 2.0 <= a.quantile(0.5) <= 50.0
 
+    def test_empty_extremes_are_none(self):
+        h = obs_metrics.Histogram(boundaries=(1.0, 10.0))
+        assert h.quantile(0.0) is None
+        assert h.quantile(1.0) is None
+
+    def test_single_overflow_bucket_observation(self):
+        # One observation beyond the last boundary: every quantile is
+        # that value, no interpolation against a nonexistent upper edge.
+        h = obs_metrics.Histogram(boundaries=(1.0, 10.0))
+        h.observe(500.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(500.0)
+
+    def test_bucket_only_wire_data_interpolates_on_edges(self):
+        # Windowed / delta'd histograms carry buckets but no min/max
+        # (the SLO evaluator's view). Quantiles must still work, falling
+        # back to the bucket boundary edges.
+        h = obs_metrics.Histogram(boundaries=(1.0, 10.0, 100.0))
+        h.buckets = [0, 4, 0, 0]
+        h.count = 4
+        assert h.min is None and h.max is None
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 10.0
+        assert h.quantile(0.0) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_bucket_only_overflow_clamps_to_last_boundary(self):
+        h = obs_metrics.Histogram(boundaries=(1.0, 10.0))
+        h.buckets = [0, 0, 3]
+        h.count = 3
+        # All mass in the unbounded overflow bucket with no max known:
+        # quantiles degrade to the last finite boundary, never None/inf.
+        for q in (0.0, 0.5, 1.0):
+            value = h.quantile(q)
+            assert value is not None
+            assert value >= 10.0
+            assert value != float("inf")
+
+
+class TestPrometheusText:
+    # Prometheus text exposition format 0.0.4, simplified to what the
+    # exporter can emit (no label commas/escapes beyond le="...").
+    SAMPLE = r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? ' \
+             r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$'
+
+    def _render(self):
+        reg = obs_metrics.MetricsRegistry()
+        reg.counter(obs_metrics.SERVE_REQUESTS).inc(7)
+        reg.gauge(obs_metrics.SERVE_QUEUE_DEPTH).set(2.0)
+        hist = reg.histogram(obs_metrics.SERVE_LATENCY_MS)
+        for value in (0.5, 3.0, 250.0):
+            hist.observe(value)
+        return obs_metrics.prometheus_text(reg.snapshot())
+
+    def test_every_line_matches_the_grammar(self):
+        import re
+        text = self._render()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                assert line == "" or re.match(
+                    r"^# (HELP|TYPE) repro_[a-zA-Z0-9_]+", line), line
+                continue
+            assert re.match(self.SAMPLE, line), line
+
+    def test_counter_gauge_histogram_conventions(self):
+        text = self._render()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 7" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "# TYPE repro_serve_latency_ms histogram" in text
+        assert 'repro_serve_latency_ms_bucket{le="+Inf"} 3' in text
+        assert "repro_serve_latency_ms_count 3" in text
+        assert "repro_serve_latency_ms_sum 253.5" in text
+
+    def test_buckets_are_cumulative_and_ordered(self):
+        import re
+        text = self._render()
+        counts = [int(m.group(2)) for m in re.finditer(
+            r'repro_serve_latency_ms_bucket\{le="([^"]+)"\} (\d+)',
+            text)]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3  # +Inf bucket holds everything
+
+
+class TestOutOfOrderMerge:
+    def test_worker_snapshots_merge_order_independent(self):
+        """Worker metric snapshots arriving out of order fold to the
+        same registry state — counters, gauge last-write aside,
+        histograms bucket-for-bucket."""
+        def worker_snapshot(values):
+            reg = obs_metrics.MetricsRegistry()
+            reg.counter("serve.computes").inc(len(values))
+            hist = reg.histogram(obs_metrics.SERVE_LATENCY_MS)
+            for value in values:
+                hist.observe(value)
+            return reg.snapshot()
+
+        snaps = [worker_snapshot([1.0, 2.0]),
+                 worker_snapshot([300.0]),
+                 worker_snapshot([0.1, 40.0, 5.0])]
+
+        forward = obs_metrics.MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        backward = obs_metrics.MetricsRegistry()
+        for snap in reversed(snaps):
+            backward.merge(snap)
+
+        fwd, bwd = forward.snapshot(), backward.snapshot()
+        assert fwd["counters"] == bwd["counters"]
+        assert fwd["histograms"] == bwd["histograms"]
+        hist = forward.get(obs_metrics.SERVE_LATENCY_MS)
+        assert hist.count == 6
+        assert hist.quantile(1.0) == pytest.approx(300.0)
+
 
 # ---------------------------------------------------------------------------
 # cache-effectiveness metrics

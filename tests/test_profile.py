@@ -1,0 +1,128 @@
+"""Tests for the wall-clock sampling profiler (repro.obs.profile).
+
+Covers sample collection over busy threads, collapsed-stack output
+(flamegraph format), Chrome flame-chart export validity, the text
+report, and metric accounting — all pure stdlib, no process forks.
+"""
+
+import json
+import threading
+import time
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.profile import SamplingProfiler
+
+
+def busy_wait_for_profiler(stop_event):
+    """A distinctively-named frame the profiler should catch."""
+    while not stop_event.is_set():
+        sum(range(500))
+
+
+def profile_busy_thread(seconds=0.2, **kwargs):
+    stop_event = threading.Event()
+    thread = threading.Thread(target=busy_wait_for_profiler,
+                              args=(stop_event,), daemon=True)
+    thread.start()
+    profiler = SamplingProfiler(interval=0.002, **kwargs)
+    try:
+        profiler.start()
+        time.sleep(seconds)
+        profiler.stop()
+    finally:
+        stop_event.set()
+        thread.join()
+    return profiler
+
+
+class TestSampling:
+    def test_collects_samples_from_busy_thread(self):
+        profiler = profile_busy_thread()
+        assert profiler.sample_count() > 10
+        assert profiler.duration() > 0.1
+        collapsed = profiler.collapsed()
+        assert "busy_wait_for_profiler" in collapsed
+
+    def test_collapsed_format(self):
+        profiler = profile_busy_thread()
+        counts = []
+        for line in profiler.collapsed().splitlines():
+            stack, __sep, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+            # Frames are "func (file.py:line)" joined by semicolons.
+            assert "(" in stack.split(";")[-1]
+            counts.append(int(count))
+        assert counts == sorted(counts, reverse=True)
+        # Every sample contributes one stack per sampled thread.
+        assert sum(counts) >= profiler.sample_count()
+
+    def test_write_collapsed(self, tmp_path):
+        profiler = profile_busy_thread()
+        path = str(tmp_path / "profile.folded")
+        profiler.write_collapsed(path)
+        with open(path) as handle:
+            text = handle.read()
+        assert text == profiler.collapsed() + "\n" or \
+            text.rstrip("\n") == profiler.collapsed().rstrip("\n")
+
+    def test_context_manager(self):
+        stop_event = threading.Event()
+        thread = threading.Thread(target=busy_wait_for_profiler,
+                                  args=(stop_event,), daemon=True)
+        thread.start()
+        try:
+            with SamplingProfiler(interval=0.002) as profiler:
+                time.sleep(0.1)
+        finally:
+            stop_event.set()
+            thread.join()
+        assert profiler.sample_count() > 0
+
+    def test_registry_accounting(self):
+        reg = obs_metrics.MetricsRegistry()
+        profiler = profile_busy_thread(registry=reg)
+        assert reg.value(obs_metrics.OBS_PROFILE_SAMPLES) == \
+            profiler.sample_count()
+
+
+class TestChromeExport:
+    def test_events_are_valid_flame_chart(self, tmp_path):
+        profiler = profile_busy_thread()
+        events = profiler.chrome_events()
+        assert events, "no chrome events emitted"
+        meta = [e for e in events if e.get("ph") == "M"]
+        frames = [e for e in events if e.get("ph") == "X"]
+        assert meta and frames
+        for event in frames:
+            assert event["dur"] > 0
+            assert event["ts"] >= 0
+            assert isinstance(event["name"], str) and event["name"]
+        assert any("busy_wait_for_profiler" in e["name"] for e in frames)
+
+        path = str(tmp_path / "profile.chrome.json")
+        profiler.write_chrome(path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert isinstance(doc["traceEvents"], list)
+        assert len(doc["traceEvents"]) == len(events)
+
+
+class TestReport:
+    def test_report_summarizes_top_stacks(self):
+        profiler = profile_busy_thread()
+        report = profiler.report()
+        assert report["samples"] == profiler.sample_count()
+        assert report["interval_s"] == profiler.interval
+        assert report["stacks"] >= 1
+        top = report["top"]
+        assert len(top) <= 20
+        assert any("busy_wait_for_profiler" in frame
+                   for entry in top for frame in entry["stack"])
+
+    def test_quick_profile_has_consistent_empty_shape(self):
+        profiler = SamplingProfiler(interval=0.002)
+        profiler.start()
+        profiler.stop()
+        assert profiler.sample_count() >= 0
+        assert isinstance(profiler.collapsed(), str)
+        assert isinstance(profiler.report(), dict)

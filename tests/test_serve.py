@@ -334,6 +334,258 @@ class TestSingleFlight:
             assert reply["points"][0]["aged"] == reference["aged"]
 
 
+class TestTelemetryEndpoints:
+    def test_metrics_prometheus_text_parses(self, tmp_path):
+        """Acceptance: /metrics output parses line-by-line under the
+        Prometheus text-format 0.0.4 grammar."""
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? '
+            r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$')
+        comment = re.compile(r"^# (HELP|TYPE) repro_[a-zA-Z0-9_]+")
+
+        async def scenario():
+            server = await start_server(tmp_path)
+            try:
+                async with ServeClient(server.host, server.port) as client:
+                    await client.healthz()
+                    return await client.prometheus()
+            finally:
+                await server.stop()
+
+        text = run(scenario())
+        assert isinstance(text, str) and text
+        seen_types = 0
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert comment.match(line), line
+                seen_types += line.startswith("# TYPE")
+                continue
+            assert sample.match(line), line
+        assert seen_types >= 2
+        assert "repro_serve_requests_total" in text
+        assert 'repro_serve_latency_ms_bucket{le="+Inf"}' in text
+
+    def test_timeseries_endpoint(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path, ts_interval=0.05)
+            try:
+                async with ServeClient(server.host, server.port) as client:
+                    await client.healthz()
+                    deadline = asyncio.get_event_loop().time() + 5.0
+                    while len(server.recorder) < 3:
+                        assert asyncio.get_event_loop().time() < deadline
+                        await asyncio.sleep(0.02)
+                    doc = await client.timeseries()
+                    windowed = await client.timeseries(window_s=0.0)
+            finally:
+                await server.stop()
+            return doc, windowed
+
+        doc, windowed = run(scenario())
+        assert doc["interval_s"] == 0.05
+        assert len(doc["samples"]) >= 3
+        last = doc["samples"][-1]
+        assert last["counters"]["serve.requests"] >= 1
+        assert doc["samples"][0]["t"] <= last["t"]
+        assert len(windowed["samples"]) <= len(doc["samples"])
+
+    def test_profile_endpoint_and_conflict(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            try:
+                async with ServeClient(server.host, server.port) as client:
+                    report = await client.profile(seconds=0.05)
+                    chrome = await client.profile(seconds=0.05,
+                                                  fmt="chrome")
+                    with pytest.raises(ServeError) as exc:
+                        await client.profile(seconds=0)
+                    bad_seconds = exc.value.status
+                    # A second profile while one runs: 409 Conflict.
+                    slow = asyncio.ensure_future(
+                        client.profile(seconds=0.5))
+                    await asyncio.sleep(0.1)
+                    async with ServeClient(server.host,
+                                           server.port) as other:
+                        with pytest.raises(ServeError) as exc:
+                            await other.profile(seconds=0.05)
+                        conflict = exc.value.status
+                    await slow
+            finally:
+                await server.stop()
+            return report, chrome, bad_seconds, conflict
+
+        report, chrome, bad_seconds, conflict = run(scenario())
+        assert report["duration_s"] >= 0.04
+        assert report["interval_s"] > 0
+        assert isinstance(report["collapsed"], str)
+        assert isinstance(report["top"], list)
+        assert isinstance(chrome["traceEvents"], list)
+        assert bad_seconds == 400
+        assert conflict == 409
+
+    def test_stats_carries_slo_and_timeseries_sections(self, tmp_path):
+        async def scenario():
+            server = await start_server(
+                tmp_path, ts_interval=0.05,
+                slos=["latency:p99:500:1", "errors:99.9:1"])
+            try:
+                async with ServeClient(server.host, server.port) as client:
+                    await client.healthz()
+                    deadline = asyncio.get_event_loop().time() + 5.0
+                    while not server._slo_results:
+                        assert asyncio.get_event_loop().time() < deadline
+                        await asyncio.sleep(0.02)
+                    return await client.stats()
+            finally:
+                await server.stop()
+
+        stats = run(scenario())
+        assert len(stats["slo"]["objectives"]) == 2
+        names = {o["name"] for o in stats["slo"]["objectives"]}
+        assert names == {"latency_p99_under_500ms", "availability_99.9"}
+        assert stats["slo"]["worst_burn_rate"] >= 0.0
+        assert stats["timeseries"]["samples"] >= 1
+        assert stats["timeseries"]["interval_s"] == 0.05
+
+    def test_access_log_lines(self, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+            async def scenario():
+                server = await start_server(tmp_path)
+                try:
+                    async with ServeClient(server.host,
+                                           server.port) as client:
+                        await client.characterize(
+                            dict(QUERY, precisions=[8]))
+                finally:
+                    await server.stop()
+            run(scenario())
+        lines = [r.getMessage() for r in caplog.records
+                 if r.name == "repro.serve.access"]
+        assert lines, "no access-log lines emitted"
+        line = next(l for l in lines if "path=/v1/characterize" in l)
+        assert "method=POST" in line and "status=200" in line
+        assert re.search(r"trace=[0-9a-f]{16}", line)
+        assert re.search(r"latency_ms=\d+\.\d{3}", line)
+        assert "computed:1" in line
+
+
+class TestDistributedTrace:
+    def test_batch_produces_one_connected_span_tree(self, tmp_path):
+        """Acceptance: a /v1/batch against a --jobs 4 server yields ONE
+        connected span tree — client root -> server request span ->
+        worker span — in the exported Chrome trace."""
+        from repro.obs import trace as obs_trace
+
+        async def scenario():
+            server = await start_server(tmp_path, workers=4)
+            try:
+                with obs_trace.span("client.root") as root:
+                    async with ServeClient(server.host,
+                                           server.port) as client:
+                        records = [r async for r in client.batch(
+                            dict(QUERY, precisions=[8, 7]))]
+            finally:
+                await server.stop()
+            return root, records
+
+        with obs_trace.capture() as tracer:
+            root, records = run(scenario())
+        assert records[-1]["done"] is True and records[-1]["points"] == 2
+
+        events = [e for e in tracer.chrome_events() if e.get("ph") == "X"]
+        by_id = {e["args"]["span_id"]: e for e in events
+                 if "span_id" in e.get("args", {})}
+        root_event = by_id[root.span_id]
+
+        def chains_to_root(event):
+            hops = 0
+            while event["args"].get("parent_id") in by_id:
+                event = by_id[event["args"]["parent_id"]]
+                hops += 1
+            return event is root_event and hops
+
+        requests = [e for e in events if e["name"] == "serve.request"]
+        batch_requests = [e for e in requests
+                          if chains_to_root(e)]
+        assert batch_requests, "no serve.request chained to client root"
+
+        workers = [e for e in events
+                   if e["name"] == "characterize.point"
+                   and chains_to_root(e)]
+        assert len(workers) >= 1
+        # Every span on the chain shares the client's trace id: one
+        # trace, client -> server -> pool worker.
+        for event in workers + batch_requests:
+            assert event["args"]["trace_id"] == root.trace_id
+        # The worker spans really crossed a process boundary.
+        assert any(e["pid"] != os.getpid() for e in workers)
+
+
+class TestDrainShutdown:
+    def test_max_requests_flushes_final_timeseries_sample(self, tmp_path):
+        jsonl = str(tmp_path / "ts.jsonl")
+
+        async def scenario():
+            server = CharacterizationServer(
+                str(tmp_path / "cache"), workers=1, max_requests=2,
+                ts_interval=30.0, ts_jsonl=jsonl)
+            with obs_metrics.scoped():
+                task = asyncio.ensure_future(
+                    server.run(install_signal_handlers=False))
+                while server.port == 0 or server._server is None:
+                    await asyncio.sleep(0.01)
+                client = ServeClient(server.host, server.port)
+                await client.healthz()
+                await client.healthz()
+                await client.close()
+                await asyncio.wait_for(task, timeout=10.0)
+        run(scenario())
+
+        import json
+        with open(jsonl) as handle:
+            rows = [json.loads(line) for line in handle]
+        # The 30s sampling interval never fired: every recorded sample
+        # is the baseline + the final drain-time flush, and the final
+        # one saw both requests.
+        assert rows
+        assert rows[-1]["counters"]["serve.requests"] == 2
+
+    def test_stop_drains_inflight_request(self, tmp_path):
+        """Shutdown must complete in-flight work: a cold characterize
+        issued just before stop() still gets its full answer."""
+        async def scenario():
+            server = await start_server(tmp_path, workers=1,
+                                        drain_grace_s=30.0)
+            client = ServeClient(server.host, server.port)
+            inflight = asyncio.ensure_future(
+                client.characterize(dict(QUERY, precisions=[8])))
+            # Wait until the request is actually on the wire/busy.
+            deadline = asyncio.get_event_loop().time() + 5.0
+            while not server._busy:
+                assert asyncio.get_event_loop().time() < deadline
+                await asyncio.sleep(0.005)
+            await server.stop()
+            reply = await inflight
+            await client.close()
+            return reply
+
+        reply = run(scenario())
+        assert reply["points"][0]["source"] == "computed"
+
+    def test_draining_closes_keepalive_connections(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            client = ServeClient(server.host, server.port)
+            await client.healthz()  # idle keep-alive connection now open
+            await asyncio.wait_for(server.stop(), timeout=5.0)
+            await client.close()
+        run(scenario())
+
+
 class TestCLIServe:
     def test_serve_smoke_cold_warm_shutdown(self, tmp_path):
         """Tier-1 smoke: ephemeral port, cold + warm query, graceful

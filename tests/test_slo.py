@@ -1,0 +1,193 @@
+"""Tests for declarative SLOs and burn-rate evaluation (repro.obs.slo).
+
+Covers the ``--slo`` spec grammar, the windowed bucket-delta math
+(``fraction_under``), burn-rate computation against synthetic
+time-series trajectories, breach-transition counting, and the
+``serve.slo.*`` gauges the server surfaces.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.slo import (DEFAULT_SLOS, DEFAULT_WINDOW_S, INFINITE_BURN,
+                           SLO, SLOEvaluator, fraction_under, parse_slo)
+from repro.obs.timeseries import TimeSeriesRecorder
+
+
+class TestParseSLO:
+    def test_latency_spec(self):
+        slo = parse_slo("latency:p99:250")
+        assert slo.kind == "latency"
+        assert slo.good_target == pytest.approx(0.99)
+        assert slo.threshold_ms == 250.0
+        assert slo.window_s == DEFAULT_WINDOW_S
+        assert slo.budget == pytest.approx(0.01)
+
+    def test_latency_spec_with_window(self):
+        slo = parse_slo("latency:p95:50:30")
+        assert slo.good_target == pytest.approx(0.95)
+        assert slo.threshold_ms == 50.0 and slo.window_s == 30.0
+
+    def test_errors_spec(self):
+        slo = parse_slo("errors:99.9")
+        assert slo.kind == "errors"
+        assert slo.good_target == pytest.approx(0.999)
+        assert slo.budget == pytest.approx(0.001)
+
+    def test_errors_spec_with_window(self):
+        assert parse_slo("errors:99:300").window_s == 300.0
+
+    @pytest.mark.parametrize("spec", [
+        "", "latency", "latency:p99", "latency:99:250",
+        "latency:p99:0", "latency:p99:abc", "latency:p200:250",
+        "errors", "errors:abc", "errors:0", "errors:100",
+        "uptime:99", "latency:p99:250:60:7",
+    ])
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError, match="SLO"):
+            parse_slo(spec)
+
+    def test_defaults_parse(self):
+        objectives = [parse_slo(spec) for spec in DEFAULT_SLOS]
+        assert {slo.kind for slo in objectives} == {"latency", "errors"}
+
+
+class TestFractionUnder:
+    BOUNDS = (1.0, 10.0, 100.0)
+
+    def test_empty_is_none(self):
+        assert fraction_under(self.BOUNDS, [0, 0, 0, 0], 50.0) is None
+
+    def test_all_under(self):
+        assert fraction_under(self.BOUNDS, [4, 0, 0, 0], 1.0) == \
+            pytest.approx(1.0)
+
+    def test_interpolates_inside_bucket(self):
+        # 10 observations uniformly assumed in (10, 100]; threshold 55
+        # cuts the bucket at (55-10)/90 = 0.5.
+        assert fraction_under(self.BOUNDS, [0, 0, 10, 0], 55.0) == \
+            pytest.approx(0.5)
+
+    def test_overflow_bucket_counts_as_above(self):
+        assert fraction_under(self.BOUNDS, [0, 0, 0, 5], 1e6) == \
+            pytest.approx(0.0)
+        assert fraction_under(self.BOUNDS, [5, 0, 0, 5], 5.0) == \
+            pytest.approx(0.5)
+
+
+def trajectory(latencies_then_latencies, errors=(0, 0), requests=None):
+    """A recorder holding two samples: observe the first latency batch,
+    sample, observe the second batch, sample again."""
+    reg = obs_metrics.MetricsRegistry()
+    rec = TimeSeriesRecorder(registry=reg)
+    hist = reg.histogram(obs_metrics.SERVE_LATENCY_MS)
+    first, second = latencies_then_latencies
+    total = requests or (len(first) + len(second))
+    for value in first:
+        hist.observe(value)
+    reg.counter(obs_metrics.SERVE_REQUESTS).inc(len(first))
+    reg.counter(obs_metrics.SERVE_ERRORS).inc(errors[0])
+    rec.sample_now()
+    for value in second:
+        hist.observe(value)
+    reg.counter(obs_metrics.SERVE_REQUESTS).inc(total - len(first))
+    reg.counter(obs_metrics.SERVE_ERRORS).inc(errors[1] - errors[0])
+    rec.sample_now()
+    return reg, rec
+
+
+class TestLatencyBurnRate:
+    def test_within_budget(self):
+        # Window delta: 99 fast + 0 slow of 99 -> no budget spent.
+        reg, rec = trajectory(([500.0], [1.0] * 50))
+        slo = parse_slo("latency:p50:100")
+        evaluator = SLOEvaluator([slo], rec, registry=reg)
+        (result,) = evaluator.evaluate()
+        # The 500ms pre-window observation is delta'd away.
+        assert result["events"] == 50
+        assert result["bad_fraction"] == pytest.approx(0.0)
+        assert result["burn_rate"] == pytest.approx(0.0)
+        assert result["ok"] is True
+
+    def test_breach_and_gauges(self):
+        # Half the window's requests are slow against a p99 objective:
+        # burn explodes far past 1.0.
+        reg, rec = trajectory(([], [1.0] * 10 + [5000.0] * 10))
+        slo = parse_slo("latency:p99:100")
+        evaluator = SLOEvaluator([slo], rec, registry=reg)
+        (result,) = evaluator.evaluate()
+        assert result["ok"] is False
+        assert result["burn_rate"] > 1.0
+        assert result["observed_quantile_ms"] > 100.0
+        gauge = "%s.%s" % (obs_metrics.SERVE_SLO_BURN_RATE, slo.name)
+        assert reg.value(gauge) == result["burn_rate"]
+        assert reg.value(obs_metrics.SERVE_SLO_WORST) == \
+            result["burn_rate"]
+        assert reg.value(obs_metrics.SERVE_SLO_BREACHES) == 1
+
+    def test_breach_counted_once_per_transition(self):
+        reg, rec = trajectory(([], [5000.0] * 20))
+        evaluator = SLOEvaluator([parse_slo("latency:p99:100")], rec,
+                                 registry=reg)
+        evaluator.evaluate()
+        evaluator.evaluate()  # still breached: no second transition
+        assert reg.value(obs_metrics.SERVE_SLO_BREACHES) == 1
+
+    def test_not_enough_history_is_vacuously_ok(self):
+        reg = obs_metrics.MetricsRegistry()
+        rec = TimeSeriesRecorder(registry=reg)
+        rec.sample_now()  # single sample: no window to diff
+        evaluator = SLOEvaluator([parse_slo("latency:p99:100")], rec,
+                                 registry=reg)
+        (result,) = evaluator.evaluate()
+        assert result["ok"] is True and result["burn_rate"] is None
+
+    def test_results_are_strict_json(self):
+        reg, rec = trajectory(([], [5000.0] * 5))
+        evaluator = SLOEvaluator(
+            [parse_slo(spec) for spec in DEFAULT_SLOS], rec,
+            registry=reg)
+        payload = json.dumps(evaluator.evaluate(), allow_nan=False)
+        assert "Infinity" not in payload
+        assert INFINITE_BURN == pytest.approx(float(INFINITE_BURN))
+
+
+class TestErrorsBurnRate:
+    def test_error_budget_spend(self):
+        # 100 requests in the window, 1 error, 99.9% objective:
+        # bad_fraction 0.01 against budget 0.001 -> burn 10x.
+        reg, rec = trajectory(([], []), errors=(0, 1), requests=100)
+        evaluator = SLOEvaluator([parse_slo("errors:99.9")], rec,
+                                 registry=reg)
+        (result,) = evaluator.evaluate()
+        assert result["events"] == 100
+        assert result["bad_fraction"] == pytest.approx(0.01)
+        assert result["burn_rate"] == pytest.approx(10.0)
+        assert result["ok"] is False
+
+    def test_no_requests_in_window_is_ok(self):
+        reg, rec = trajectory(([], []), errors=(0, 0), requests=0)
+        evaluator = SLOEvaluator([parse_slo("errors:99.9")], rec,
+                                 registry=reg)
+        (result,) = evaluator.evaluate()
+        assert result["ok"] is True and result["burn_rate"] is None
+
+
+class TestSLOValidation:
+    def test_constructor_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLO("uptime", "x", 0.99)
+
+    def test_constructor_rejects_bad_target(self):
+        with pytest.raises(ValueError, match="target"):
+            SLO("errors", "x", 1.5)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLO("latency", "x", 0.99)
+
+    def test_describe(self):
+        assert "250" in parse_slo("latency:p99:250").describe()
+        assert "succeed" in parse_slo("errors:99.9").describe()

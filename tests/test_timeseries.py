@@ -1,0 +1,143 @@
+"""Tests for the metric time-series recorder (repro.obs.timeseries).
+
+Covers ring-buffer sampling (cumulative counters, derived per-second
+rates, histogram buckets and quantiles), capacity eviction with the
+``obs.ts.dropped`` counter, windowed reads, the JSONL journal, the
+background sampling thread, and exact agreement between final-sample
+quantiles and ``Histogram.quantile`` — the cross-check the serve
+benchmark relies on.
+"""
+
+import json
+import time
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.timeseries import TS_SCHEMA, TimeSeriesRecorder
+
+
+def make_registry():
+    reg = obs_metrics.MetricsRegistry()
+    reg.counter(obs_metrics.SERVE_REQUESTS).inc(10)
+    reg.gauge(obs_metrics.SERVE_QUEUE_DEPTH).set(3.0)
+    hist = reg.histogram(obs_metrics.SERVE_LATENCY_MS)
+    for value in (0.5, 2.0, 8.0, 120.0):
+        hist.observe(value)
+    return reg
+
+
+class TestSampling:
+    def test_sample_shape(self):
+        reg = make_registry()
+        rec = TimeSeriesRecorder(registry=reg)
+        sample = rec.sample_now()
+        assert sample["schema"] == TS_SCHEMA
+        assert sample["counters"][obs_metrics.SERVE_REQUESTS] == 10
+        assert sample["gauges"][obs_metrics.SERVE_QUEUE_DEPTH] == 3.0
+        hist = sample["histograms"][obs_metrics.SERVE_LATENCY_MS]
+        assert hist["count"] == 4
+        assert sum(hist["buckets"]) == 4
+        quantiles = sample["quantiles"][obs_metrics.SERVE_LATENCY_MS]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+        assert len(rec) == 1 and rec.latest() is sample
+
+    def test_rates_derive_from_counter_deltas(self):
+        reg = make_registry()
+        rec = TimeSeriesRecorder(registry=reg)
+        first = rec.sample_now()
+        assert first["rates"] == {}  # no previous sample to diff
+        reg.counter(obs_metrics.SERVE_REQUESTS).inc(20)
+        time.sleep(0.02)
+        second = rec.sample_now()
+        rate = second["rates"][obs_metrics.SERVE_REQUESTS]
+        assert rate > 0
+        elapsed = second["t"] - first["t"]
+        assert rate * elapsed == 20  # exactly the delta, scaled back
+
+    def test_final_sample_quantiles_match_histogram_exactly(self):
+        # The acceptance cross-check: the time-series read path must be
+        # bit-identical to Histogram.quantile on the same data.
+        reg = make_registry()
+        rec = TimeSeriesRecorder(registry=reg)
+        sample = rec.sample_now()
+        hist = reg.get(obs_metrics.SERVE_LATENCY_MS)
+        quantiles = sample["quantiles"][obs_metrics.SERVE_LATENCY_MS]
+        assert quantiles["p50"] == hist.quantile(0.50)
+        assert quantiles["p95"] == hist.quantile(0.95)
+        assert quantiles["p99"] == hist.quantile(0.99)
+
+    def test_ring_evicts_and_counts_drops(self):
+        reg = make_registry()
+        rec = TimeSeriesRecorder(registry=reg, capacity=3)
+        for __ in range(5):
+            rec.sample_now()
+        assert len(rec) == 3
+        assert rec.dropped() == 2
+        assert reg.value(obs_metrics.OBS_TS_SAMPLES) == 5
+        assert reg.value(obs_metrics.OBS_TS_DROPPED) == 2
+        times = [s["t"] for s in rec.samples()]
+        assert times == sorted(times)  # oldest evicted first
+
+    def test_windowed_read(self):
+        reg = make_registry()
+        rec = TimeSeriesRecorder(registry=reg)
+        old = rec.sample_now()
+        old["t"] -= 100.0  # backdate: outside any small window
+        rec.sample_now()
+        rec.sample_now()
+        assert len(rec.samples()) == 3
+        assert len(rec.samples(window_s=50.0)) == 2
+        assert all(s["t"] > time.time() - 50.0
+                   for s in rec.samples(window_s=50.0))
+
+
+class TestJournal:
+    def test_flush_appends_jsonl(self, tmp_path):
+        path = str(tmp_path / "ts.jsonl")
+        reg = make_registry()
+        rec = TimeSeriesRecorder(registry=reg, jsonl_path=path)
+        rec.sample_now()
+        rec.sample_now()
+        rec.flush()
+        rec.sample_now()
+        rec.flush()
+        rec.flush()  # nothing new: no extra lines
+        with open(path) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert len(rows) == 3
+        assert all(row["schema"] == TS_SCHEMA for row in rows)
+        assert [row["t"] for row in rows] == \
+            sorted(row["t"] for row in rows)
+        assert reg.value(obs_metrics.OBS_TS_FLUSHES) >= 2
+
+    def test_no_journal_flush_is_noop(self):
+        rec = TimeSeriesRecorder(registry=make_registry())
+        rec.sample_now()
+        rec.flush()  # must not raise without a jsonl_path
+
+
+class TestBackgroundThread:
+    def test_start_stop_takes_final_sample(self, tmp_path):
+        path = str(tmp_path / "ts.jsonl")
+        reg = make_registry()
+        rec = TimeSeriesRecorder(registry=reg, interval=0.01,
+                                 jsonl_path=path)
+        rec.start()
+        deadline = time.time() + 5.0
+        while len(rec) < 2 and time.time() < deadline:
+            time.sleep(0.01)
+        reg.counter(obs_metrics.SERVE_REQUESTS).inc(5)
+        rec.stop(final_sample=True)
+        assert len(rec) >= 2
+        # The final sample observed the very last counter increment and
+        # was flushed to the journal before stop() returned.
+        assert rec.latest()["counters"][obs_metrics.SERVE_REQUESTS] == 15
+        with open(path) as handle:
+            last = json.loads(handle.readlines()[-1])
+        assert last["counters"][obs_metrics.SERVE_REQUESTS] == 15
+
+    def test_stop_is_idempotent(self):
+        rec = TimeSeriesRecorder(registry=make_registry(), interval=0.01)
+        rec.start()
+        rec.stop()
+        rec.stop()

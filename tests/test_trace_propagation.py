@@ -1,0 +1,153 @@
+"""Tests for distributed trace propagation (repro.obs.trace schema 2).
+
+Covers span identity (trace/span/parent ids), the ``X-Repro-Trace``
+header wire format, remote-parent adoption via ``propagated()``,
+cross-process re-parenting under nested pools (a worker's
+``characterize.point`` tree — itself containing ``parallel.map``
+sub-spans — stitching under a remote parent), and Chrome-trace export
+of the identity fields.
+"""
+
+import pytest
+
+from repro.aging import worst_case
+from repro.core import characterize
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.rtl import Adder
+
+
+class TestSpanIdentity:
+    def test_ids_assigned_and_inherited(self):
+        with obs_trace.capture():
+            with obs_trace.span("root") as root:
+                with obs_trace.span("child") as child:
+                    pass
+        assert len(root.trace_id) == 16 and len(root.span_id) == 16
+        assert root.parent_id is None
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        with obs_trace.capture():
+            with obs_trace.span("a") as a:
+                pass
+            with obs_trace.span("b") as b:
+                pass
+        assert a.trace_id != b.trace_id
+
+
+class TestHeaderWireFormat:
+    def test_round_trip(self):
+        with obs_trace.capture():
+            with obs_trace.span("client.call"):
+                ctx = obs_trace.propagation_context()
+                header = obs_trace.format_traceparent()
+        assert ctx is not None
+        assert header == "%s-%s" % (ctx["trace_id"], ctx["span_id"])
+        assert obs_trace.parse_traceparent(header) == ctx
+
+    def test_no_active_span_yields_none(self):
+        assert obs_trace.propagation_context() is None
+        assert obs_trace.format_traceparent() is None
+
+    @pytest.mark.parametrize("header", [
+        None, "", "nodash", "xyz-abc", "abcd-", "-abcd",
+        "0123456789abcdef", "g" * 16 + "-" + "0" * 16,
+        "0" * 16 + "-" + "Z" * 16,
+    ])
+    def test_parse_rejects_malformed(self, header):
+        assert obs_trace.parse_traceparent(header) is None
+
+    def test_parse_accepts_hex_ids(self):
+        ctx = obs_trace.parse_traceparent("a" * 16 + "-" + "1" * 16)
+        assert ctx == {"trace_id": "a" * 16, "span_id": "1" * 16}
+
+
+class TestPropagatedContext:
+    def test_span_adopts_remote_parent(self):
+        remote = {"trace_id": "f" * 16, "span_id": "e" * 16}
+        with obs_trace.capture() as tracer:
+            with obs_trace.propagated(remote):
+                with obs_trace.span("server.request") as request:
+                    with obs_trace.span("inner") as inner:
+                        pass
+        assert request.trace_id == remote["trace_id"]
+        assert request.parent_id == remote["span_id"]
+        assert inner.trace_id == remote["trace_id"]
+        assert inner.parent_id == request.span_id
+        assert tracer.roots == [request]
+
+    def test_propagated_none_is_noop(self):
+        with obs_trace.capture():
+            with obs_trace.propagated(None):
+                with obs_trace.span("plain") as s:
+                    pass
+        assert s.parent_id is None
+
+    def test_local_parent_wins_over_remote(self):
+        remote = {"trace_id": "f" * 16, "span_id": "e" * 16}
+        with obs_trace.capture():
+            with obs_trace.span("local") as local:
+                with obs_trace.propagated(remote):
+                    with obs_trace.span("child") as child:
+                        pass
+        # An active in-process span is a closer parent than the header.
+        assert child.parent_id == local.span_id
+        assert child.trace_id == local.trace_id
+
+
+class TestNestedPoolReparenting:
+    def test_worker_map_tasks_subtree_keeps_remote_identity(self, lib):
+        """Cross-process re-parenting under nested pools: a remote
+        parent (as a serve worker sees it) propagates through
+        ``characterize`` -> ``parallel.map`` -> pool workers, and the
+        adopted worker trees chain back to the remote trace."""
+        remote = {"trace_id": "ab" * 8, "span_id": "cd" * 8}
+        with obs_trace.capture() as tracer, obs_metrics.scoped():
+            with obs_trace.propagated(remote):
+                with obs_trace.span("serve.point") as serving:
+                    characterize(Adder(6), lib,
+                                 scenarios=[worst_case(10)],
+                                 precisions=[6, 5], effort="high",
+                                 jobs=2)
+
+        assert serving.trace_id == remote["trace_id"]
+        assert serving.parent_id == remote["span_id"]
+
+        spans = {s.span_id: s for s, __d, __p in tracer.walk()}
+        points = [s for s in spans.values()
+                  if s.name == "characterize.point"]
+        assert len(points) == 2
+        for point in points:
+            # The worker span kept the remote trace id end to end...
+            assert point.trace_id == remote["trace_id"]
+            # ...and its parent chain walks up to the remote root.
+            hops, cursor = 0, point
+            while cursor.parent_id in spans:
+                cursor = spans[cursor.parent_id]
+                hops += 1
+                assert cursor.trace_id == remote["trace_id"]
+            assert cursor is serving and hops >= 1
+            # The map fan-out span sits on the chain.
+            chain_names = set()
+            cursor = point
+            while cursor.parent_id in spans:
+                cursor = spans[cursor.parent_id]
+                chain_names.add(cursor.name)
+            assert "parallel.map" in chain_names
+
+    def test_chrome_export_carries_identity(self):
+        with obs_trace.capture() as tracer:
+            with obs_trace.span("root"):
+                with obs_trace.span("child"):
+                    pass
+        events = [e for e in tracer.chrome_events()
+                  if e.get("ph") == "X"]
+        assert len(events) == 2
+        by_name = {e["name"]: e for e in events}
+        root_args = by_name["root"]["args"]
+        child_args = by_name["child"]["args"]
+        assert root_args["trace_id"] == child_args["trace_id"]
+        assert child_args["parent_id"] == root_args["span_id"]
