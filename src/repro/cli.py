@@ -46,9 +46,9 @@ from .obs import slo as obs_slo
 from .obs import trace as obs_trace
 from .netlist.netlist import NetlistError
 from .report import (characterization_report, flow_report_text,
-                     instrumentation_report_text, metrics_report_text,
-                     schedule_report_text, screen_report,
-                     timing_report_text, verify_report_text)
+                     inject_report_text, instrumentation_report_text,
+                     metrics_report_text, schedule_report_text,
+                     screen_report, timing_report_text, verify_report_text)
 from .rtl import (fir_microarchitecture, dct_microarchitecture,
                   idct_microarchitecture)
 
@@ -355,6 +355,32 @@ def cmd_verify(args):
     return 0 if report.passed else 1
 
 
+def cmd_inject(args):
+    from .inject import CampaignSpec, run_campaign
+    from .inject.campaign import component_spec
+
+    component = _component(args)
+    scenarios = ["fresh"] + ["%s%gy" % (args.stress, y)
+                             for y in args.years]
+    try:
+        spec = CampaignSpec(
+            component=component_spec(component), width=component.width,
+            scenarios=tuple(scenarios), clock_scales=tuple(args.clocks),
+            vectors=args.vectors, seed=args.seed, stimulus=args.stimulus,
+            activity=args.activity, effort=args.effort).validated()
+    except specs_mod.SpecError as exc:
+        raise SystemExit(str(exc))
+    with _engine(args):
+        result = run_campaign(spec, jobs=args.jobs)
+        print(inject_report_text(result))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("campaign result written to %s" % args.output)
+    return 0
+
+
 def cmd_serve(args):
     from .serve import CharacterizationServer
 
@@ -548,6 +574,30 @@ def build_parser():
     p.add_argument("--seed", type=int, default=20170618,
                    help="RNG seed for operands, stimulus and fuzzing")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "inject",
+        help="statistical timing-fault injection campaign "
+             "(guardband-free baseline vs approximation vs guardband)")
+    common(p)
+    p.add_argument("--clocks", type=_years_list, default=[1.0, 0.95],
+                   metavar="SCALES",
+                   help="comma-separated clock scales relative to the "
+                        "fresh critical path (default 1.0,0.95)")
+    p.add_argument("--vectors", type=int, default=4096,
+                   help="stimulus vectors per grid point (default 4096)")
+    p.add_argument("--seed", type=int, default=20170618,
+                   help="campaign seed; results are bit-reproducible "
+                        "from it (see the seed-splitting scheme in "
+                        "repro.inject.masks)")
+    p.add_argument("--stimulus", default="normal",
+                   help="stimulus name (default normal)")
+    p.add_argument("--activity", type=float, default=0.5,
+                   help="output toggle activity scaling flip "
+                        "probabilities (default 0.5)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write the campaign result JSON")
+    p.set_defaults(func=cmd_inject)
 
     p = sub.add_parser(
         "serve",

@@ -1,0 +1,541 @@
+"""Campaign runner: clock x lifetime x stress fault-injection grids.
+
+A campaign quantifies the paper's baseline question — what happens to a
+guardband-free circuit that keeps its fresh clock while aging, *without*
+approximation — and puts the answer next to the two alternatives:
+
+* **guardband-free + faults** — the error-rate ladder. Every grid
+  point ``(scenario, clock scale)`` derives a faultload from batched
+  STA arrivals (:mod:`repro.inject.faultload`), samples per-gate XOR
+  masks (:mod:`repro.inject.masks`) and replays the stimulus through
+  the packed injector (:mod:`repro.inject.inject_sim`).
+* **guardband-free + aging-induced approximation** — the paper's
+  answer: the deepest precision whose *aged* critical path still meets
+  the same clock (found with cone-restricted incremental STA), with
+  the deterministic quality cost of truncating those inputs.
+* **guardbanded** — slow the clock to the aged critical path: zero
+  faults, full precision, and the clock penalty that motivates the
+  whole exercise.
+
+Determinism
+-----------
+``run_campaign`` produces bit-identical :class:`CampaignResult` values
+for the same spec + seed regardless of ``jobs``, worker pools, or the
+in-process vs served path. Three mechanisms carry that guarantee:
+
+1. Fault masks come from per-``(seed, gate uid, chunk)`` Philox
+   streams (see :mod:`repro.inject.masks`) — independent of which
+   process draws them.
+2. Every grid point is computed by the same module-level worker
+   (:func:`_inject_point`) on inputs re-derived deterministically from
+   the spec; serial and pooled paths run the identical float
+   operations in the identical order.
+3. :func:`repro.core.parallel.map_tasks` returns results in task
+   order, and task order is a pure function of the spec (scenario
+   major, clock scale minor).
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..cells.library import default_library
+from ..core.parallel import map_tasks
+from ..core.specs import (SpecError, parse_component, parse_effort,
+                          parse_scenario)
+from ..obs import logs, metrics as obs_metrics, trace as obs_trace
+from ..quality.metrics import (error_rate, max_abs_error, mean_abs_error,
+                               psnr_db)
+from ..sim.activity import operand_stream_bits
+from ..sim.logic import bits_to_int, compile_netlist, evaluate_packed
+from ..sim import bitpack
+from ..sim.stimuli import STIMULUS_NAMES, make_stimulus
+from ..sta.engine import (analyze_batch, analyze_incremental, compile_timing,
+                          corner_label, truncated_input_nets)
+from ..synth.synthesize import synthesize_netlist
+from .faultload import DEFAULT_ACTIVITY, build_faultload
+from .inject_sim import (check_alignment, count_mask_bits,
+                         evaluate_packed_injected)
+
+_log = logs.get_logger("inject.campaign")
+
+#: Spec fields accepted by :meth:`CampaignSpec.from_dict`.
+_SPEC_FIELDS = ("component", "scenarios", "clock_scales", "vectors", "seed",
+                "stimulus", "activity", "effort", "width")
+
+
+def component_spec(component):
+    """The registry spelling of a component instance (inverse of
+    :func:`repro.core.specs.parse_component`, width passed separately)."""
+    from ..core.specs import component_registry
+    for name, cls in component_registry().items():
+        if type(component) is cls:
+            return name
+    raise SpecError("component %s has no registry spelling"
+                    % getattr(component, "name", type(component).__name__))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One reproducible campaign: everything a result depends on.
+
+    ``scenarios`` are textual corner specs (``fresh``, ``worst10y``,
+    ``balance1y``, ``10y_worst``); ``clock_scales`` multiply the fresh
+    (guardband-free) critical path, so ``1.0`` is "keep the fresh
+    clock" and ``0.9`` overclocks by 10%. The ladder covers the full
+    scenario x scale grid.
+    """
+
+    component: str
+    scenarios: Tuple[str, ...] = ("fresh", "worst10y")
+    clock_scales: Tuple[float, ...] = (1.0,)
+    vectors: int = 4096
+    seed: int = 20170618
+    stimulus: str = "normal"
+    activity: float = DEFAULT_ACTIVITY
+    effort: str = "high"
+    width: Optional[int] = None
+
+    def validated(self):
+        """Parse/normalize every field; raises :class:`SpecError`."""
+        parse_component(self.component, width=self.width)
+        parse_effort(self.effort)
+        labels = [corner_label(parse_scenario(s)) for s in self.scenarios]
+        if not labels:
+            raise SpecError("campaign needs at least one scenario")
+        if len(set(labels)) != len(labels):
+            raise SpecError("duplicate scenarios in %r" % (self.scenarios,))
+        if not self.clock_scales:
+            raise SpecError("campaign needs at least one clock scale")
+        if any(not (0.0 < float(s) <= 4.0) for s in self.clock_scales):
+            raise SpecError("clock scales must be in (0, 4], got %r"
+                            % (self.clock_scales,))
+        if int(self.vectors) < 1:
+            raise SpecError("vectors must be >= 1, got %r" % (self.vectors,))
+        if int(self.seed) < 0:
+            raise SpecError("seed must be non-negative, got %r"
+                            % (self.seed,))
+        if not (0.0 < float(self.activity) <= 1.0):
+            raise SpecError("activity must be in (0, 1], got %r"
+                            % (self.activity,))
+        if self.stimulus not in STIMULUS_NAMES:
+            raise SpecError("unknown stimulus %r (choose from %s)"
+                            % (self.stimulus, ", ".join(STIMULUS_NAMES)))
+        return self
+
+    def to_dict(self):
+        """JSON-serializable form (see :meth:`from_dict`)."""
+        return {
+            "component": self.component,
+            "scenarios": list(self.scenarios),
+            "clock_scales": [float(s) for s in self.clock_scales],
+            "vectors": int(self.vectors),
+            "seed": int(self.seed),
+            "stimulus": self.stimulus,
+            "activity": float(self.activity),
+            "effort": self.effort,
+            "width": self.width,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`; unknown fields are an error."""
+        if not isinstance(data, dict):
+            raise SpecError("campaign spec must be an object, got %r"
+                            % type(data).__name__)
+        unknown = sorted(set(data) - set(_SPEC_FIELDS))
+        if unknown:
+            raise SpecError("unknown campaign spec fields: %s"
+                            % ", ".join(unknown))
+        if "component" not in data:
+            raise SpecError("campaign spec needs a component")
+        kwargs = dict(data)
+        if "scenarios" in kwargs:
+            kwargs["scenarios"] = tuple(str(s) for s in kwargs["scenarios"])
+        if "clock_scales" in kwargs:
+            kwargs["clock_scales"] = tuple(
+                float(s) for s in kwargs["clock_scales"])
+        for key in ("vectors", "seed"):
+            if key in kwargs:
+                kwargs[key] = int(kwargs[key])
+        if kwargs.get("width") is not None:
+            kwargs["width"] = int(kwargs["width"])
+        return cls(**kwargs).validated()
+
+    def key(self):
+        """Stable fingerprint for per-process prelude memoization."""
+        return (self.component, tuple(self.scenarios),
+                tuple(float(s) for s in self.clock_scales),
+                int(self.vectors), int(self.seed), self.stimulus,
+                float(self.activity), self.effort, self.width)
+
+
+@dataclass
+class CampaignResult:
+    """Ladder + comparison arms of one campaign.
+
+    Everything here is deterministic given the spec (no wall-clock
+    fields), so equality of ``to_dict()`` outputs *is* the
+    reproducibility check the determinism tests perform.
+    """
+
+    spec: CampaignSpec
+    component: str
+    gates: int
+    vectors: int
+    fresh_clock_ps: float
+    labels: Tuple[str, ...]
+    rows: list = field(default_factory=list)
+    approximation: list = field(default_factory=list)
+    guardbanded: list = field(default_factory=list)
+
+    def to_dict(self):
+        return {
+            "schema": "repro.inject/1",
+            "spec": self.spec.to_dict(),
+            "component": self.component,
+            "gates": int(self.gates),
+            "vectors": int(self.vectors),
+            "fresh_clock_ps": float(self.fresh_clock_ps),
+            "labels": list(self.labels),
+            "rows": self.rows,
+            "approximation": self.approximation,
+            "guardbanded": self.guardbanded,
+        }
+
+
+# ---------------------------------------------------------------------------
+# per-process prelude (synthesis + STA + clean reference outputs)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Prelude:
+    component: object
+    netlist: object
+    compiled: object
+    program: object
+    corners: tuple
+    labels: tuple
+    batch: object
+    fresh_clock_ps: float
+    pi_bits: np.ndarray
+    words: int
+    clean_ints: np.ndarray
+    peak: float
+    library: object
+
+
+_PRELUDE_MEMO = {}
+_PRELUDE_MEMO_LIMIT = 4
+
+
+def _campaign_corners(spec):
+    """Corner grid: fresh first (it defines the guardband-free clock),
+    then the spec's aged scenarios in order, deduplicated by label."""
+    corners = [parse_scenario("fresh")]
+    labels = ["fresh"]
+    for text in spec.scenarios:
+        scenario = parse_scenario(text)
+        label = corner_label(scenario)
+        if label not in labels:
+            corners.append(scenario)
+            labels.append(label)
+    return tuple(corners), tuple(labels)
+
+
+def _stimulus_operands(spec, component):
+    widths = component.operand_widths
+    if len(widths) == 2 and widths[0] == widths[1]:
+        a, b = make_stimulus(spec.stimulus, widths[0], spec.vectors,
+                             seed=spec.seed)
+        return [a, b]
+    if spec.stimulus in ("normal", "uniform"):
+        rng = np.random.default_rng(spec.seed)
+        return list(component.random_operands(
+            spec.vectors, rng=rng, distribution=spec.stimulus))
+    raise SpecError(
+        "stimulus %r needs two equal-width operands; %s has widths %s "
+        "(use normal or uniform)"
+        % (spec.stimulus, component.name, list(widths)))
+
+
+def _build_prelude(spec, library):
+    component = parse_component(spec.component, width=spec.width)
+    lib = library if library is not None else default_library()
+    netlist = synthesize_netlist(component, lib, effort=spec.effort)
+    compiled = compile_netlist(netlist, lib)
+    program = compile_timing(netlist, lib)
+    check_alignment(compiled, program)
+    corners, labels = _campaign_corners(spec)
+    batch = analyze_batch(netlist, lib, corners, program=program)
+    fresh_clock = float(batch.critical_path_ps[0])
+    operands = _stimulus_operands(spec, component)
+    pi_bits = operand_stream_bits(operands, component.operand_widths)
+    words = bitpack.word_count(spec.vectors)
+    clean_bits = evaluate_packed(compiled, pi_bits)
+    clean_ints = bits_to_int(clean_bits, signed=True)
+    peak = float(2 ** (component.output_width - 1))
+    return _Prelude(component=component, netlist=netlist, compiled=compiled,
+                    program=program, corners=corners, labels=labels,
+                    batch=batch, fresh_clock_ps=fresh_clock, pi_bits=pi_bits,
+                    words=words, clean_ints=clean_ints, peak=peak,
+                    library=lib)
+
+
+def _prelude(spec, library=None):
+    """Per-process memoized campaign prelude.
+
+    Keyed by the spec fingerprint plus the library's identity: with the
+    default library the memo is effective across tasks of a campaign
+    (and across campaigns over the same spec); an explicit library
+    instance keys by ``id`` so tests with custom libraries stay
+    correct.
+    """
+    key = (spec.key(), "default" if library is None else id(library))
+    prelude = _PRELUDE_MEMO.get(key)
+    if prelude is None:
+        if len(_PRELUDE_MEMO) >= _PRELUDE_MEMO_LIMIT:
+            _PRELUDE_MEMO.pop(next(iter(_PRELUDE_MEMO)))
+        prelude = _build_prelude(spec, library)
+        _PRELUDE_MEMO[key] = prelude
+    return prelude
+
+
+# ---------------------------------------------------------------------------
+# grid-point worker
+# ---------------------------------------------------------------------------
+
+def _quality_row(clean_ints, observed_ints, peak):
+    return {
+        "word_error_rate": float(error_rate(clean_ints, observed_ints)),
+        "mean_abs_error": float(mean_abs_error(clean_ints, observed_ints)),
+        "max_abs_error": float(max_abs_error(clean_ints, observed_ints)),
+        "psnr_db": float(psnr_db(clean_ints, observed_ints, peak=peak)),
+    }
+
+
+def _point_row(spec, prelude, scenario_label, clock_scale):
+    """One ladder row: faultload -> masks -> injected replay -> metrics."""
+    clock_ps = prelude.fresh_clock_ps * float(clock_scale)
+    corner = prelude.labels.index(scenario_label)
+    scenario = prelude.corners[corner]
+    faultload = build_faultload(prelude.program, prelude.batch,
+                                scenario_label, clock_ps,
+                                activity=spec.activity)
+    started = time.perf_counter()
+    masks = faultload.masks(spec.seed, prelude.words)
+    injected, faulted = count_mask_bits(masks, spec.vectors)
+    if masks:
+        bits = evaluate_packed_injected(prelude.compiled, prelude.pi_bits,
+                                        masks)
+        observed = bits_to_int(bits, signed=True)
+    else:
+        observed = prelude.clean_ints
+    elapsed = time.perf_counter() - started
+    if elapsed > 0.0:
+        obs_metrics.set_gauge(obs_metrics.INJECT_VECTORS_PER_SEC,
+                              spec.vectors / elapsed)
+    obs_metrics.inc(obs_metrics.INJECT_VECTORS, spec.vectors)
+    obs_metrics.inc(obs_metrics.INJECT_FAULTS, injected)
+    obs_metrics.inc(obs_metrics.INJECT_FAULTED_VECTORS, faulted)
+    obs_metrics.observe(obs_metrics.INJECT_VIOLATING_FRACTION,
+                        faultload.violating_fraction,
+                        boundaries=obs_metrics.FRACTION_BOUNDARIES)
+    row = {
+        "scenario": scenario_label,
+        "years": float(scenario.years),
+        "clock_scale": float(clock_scale),
+        "clock_ps": clock_ps,
+        "aged_cp_ps": float(prelude.batch.critical_path_ps[corner]),
+        "violating_gates": faultload.n_violating,
+        "total_gates": faultload.n_gates,
+        "violating_fraction": faultload.violating_fraction,
+        "mean_flip_probability": faultload.mean_flip_probability,
+        "injected_faults": int(injected),
+        "faults_per_vector": injected / spec.vectors,
+        "faulted_vectors": int(faulted),
+        "faulted_vector_rate": faulted / spec.vectors,
+    }
+    row.update(_quality_row(prelude.clean_ints, observed, prelude.peak))
+    return row
+
+
+def _inject_point(task):
+    """Module-level grid-point worker (shared by every execution path).
+
+    Returns the ladder row plus, when run inside a pool worker, the
+    spans and metrics it produced (``map_tasks`` workers run in their
+    own processes; the parent adopts/merges what comes back).
+    """
+    spec = CampaignSpec.from_dict(task["spec"])
+    with obs_trace.capture() as tracer, obs_metrics.scoped() as registry:
+        with obs_trace.propagated(task.get("trace")), obs_trace.span(
+                "inject.point", scenario=task["scenario"],
+                clock_scale=task["clock_scale"]):
+            prelude = _prelude(spec, library=task.get("library"))
+            row = _point_row(spec, prelude, task["scenario"],
+                             task["clock_scale"])
+    return {"row": row, "trace": tracer.to_dicts(),
+            "obs_metrics": registry.snapshot()}
+
+
+# ---------------------------------------------------------------------------
+# comparison arms
+# ---------------------------------------------------------------------------
+
+def _approximation_cp(prelude, precision):
+    """Aged CPs (all corners) of the component truncated to *precision*."""
+    tied = truncated_input_nets(prelude.component, prelude.netlist, precision)
+    if not tied:
+        return prelude.batch.critical_paths_ps
+    report = analyze_incremental(prelude.netlist, prelude.library, tied,
+                                 baseline=prelude.batch,
+                                 program=prelude.program)
+    return report.critical_paths_ps
+
+
+def _truncated_ints(prelude, precision):
+    """Packed replay of the *precision*-truncated circuit.
+
+    Zeroing the tied PI columns is functionally identical to the
+    :func:`repro.sta.engine.tie_low` netlist transform (the gates only
+    ever see constant 0 on those nets), so the full-precision compiled
+    netlist can be reused.
+    """
+    tied = set(truncated_input_nets(prelude.component, prelude.netlist,
+                                    precision))
+    if not tied:
+        return prelude.clean_ints
+    pi_bits = prelude.pi_bits.copy()
+    for col, net in enumerate(prelude.netlist.primary_inputs):
+        if net in tied:
+            pi_bits[:, col] = 0
+    bits = evaluate_packed(prelude.compiled, pi_bits)
+    return bits_to_int(bits, signed=True)
+
+
+def _arms(spec, prelude):
+    """The two alternatives next to the fault ladder (see module doc)."""
+    width = prelude.component.width
+    cp_by_precision = {}
+    approximation = []
+    truncated_cache = {}
+    for label, scenario in zip(prelude.labels, prelude.corners):
+        if label == "fresh":
+            continue
+        corner = prelude.labels.index(label)
+        for scale in spec.clock_scales:
+            clock_ps = prelude.fresh_clock_ps * float(scale)
+            chosen = None
+            for precision in range(width, 0, -1):
+                if precision not in cp_by_precision:
+                    cp_by_precision[precision] = _approximation_cp(
+                        prelude, precision)
+                if cp_by_precision[precision][corner] <= clock_ps:
+                    chosen = precision
+                    break
+            entry = {
+                "scenario": label,
+                "years": float(scenario.years),
+                "clock_scale": float(scale),
+                "clock_ps": clock_ps,
+                "feasible": chosen is not None,
+                "precision": chosen,
+                "dropped_bits": None if chosen is None else width - chosen,
+            }
+            if chosen is not None:
+                entry["aged_cp_ps"] = float(cp_by_precision[chosen][corner])
+                if chosen not in truncated_cache:
+                    truncated_cache[chosen] = _truncated_ints(prelude, chosen)
+                entry.update(_quality_row(prelude.clean_ints,
+                                          truncated_cache[chosen],
+                                          prelude.peak))
+            approximation.append(entry)
+    guardbanded = []
+    for label, scenario in zip(prelude.labels, prelude.corners):
+        if label == "fresh":
+            continue
+        corner = prelude.labels.index(label)
+        aged_cp = float(prelude.batch.critical_path_ps[corner])
+        faultload = build_faultload(prelude.program, prelude.batch, label,
+                                    aged_cp, activity=spec.activity)
+        guardbanded.append({
+            "scenario": label,
+            "years": float(scenario.years),
+            "clock_ps": aged_cp,
+            "clock_penalty_pct":
+                100.0 * (aged_cp / prelude.fresh_clock_ps - 1.0),
+            "violating_gates": faultload.n_violating,
+            "injected_faults": 0,
+            "word_error_rate": 0.0,
+        })
+    return approximation, guardbanded
+
+
+# ---------------------------------------------------------------------------
+# campaign drivers
+# ---------------------------------------------------------------------------
+
+def make_point_tasks(spec, library=None):
+    """The campaign's task list (scenario major, clock scale minor)."""
+    ctx = obs_trace.propagation_context()
+    ladder_labels = [corner_label(parse_scenario(s)) for s in spec.scenarios]
+    tasks = []
+    for label in ladder_labels:
+        for scale in spec.clock_scales:
+            tasks.append({"spec": spec.to_dict(), "scenario": label,
+                          "clock_scale": float(scale), "trace": ctx,
+                          "library": library})
+    return tasks
+
+
+def run_campaign(spec, library=None, jobs=None, pool=None):
+    """Run one campaign; same spec + seed -> bit-identical result.
+
+    *jobs*/*pool* follow :func:`repro.core.parallel.map_tasks`
+    semantics; results do not depend on either (see module doc).
+    """
+    spec.validated()
+    with obs_trace.span("inject.campaign", component=spec.component,
+                        scenarios=len(spec.scenarios),
+                        clock_scales=len(spec.clock_scales),
+                        vectors=spec.vectors):
+        started = time.perf_counter()
+        tasks = make_point_tasks(spec, library=library)
+        outcomes = map_tasks(_inject_point, tasks, jobs=jobs, pool=pool)
+        rows = []
+        for outcome in outcomes:
+            obs_trace.adopt(outcome["trace"])
+            obs_metrics.registry().merge(outcome["obs_metrics"])
+            rows.append(outcome["row"])
+        prelude = _prelude(spec, library=library)
+        with obs_trace.span("inject.arms", component=spec.component):
+            approximation, guardbanded = _arms(spec, prelude)
+        obs_metrics.inc(obs_metrics.INJECT_CAMPAIGNS)
+        obs_metrics.inc(obs_metrics.INJECT_POINTS, len(rows))
+        _log.info(
+            "campaign %s: %d points x %d vectors in %.2fs",
+            spec.component, len(rows), spec.vectors,
+            time.perf_counter() - started)
+        return CampaignResult(
+            spec=spec, component=prelude.component.name,
+            gates=prelude.program.n_gates, vectors=int(spec.vectors),
+            fresh_clock_ps=prelude.fresh_clock_ps, labels=prelude.labels,
+            rows=rows, approximation=approximation, guardbanded=guardbanded)
+
+
+def _inject_campaign(task):
+    """Module-level whole-campaign worker for the served path.
+
+    Mirrors :func:`repro.core.characterize._characterize_point`'s
+    shipping contract: runs under its own tracer/registry and returns
+    them alongside the result for the event loop to adopt/merge.
+    """
+    with obs_trace.capture() as tracer, obs_metrics.scoped() as registry:
+        with obs_trace.propagated(task.get("trace")):
+            spec = CampaignSpec.from_dict(task["spec"])
+            result = run_campaign(spec, jobs=1)
+    return {"campaign": result.to_dict(), "trace": tracer.to_dicts(),
+            "obs_metrics": registry.snapshot()}

@@ -1,0 +1,132 @@
+"""Faultload derivation from batched STA arrivals.
+
+A *faultload* names the gates that miss timing at a given
+``(corner, clock)`` point and assigns each a flip probability. The
+model follows the paper's premise for guardband-free operation: a gate
+whose aged output arrival exceeds the clock period latches a stale or
+metastable value on some fraction of cycles. We approximate that
+fraction as::
+
+    p(gate) = activity * (1 - clock_ps / arrival_ps)
+
+i.e. proportional to how deep the gate is past the deadline, scaled by
+an output toggle activity (default 0.5 — a late capture only matters
+when the output actually changed this cycle). The comparison is
+strict (``arrival > clock``), so a fresh circuit clocked at its own
+critical path, or any corner under a guardbanded clock, yields an
+empty faultload — the "exactly zero injections" invariant.
+
+Probabilities are quantized to :data:`repro.inject.masks.PROB_BITS`
+bits (:func:`repro.inject.masks.flip_threshold`); because ``p`` is
+non-decreasing in lifetime (arrivals grow under aging) and in clock
+aggressiveness (smaller ``clock_ps``), thresholds are too, which the
+mask layer turns into exactly monotone injected-fault counts.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sta.engine import corner_label
+from . import masks as masks_mod
+
+#: Default output toggle activity used to scale flip probabilities.
+DEFAULT_ACTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class Faultload:
+    """Violating gates of one ``(corner, clock)`` point.
+
+    All arrays are aligned: entry *i* describes the same gate. ``rows``
+    are indices into the topological gate order shared by
+    :class:`repro.sta.engine.TimingProgram` and
+    :class:`repro.sim.logic.CompiledNetlist` (both derive from
+    ``netlist.topological_gates()``), so a row addresses the packed-eval
+    op to XOR directly.
+    """
+
+    clock_ps: float
+    corner: str
+    activity: float
+    rows: np.ndarray
+    gate_uids: np.ndarray
+    arrival_ps: np.ndarray
+    flip_probability: np.ndarray
+    thresholds: np.ndarray
+    n_gates: int
+
+    @property
+    def n_violating(self):
+        return int(self.rows.size)
+
+    @property
+    def violating_fraction(self):
+        return self.n_violating / max(self.n_gates, 1)
+
+    @property
+    def mean_flip_probability(self):
+        if not self.rows.size:
+            return 0.0
+        return float(self.flip_probability.mean())
+
+    def masks(self, seed, words):
+        """Per-op packed fault masks: ``{op row: (words,) uint64}``.
+
+        Masks come from the per-``(seed, gate uid)`` streams of
+        :mod:`repro.inject.masks`, so they are independent of which
+        process builds them and nested across corners that share a
+        seed.
+        """
+        out = {}
+        for row, uid, threshold in zip(
+                self.rows.tolist(), self.gate_uids.tolist(),
+                self.thresholds.tolist()):
+            mask = masks_mod.bernoulli_words(seed, uid, threshold, words)
+            if mask.any():
+                out[row] = mask
+        return out
+
+
+def gate_output_arrivals(program, batch, corner_index):
+    """Per-gate output arrival times (float64) for one analyzed corner."""
+    slots = np.fromiter(
+        (program.slot_of[gate.output] for gate in program.gates),
+        dtype=np.int64, count=program.n_gates)
+    return np.asarray(batch.arrivals[slots, corner_index], dtype=np.float64)
+
+
+def build_faultload(program, batch, corner, clock_ps,
+                    activity=DEFAULT_ACTIVITY):
+    """Derive the faultload of one ``(corner, clock)`` point.
+
+    *corner* is a label from ``batch.labels`` (or an
+    :class:`~repro.aging.scenario.AgingScenario` / ``None`` resolved
+    via :func:`repro.sta.engine.corner_label`). *clock_ps* must be
+    positive; *activity* is the toggle-activity scale in ``(0, 1]``.
+    """
+    clock_ps = float(clock_ps)
+    if clock_ps <= 0.0:
+        raise ValueError("clock_ps must be positive, got %r" % clock_ps)
+    if not 0.0 < activity <= 1.0:
+        raise ValueError("activity must be in (0, 1], got %r" % activity)
+    label = corner if isinstance(corner, str) else corner_label(corner)
+    corner_index = batch.corner_index(label)
+    arrivals = gate_output_arrivals(program, batch, corner_index)
+    rows = np.flatnonzero(arrivals > clock_ps)
+    late = arrivals[rows]
+    probs = activity * (1.0 - clock_ps / late)
+    thresholds = np.fromiter(
+        (masks_mod.flip_threshold(p) for p in probs.tolist()),
+        dtype=np.int64, count=rows.size)
+    return Faultload(
+        clock_ps=clock_ps,
+        corner=label,
+        activity=float(activity),
+        rows=rows.astype(np.int64),
+        gate_uids=np.asarray(program.gate_uids, dtype=np.int64)[rows],
+        arrival_ps=late,
+        flip_probability=probs,
+        thresholds=thresholds,
+        n_gates=program.n_gates,
+    )

@@ -80,6 +80,13 @@ OBS_PROFILE_SAMPLES = "obs.profile.samples"
 SERVE_SLO_BURN_RATE = "serve.slo.burn_rate"
 SERVE_SLO_BREACHES = "serve.slo.breaches"
 SERVE_SLO_WORST = "serve.slo.worst_burn_rate"
+INJECT_CAMPAIGNS = "inject.campaigns"
+INJECT_POINTS = "inject.points"
+INJECT_VECTORS = "inject.vectors"
+INJECT_FAULTS = "inject.faults"
+INJECT_FAULTED_VECTORS = "inject.faulted_vectors"
+INJECT_VECTORS_PER_SEC = "inject.vectors_per_sec"
+INJECT_VIOLATING_FRACTION = "inject.violating_gate_fraction"
 
 #: Bucket edges for fraction-valued histograms (e.g. cone fractions in
 #: [0, 1]); the decade-wide defaults would lump everything together.

@@ -305,3 +305,61 @@ def verify_report_text(report):
     lines.append("")
     lines.append("verdict: %s" % ("PASS" if report.passed else "FAIL"))
     return "\n".join(lines)
+
+
+def inject_report_text(result):
+    """Error-rate ladder + comparison arms of a fault-injection campaign.
+
+    Renders a :class:`repro.inject.CampaignResult`: the guardband-free
+    fault ladder over the scenario x clock grid, then the deterministic
+    alternatives — aging-induced approximation at the same clock, and
+    guardbanding (clock relaxed to the aged critical path).
+    """
+    spec = result.spec
+    lines = ["fault-injection campaign: %s (%d gates, %d vectors, seed %d)"
+             % (result.component, result.gates, result.vectors, spec.seed),
+             "guardband-free clock: %.3f ps (fresh critical path)"
+             % result.fresh_clock_ps,
+             "",
+             "guardband-free + faults:"]
+    headers = ["scenario", "clock", "clock_ps", "viol", "p_flip",
+               "faults", "fault_rate", "word_err", "mae", "psnr_db"]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row["scenario"], "x%.3g" % row["clock_scale"],
+            "%.2f" % row["clock_ps"], row["violating_gates"],
+            "%.4f" % row["mean_flip_probability"], row["injected_faults"],
+            "%.5f" % row["faulted_vector_rate"],
+            "%.5f" % row["word_error_rate"], "%.2f" % row["mean_abs_error"],
+            "%.1f" % row["psnr_db"]])
+    lines.append(format_table(headers, rows))
+    if result.approximation:
+        lines.append("")
+        lines.append("guardband-free + aging-induced approximation:")
+        headers = ["scenario", "clock", "precision", "dropped",
+                   "aged_cp_ps", "word_err", "mae", "psnr_db"]
+        rows = []
+        for row in result.approximation:
+            if row["feasible"]:
+                rows.append([
+                    row["scenario"], "x%.3g" % row["clock_scale"],
+                    row["precision"], row["dropped_bits"],
+                    "%.2f" % row["aged_cp_ps"],
+                    "%.5f" % row["word_error_rate"],
+                    "%.2f" % row["mean_abs_error"],
+                    "%.1f" % row["psnr_db"]])
+            else:
+                rows.append([row["scenario"],
+                             "x%.3g" % row["clock_scale"],
+                             "-", "-", "-", "-", "-", "infeasible"])
+        lines.append(format_table(headers, rows))
+    if result.guardbanded:
+        lines.append("")
+        lines.append("guardbanded (clock = aged critical path):")
+        headers = ["scenario", "clock_ps", "penalty_pct", "viol", "faults"]
+        rows = [[row["scenario"], "%.2f" % row["clock_ps"],
+                 "%.2f" % row["clock_penalty_pct"], row["violating_gates"],
+                 row["injected_faults"]] for row in result.guardbanded]
+        lines.append(format_table(headers, rows))
+    return "\n".join(lines)

@@ -175,6 +175,14 @@ class ServeClient:
         """POST one query; returns the full response dict."""
         return await self.request("POST", "/v1/characterize", query)
 
+    async def inject(self, spec):
+        """POST one campaign spec dict to ``/v1/inject``.
+
+        Returns the response dict; its ``"campaign"`` entry is the
+        served :meth:`repro.inject.CampaignResult.to_dict`.
+        """
+        return await self.request("POST", "/v1/inject", spec)
+
     async def batch(self, query):
         """POST one query to ``/v1/batch``; yield records as streamed.
 

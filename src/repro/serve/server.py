@@ -31,6 +31,12 @@ Endpoints
     Same query, but streams one NDJSON point record per chunk *as grid
     points complete* (completion order), then a ``{"done": true}``
     summary line.
+``POST /v1/inject``
+    A fault-injection campaign spec
+    (:meth:`repro.inject.CampaignSpec.to_dict`); runs the campaign in
+    a pool worker and answers with the full
+    :meth:`~repro.inject.CampaignResult.to_dict` — bit-identical to an
+    in-process ``run_campaign`` of the same spec.
 ``GET /v1/stats``
     Serving counters: requests, in-flight dedup hits, tier hit ratios,
     queue depth, latency percentiles (p50/p95/p99), cache stats, SLO
@@ -513,6 +519,9 @@ class CharacterizationServer:
         elif path == "/v1/batch":
             self._require(request, "POST")
             keep = await self._stream_batch(request, writer, keep)
+        elif path == "/v1/inject":
+            self._require(request, "POST")
+            keep = await self._inject(request, writer, keep)
         elif path == "/v1/shutdown":
             self._require(request, "POST")
             self._respond(writer, 200, {"status": "shutting down"},
@@ -676,6 +685,42 @@ class CharacterizationServer:
             if span is not None:
                 span.attrs["source"] = "computed"
             return protocol.record_from_result(task, result, "computed")
+
+    async def _inject(self, request, writer, keep):
+        """``/v1/inject``: one fault-injection campaign per request.
+
+        The whole campaign runs in a single pool worker
+        (:func:`repro.inject.campaign._inject_campaign`); its result is
+        deterministic from the spec, so the served answer is
+        bit-identical to an in-process ``run_campaign`` — the
+        determinism suite compares the two verbatim.
+        """
+        from ..core.specs import SpecError
+        from ..inject import CampaignSpec
+        from ..inject.campaign import _inject_campaign
+
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise protocol.ProtocolError("request body is not valid JSON")
+        try:
+            # Validate on the event loop so bad specs answer 400.
+            spec = CampaignSpec.from_dict(payload)
+        except SpecError as exc:
+            raise protocol.ProtocolError(str(exc))
+        ctx = obs_trace.propagation_context()
+        task = {"spec": spec.to_dict(), "trace": ctx}
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self.pool.executor,
+                                      _inject_campaign, task)
+        result = await asyncio.shield(future)
+        obs_trace.adopt(result["trace"])
+        self._registry.merge(result["obs_metrics"])
+        self._respond(writer, 200, {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "campaign": result["campaign"],
+        }, keep=keep)
+        return keep
 
     # -- streaming ---------------------------------------------------------
     async def _stream_batch(self, request, writer, keep):

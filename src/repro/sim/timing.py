@@ -50,7 +50,7 @@ class TimedResult:
     settled:
         ``(batch, n_po)`` uint8 — the eventual (error-free) bits.
     arrivals:
-        ``(batch, n_po)`` float32 — per-bit settle times in ps.
+        ``(batch, n_po)`` float64 — per-bit settle times in ps.
     violations:
         ``(batch, n_po)`` bool — True where the bit settled after the
         clock edge (sampled may differ from settled there).
@@ -93,11 +93,14 @@ class TimedSimulator:
     """
 
     #: Slop added to the clock edge when classifying late arrivals.
-    #: Arrival times accumulate in float32, so a path that exactly equals
-    #: the (float64) critical path can drift a few hundredths of a ps
-    #: past it; without the tolerance a fresh circuit clocked at its own
-    #: critical path would sporadically "violate" its own timing.
-    LATE_TOLERANCE_PS = 0.05
+    #: Arrival times accumulate in float64 — the same floats static STA
+    #: propagates — so a dynamic arrival can never drift past the static
+    #: bound and a fresh circuit clocked at its own critical path shows
+    #: exactly zero violations without any slop. (Arrivals historically
+    #: accumulated in float32, which needed 0.05 ps of tolerance and let
+    #: the timed simulator flag "violations" that static STA disproved;
+    #: the sta-crosscheck suite pins the agreement now.)
+    LATE_TOLERANCE_PS = 0.0
 
     #: Supported activity-propagation models (ablation axis):
     #: ``"sensitization"`` — Boolean-difference static sensitization (the
@@ -125,7 +128,7 @@ class TimedSimulator:
         # Align per-gate delays with the compiled op order.
         self._op_delays = np.array(
             [delays[uid] for __f, __i, __o, uid in self.compiled.ops],
-            dtype=np.float32)
+            dtype=np.float64)
         self.max_batch = int(max_batch)
         # Per-op constant metadata, hoisted out of the per-chunk batch
         # loop: ``probe`` marks ops that need the Boolean-difference
@@ -171,7 +174,7 @@ class TimedSimulator:
         arr = [None] * comp.slots    # time of the last possible transition
         zero_u8 = np.zeros(batch, dtype=np.uint8)
         one_u8 = np.ones(batch, dtype=np.uint8)
-        zero_f = np.zeros(batch, dtype=np.float32)
+        zero_f = np.zeros(batch, dtype=np.float64)
         no_act = np.zeros(batch, dtype=bool)
         v_old[0] = v_new[0] = zero_u8
         v_old[1] = v_new[1] = one_u8
@@ -211,10 +214,8 @@ class TimedSimulator:
                 else:  # optimistic: only settled transitions propagate
                     contributes = act[s] & changed
                 a_out_act = a_out_act | contributes
-                a_in = np.maximum(a_in, np.where(contributes, arr[s],
-                                                 np.float32(0.0)))
-            a_out = np.where(a_out_act, a_in + self._op_delays[idx],
-                             np.float32(0.0))
+                a_in = np.maximum(a_in, np.where(contributes, arr[s], 0.0))
+            a_out = np.where(a_out_act, a_in + self._op_delays[idx], 0.0)
             v_old[out], v_new[out] = old, new
             act[out], arr[out] = a_out_act, a_out
             for slot in comp.last_use[idx]:
@@ -223,9 +224,9 @@ class TimedSimulator:
         n_po = len(comp.po_slots)
         sampled = np.empty((batch, n_po), dtype=np.uint8)
         settled = np.empty((batch, n_po), dtype=np.uint8)
-        arrivals = np.empty((batch, n_po), dtype=np.float32)
+        arrivals = np.empty((batch, n_po), dtype=np.float64)
         violations = np.empty((batch, n_po), dtype=bool)
-        deadline = np.float32(self.t_clock_ps + self.LATE_TOLERANCE_PS)
+        deadline = self.t_clock_ps + self.LATE_TOLERANCE_PS
         for col, slot in enumerate(comp.po_slots):
             late = arr[slot] > deadline
             changed = v_old[slot] != v_new[slot]

@@ -437,3 +437,114 @@ def check_sta_engine(netlist, library, scenarios, bti=None,
         "incremental STA diverges from tie_low oracle on: %s"
         % ", ".join(bad)))
     return results
+
+
+def check_injection(component, library, years=(1.0, 10.0),
+                    clock_scales=(1.0, 0.95), vectors=256, seed=20170618,
+                    effort="ultra", stimulus="normal"):
+    """Fault-injection campaign invariants on one component.
+
+    Runs a small :mod:`repro.inject` campaign (fresh + worst-case
+    scenarios at *years*, clock scales relative to the fresh critical
+    path) and checks what the paper's guardband-free framing demands:
+
+    * a fresh circuit clocked at its own critical path suffers exactly
+      zero injected faults;
+    * a guardbanded circuit (clock = aged critical path) has zero
+      violating gates at every scenario;
+    * injected-fault and faulted-vector counts are monotone
+      non-decreasing in lifetime at fixed clock, and in clock
+      aggressiveness at fixed lifetime (the masks are nested — see
+      :mod:`repro.inject.masks`);
+    * the packed XOR injector agrees bit-for-bit with the scalar uint8
+      reference injector on the most aggressive grid point.
+    """
+    from ..inject import CampaignSpec, run_campaign
+    from ..inject.campaign import _prelude, component_spec
+    from ..inject.faultload import build_faultload
+    from ..inject.inject_sim import (evaluate_bytes_injected,
+                                     evaluate_packed_injected,
+                                     unpack_op_masks)
+    from ..sim.logic import evaluate
+    from ..core.specs import parse_scenario
+    from ..sta.engine import corner_label
+
+    years = sorted(years)
+    scales = sorted(clock_scales, reverse=True)
+    scenarios = tuple(["fresh"] + ["worst%gy" % y for y in years])
+    spec = CampaignSpec(component=component_spec(component),
+                        width=component.width, scenarios=scenarios,
+                        clock_scales=tuple(scales), vectors=vectors,
+                        seed=seed, effort=effort, stimulus=stimulus)
+    result = run_campaign(spec, library=library)
+    labels = [corner_label(parse_scenario(s)) for s in spec.scenarios]
+    by_point = {(r["scenario"], r["clock_scale"]): r for r in result.rows}
+
+    fresh_row = by_point[("fresh", scales[0])]
+    results = [_result(
+        "inject_zero_fresh_faults",
+        scales[0] == 1.0 and fresh_row["injected_faults"] == 0
+        and fresh_row["violating_gates"] == 0,
+        "fresh circuit at its own critical path: 0 violating gates, "
+        "0 injected faults",
+        "fresh circuit at clock scale %g: %d violating gate(s), %d "
+        "injected fault(s)" % (scales[0], fresh_row["violating_gates"],
+                               fresh_row["injected_faults"]))]
+
+    bad = [g["scenario"] for g in result.guardbanded
+           if g["violating_gates"] != 0]
+    results.append(_result(
+        "inject_zero_when_guardbanded", not bad,
+        "aged clock (guardband) leaves no violating gate in %d "
+        "scenario(s)" % len(result.guardbanded),
+        "guardbanded corners still violate: %s" % ", ".join(bad)))
+
+    bad = []
+    for scale in scales:
+        for metric in ("injected_faults", "faulted_vectors"):
+            ladder = [by_point[(s, scale)][metric] for s in labels]
+            if any(lo > hi for lo, hi in zip(ladder, ladder[1:])):
+                bad.append("%s @ x%g: %s" % (metric, scale, ladder))
+    results.append(_result(
+        "inject_faults_monotone_in_lifetime", not bad,
+        "fault counts non-decreasing over %s at every clock scale"
+        % (labels,),
+        "fault counts decrease with lifetime: %s" % "; ".join(bad)))
+
+    bad = []
+    for scenario in labels:
+        for metric in ("injected_faults", "faulted_vectors"):
+            ladder = [by_point[(scenario, scale)][metric]
+                      for scale in scales]
+            if any(lo > hi for lo, hi in zip(ladder, ladder[1:])):
+                bad.append("%s @ %s: %s" % (metric, scenario, ladder))
+    results.append(_result(
+        "inject_faults_monotone_in_clock", not bad,
+        "fault counts non-decreasing as the clock tightens %s"
+        % (list(scales),),
+        "fault counts decrease with clock aggressiveness: %s"
+        % "; ".join(bad)))
+
+    prelude = _prelude(spec, library=library)
+    label = labels[-1]
+    clock = prelude.fresh_clock_ps * scales[-1]
+    faultload = build_faultload(prelude.program, prelude.batch, label,
+                                clock, activity=spec.activity)
+    masks = faultload.masks(spec.seed, prelude.words)
+    packed = evaluate_packed_injected(prelude.compiled, prelude.pi_bits,
+                                      masks)
+    reference = evaluate_bytes_injected(
+        prelude.compiled, prelude.pi_bits,
+        unpack_op_masks(masks, spec.vectors))
+    agree = bool((packed == reference).all())
+    clean_agree = bool(
+        (evaluate_packed_injected(prelude.compiled, prelude.pi_bits, {})
+         == evaluate(prelude.compiled, prelude.pi_bits)).all())
+    results.append(_result(
+        "inject_packed_matches_reference", agree and clean_agree,
+        "packed XOR injection bit-exact vs scalar reference (%d masked "
+        "gate(s), %d vectors)" % (len(masks), spec.vectors),
+        "packed and scalar injectors disagree at %s x%g (masked=%d, "
+        "clean_path_agrees=%s)" % (label, scales[-1], len(masks),
+                                   clean_agree)))
+    return results

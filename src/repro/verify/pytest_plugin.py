@@ -11,6 +11,9 @@ Activated from ``tests/conftest.py`` via
   report (counterexample included) on disagreement;
 * ``assert_golden`` — a callable fixture enforcing the golden-model
   contract on an RTL component;
+* ``assert_injection_invariants`` — a callable fixture running the
+  fault-injection campaign invariants
+  (:func:`repro.verify.invariants.check_injection`) on a component;
 * ``corpus_dir`` — the committed regression corpus directory.
 """
 
@@ -59,6 +62,23 @@ def assert_engines_agree(verify_library):
                 detail += "\n" + report.counterexample.to_json()
             pytest.fail("engine disagreement:\n" + detail)
         return report
+
+    return _check
+
+
+@pytest.fixture
+def assert_injection_invariants(verify_library):
+    """Callable: run the fault-injection invariants, fail on any breach."""
+    from repro.verify.invariants import check_injection
+
+    def _check(component, library=None, **kwargs):
+        results = check_injection(component, library or verify_library,
+                                  **kwargs)
+        failed = [r for r in results if not r.passed]
+        if failed:
+            pytest.fail("injection invariants broken:\n"
+                        + "\n".join(r.describe() for r in failed))
+        return results
 
     return _check
 

@@ -1,0 +1,99 @@
+"""Regression suite for the timed-simulation / static-STA contract
+(satellite 4).
+
+The timed simulator historically accumulated arrivals in float32 and
+carried a 0.05 ps late tolerance, letting its per-vector arrivals drift
+past the static STA bound and produce violation verdicts static timing
+disproved. Arrivals now propagate in float64 with the same delay floats
+as the static engine, so dynamic arrivals are bounded by static ones
+*exactly*. These tests pin that agreement on the synthesized
+components, the committed fuzz corpus, and random DAGs, and exercise
+the delta-debugging shrinker's no-disagreement contract.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aging import worst_case
+from repro.cells import default_library
+from repro.inject import crosscheck_violations, minimize_disagreement
+from repro.sim import TimedSimulator
+from repro.sim.timing import TimedResult
+from repro.sta import analyze
+from repro.verify import load_corpus, random_netlist
+from repro.verify.oracles import default_stimulus
+from repro.verify.pytest_plugin import CORPUS_DIRNAME
+
+LIB = default_library()
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), CORPUS_DIRNAME)
+_CORPUS = load_corpus(CORPUS_DIR)
+
+
+def test_late_tolerance_is_gone():
+    """The float32-era slack is retired: verdicts use the exact clock."""
+    assert TimedSimulator.LATE_TOLERANCE_PS == 0.0
+
+
+class TestComponents:
+    @pytest.mark.parametrize("scenario", [None, worst_case(10.0)])
+    def test_adder_guardband_free_point(self, adder8, scenario):
+        report = crosscheck_violations(adder8, LIB, scenario=scenario,
+                                       vectors=256, rng=11)
+        assert report.passed, report.describe()
+        assert set(report.dynamic_violating) \
+            <= set(report.static_violating)
+        if scenario is not None:
+            # Aged gates at the fresh clock: the campaign regime really
+            # does violate — the crosscheck is not vacuous.
+            assert report.static_violating
+
+    def test_multiplier_guardband_free_point(self, mult6):
+        report = crosscheck_violations(mult6, LIB,
+                                       scenario=worst_case(10.0),
+                                       vectors=128, rng=11)
+        assert report.passed, report.describe()
+
+    def test_aggressive_clock_still_contained(self, adder8):
+        fresh_cp = analyze(adder8, LIB).critical_path_ps
+        report = crosscheck_violations(adder8, LIB,
+                                       clock_ps=0.8 * fresh_cp,
+                                       scenario=worst_case(10.0),
+                                       vectors=128, rng=3)
+        assert report.passed, report.describe()
+        assert report.dynamic_violating
+
+    def test_minimize_requires_a_disagreement(self, adder8):
+        with pytest.raises(ValueError, match="no timed/static"):
+            minimize_disagreement(adder8, LIB, scenario=worst_case(10.0),
+                                  vectors=64, rng=0)
+
+
+@pytest.mark.verify
+@pytest.mark.skipif(not _CORPUS, reason="no fuzz corpus committed")
+def test_corpus_replay():
+    for path, netlist in _CORPUS:
+        report = crosscheck_violations(netlist, LIB,
+                                       scenario=worst_case(10.0),
+                                       vectors=64, rng=5)
+        assert report.passed, "%s:\n%s" % (path, report.describe())
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+def test_dynamic_bounded_by_static_exactly(seed):
+    """float64 end to end: dynamic arrival <= static arrival, no epsilon."""
+    rng = np.random.default_rng(seed)
+    netlist = random_netlist(rng, n_inputs=4, max_gates=25, n_outputs=3)
+    scenario = worst_case(10.0)
+    static = analyze(netlist, LIB, scenario=scenario)
+    sim = TimedSimulator(netlist, LIB, static.critical_path_ps,
+                         scenario=scenario)
+    result = sim.run_stream(default_stimulus(netlist, vectors=32, rng=rng))
+    assert isinstance(result, TimedResult)
+    assert result.arrivals.dtype == np.float64
+    for col, net in enumerate(netlist.primary_outputs):
+        assert (result.arrivals[:, col] <= static.arrivals[net]).all()
+    # At the scenario's own critical path nothing can be late.
+    assert not result.violations.any()
