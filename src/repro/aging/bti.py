@@ -24,10 +24,22 @@ the paper's component characterization (its Fig. 4 adder needs roughly a
 pMOS devices suffer NBTI while their gate input is low (transistor on),
 nMOS devices suffer PBTI while the input is high; the per-network delay
 contributions are combined with the cell's ``(wp, wn)`` weights.
+
+Every model method is **ndarray-native**: scalar inputs take the
+original scalar code path (bit-identical to previous releases — the
+memoized delay pipeline in :mod:`repro.aging.delay` depends on that),
+while array inputs broadcast through the same formulas in vectorized
+NumPy, which is what lets the batched STA engine evaluate a whole
+``(gates, corners, samples)`` Monte Carlo tensor without a per-gate
+Python loop (:mod:`repro.mc`). Validation is broadcast-safe: any
+out-of-range *element* raises the same :class:`ValueError` the scalar
+path raises for the same value.
 """
 
 import math
 from dataclasses import dataclass
+
+import numpy as np
 
 SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
 
@@ -76,30 +88,73 @@ class BTIModel:
         ----------
         stress:
             Stress duty factor in [0, 1] (fraction of lifetime under
-            stress; recovery happens in the remainder).
+            stress; recovery happens in the remainder). Scalar or
+            ndarray (broadcast against *years*).
         years:
-            Operational lifetime in years (>= 0).
+            Operational lifetime in years (>= 0). Scalar or ndarray.
         """
-        if not 0.0 <= stress <= 1.0:
-            raise ValueError("stress factor must be in [0, 1], got %r" % stress)
-        if years < 0:
-            raise ValueError("lifetime must be non-negative, got %r" % years)
-        if years == 0 or stress == 0:
-            return 0.0
+        if np.ndim(stress) == 0 and np.ndim(years) == 0:
+            stress, years = float(stress), float(years)
+            if not 0.0 <= stress <= 1.0:
+                raise ValueError(
+                    "stress factor must be in [0, 1], got %r" % stress)
+            if years < 0:
+                raise ValueError(
+                    "lifetime must be non-negative, got %r" % years)
+            if years == 0 or stress == 0:
+                return 0.0
+            t_seconds = years * SECONDS_PER_YEAR
+            return (self.prefactor_v
+                    * stress ** self.stress_exponent
+                    * t_seconds ** self.time_exponent)
+        stress = np.asarray(stress, dtype=np.float64)
+        years = np.asarray(years, dtype=np.float64)
+        if np.any((stress < 0.0) | (stress > 1.0)):
+            bad = stress[(stress < 0.0) | (stress > 1.0)].flat[0]
+            raise ValueError(
+                "stress factor must be in [0, 1], got %r" % float(bad))
+        if np.any(years < 0.0):
+            bad = years[years < 0.0].flat[0]
+            raise ValueError(
+                "lifetime must be non-negative, got %r" % float(bad))
         t_seconds = years * SECONDS_PER_YEAR
-        return (self.prefactor_v
-                * stress ** self.stress_exponent
-                * t_seconds ** self.time_exponent)
+        shift = (self.prefactor_v
+                 * stress ** self.stress_exponent
+                 * t_seconds ** self.time_exponent)
+        # The scalar path short-circuits zero stress/lifetime to exactly
+        # 0.0 before exponentiating; mirror that (0**exponent is 1.0
+        # for a zero exponent, so the formula alone would not).
+        return np.where((stress == 0.0) | (t_seconds == 0.0), 0.0, shift)
 
-    def delay_multiplier_from_dvth(self, dvth):
-        """Delay scaling factor (>= 1) for a transistor shifted by *dvth*."""
-        if dvth < 0:
-            raise ValueError("dVth must be non-negative, got %r" % dvth)
+    def delay_multiplier_from_dvth(self, dvth, allow_speedup=False):
+        """Delay scaling factor (>= 1) for a transistor shifted by *dvth*.
+
+        *dvth* may be a scalar or an ndarray. *allow_speedup* permits
+        negative shifts (multiplier < 1) — process-variation draws can
+        land a gate *faster* than nominal, which deterministic aging
+        never does; the Monte Carlo path opts in explicitly.
+        """
+        if np.ndim(dvth) == 0:
+            dvth = float(dvth)
+            if dvth < 0 and not allow_speedup:
+                raise ValueError("dVth must be non-negative, got %r" % dvth)
+            headroom = self.overdrive - dvth
+            if headroom <= 0:
+                raise ValueError(
+                    "dVth %.3f V exceeds the gate overdrive %.3f V; the "
+                    "device no longer switches" % (dvth, self.overdrive))
+            return (self.overdrive / headroom) ** self.alpha
+        dvth = np.asarray(dvth, dtype=np.float64)
+        if not allow_speedup and np.any(dvth < 0):
+            bad = dvth[dvth < 0].flat[0]
+            raise ValueError(
+                "dVth must be non-negative, got %r" % float(bad))
         headroom = self.overdrive - dvth
-        if headroom <= 0:
+        if np.any(headroom <= 0):
+            bad = dvth[headroom <= 0].flat[0]
             raise ValueError(
                 "dVth %.3f V exceeds the gate overdrive %.3f V; the device "
-                "no longer switches" % (dvth, self.overdrive))
+                "no longer switches" % (float(bad), self.overdrive))
         return (self.overdrive / headroom) ** self.alpha
 
     def transistor_multiplier(self, stress, years):
@@ -113,6 +168,9 @@ class BTIModel:
         degradation with the cell's network weights::
 
             m = 1 + wp*(m_p - 1) + wn*(m_n - 1)
+
+        All stress/lifetime parameters may be ndarrays (broadcast
+        together); scalars keep the historical scalar code path.
         """
         mp = self.transistor_multiplier(sp, years)
         mn = self.transistor_multiplier(sn, years)

@@ -11,9 +11,20 @@ table lookup) is computed once per distinct key instead of once per
 gate instance. The memo is shared with the batched STA engine
 (:mod:`repro.sta.engine`), which is what keeps the scalar and vectorized
 paths bit-identical: both read the very same cached float.
+
+The memo is strictly for the **deterministic** corner grid. Per-gate
+Monte Carlo variation draws (:mod:`repro.mc`) would flood it with one
+key per (gate, sample) — millions of entries that can never hit — so
+the sampled path bypasses it entirely, computing delay tensors through
+the ndarray-native BTI model
+(:func:`repro.sta.engine.corner_delays` with ``dvth=``); array inputs
+reaching :func:`_stress_multiplier` are rejected outright rather than
+silently degrading the memo.
 """
 
 from functools import lru_cache
+
+import numpy as np
 
 from .bti import DEFAULT_BTI
 
@@ -57,7 +68,17 @@ def multiplier_memo_info():
 
 
 def _stress_multiplier(cell, sp, sn, years, bti, degradation):
-    """Multiplier of *cell* at explicit stress factors (memoized)."""
+    """Multiplier of *cell* at explicit stress factors (memoized).
+
+    Scalar-only by contract: every distinct argument value becomes an
+    lru_cache key, so per-gate/per-sample variation arrays must use the
+    memo-free vectorized path instead (see module docstring).
+    """
+    if np.ndim(sp) or np.ndim(sn) or np.ndim(years):
+        raise TypeError(
+            "per-gate/per-sample stress arrays would flood the multiplier "
+            "memo; use repro.sta.engine.corner_delays(..., dvth=...) for "
+            "sampled tensors")
     if degradation is not None:
         return _table_multiplier(degradation, cell.name, sp, sn, years)
     return _bti_multiplier(bti, sp, sn, years, cell.wp, cell.wn)

@@ -47,8 +47,9 @@ from .obs import trace as obs_trace
 from .netlist.netlist import NetlistError
 from .report import (characterization_report, flow_report_text,
                      inject_report_text, instrumentation_report_text,
-                     metrics_report_text, schedule_report_text,
-                     screen_report, timing_report_text, verify_report_text)
+                     mc_report_text, metrics_report_text,
+                     schedule_report_text, screen_report,
+                     timing_report_text, verify_report_text)
 from .rtl import (fir_microarchitecture, dct_microarchitecture,
                   idct_microarchitecture)
 
@@ -381,6 +382,35 @@ def cmd_inject(args):
     return 0
 
 
+def cmd_mc(args):
+    from .inject.campaign import component_spec
+    from .mc import DEFAULT_BLOCK, MCSpec, run_mc
+
+    component = _component(args)
+    scenarios = ["fresh"] + ["%s%gy" % (args.stress, y)
+                             for y in args.years]
+    try:
+        spec = MCSpec(
+            component=component_spec(component), width=component.width,
+            scenarios=tuple(scenarios), clock_scales=tuple(args.clocks),
+            sigma_mv=args.sigma, samples=args.samples, seed=args.seed,
+            sweep_bits=args.sweep_bits, min_yield=args.min_yield,
+            effort=args.effort,
+            block=DEFAULT_BLOCK if args.block is None else args.block,
+            surrogate=args.surrogate).validated()
+    except specs_mod.SpecError as exc:
+        raise SystemExit(str(exc))
+    with _engine(args):
+        result = run_mc(spec, jobs=args.jobs)
+        print(mc_report_text(result))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("mc result written to %s" % args.output)
+    return 0
+
+
 def cmd_serve(args):
     from .serve import CharacterizationServer
 
@@ -598,6 +628,43 @@ def build_parser():
     p.add_argument("--output", default=None, metavar="PATH",
                    help="write the campaign result JSON")
     p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser(
+        "mc",
+        help="Monte Carlo variation analysis: yield curves and the "
+             "yield-constrained max precision K (stochastic Eq. 2)")
+    common(p)
+    p.add_argument("--clocks", type=_years_list, default=[1.0, 0.97],
+                   metavar="SCALES",
+                   help="comma-separated clock scales relative to the "
+                        "fresh critical path (default 1.0,0.97)")
+    p.add_argument("--sigma", type=float, default=30.0, metavar="MV",
+                   help="per-gate Vth variation sigma in mV "
+                        "(default 30; 0 reproduces the deterministic "
+                        "engine exactly)")
+    p.add_argument("--samples", type=int, default=2000,
+                   help="Monte Carlo samples per grid point "
+                        "(default 2000)")
+    p.add_argument("--seed", type=int, default=20170618,
+                   help="variation seed; results are bit-reproducible "
+                        "from it (see the per-gate Philox streams in "
+                        "repro.mc.variation)")
+    p.add_argument("--min-yield", type=float, default=0.99,
+                   help="yield target defining K (default 0.99)")
+    p.add_argument("--sweep-bits", type=int, default=8,
+                   help="precision sweep depth below the full width "
+                        "(default 8)")
+    p.add_argument("--block", type=int, default=None,
+                   help="sample-block size bounding peak memory "
+                        "(never affects results; default 256)")
+    p.add_argument("--surrogate", choices=("off", "screen"),
+                   default="off",
+                   help="'screen' prescreens the precision sweep with "
+                        "the cross-validated least-squares surrogate "
+                        "and samples only near feasibility boundaries")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write the mc result JSON")
+    p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser(
         "serve",

@@ -1,0 +1,34 @@
+"""Monte Carlo process-variation analysis over the batched STA engine.
+
+``repro.mc`` answers the stochastic form of the paper's Eq. 2: under
+per-gate threshold-voltage variation *and* BTI aging, what is the
+probability (yield) that a precision point meets the clock — and what
+is the deepest precision whose yield clears a target?
+
+* :mod:`repro.mc.variation` — reproducible per-(seed, gate uid) Philox
+  draw streams;
+* :mod:`repro.mc.engine` — sample-axis batched STA
+  (:func:`analyze_mc`) with chunked sample blocks and the scalar-loop
+  reference baseline;
+* :mod:`repro.mc.yield_curves` — specs, yield curves, the
+  yield-constrained precision K, and the ``--jobs``/served drivers;
+* :mod:`repro.mc.surrogate` — the cross-validated least-squares
+  screen that spends exact sampled STA only near feasibility
+  boundaries.
+"""
+
+from .engine import (DEFAULT_BLOCK, MCReport, analyze_mc,
+                     analyze_mc_reference, sample_blocks)
+from .surrogate import (SurrogateFit, cross_validate, design_matrix,
+                        fit_surrogate, n_terms, pick_degree)
+from .variation import (DEFAULT_CLIP_SIGMAS, SAMPLE_CHUNK, VariationModel,
+                        gate_stream, standard_draws)
+from .yield_curves import MCResult, MCSpec, run_mc
+
+__all__ = [
+    "DEFAULT_BLOCK", "DEFAULT_CLIP_SIGMAS", "MCReport", "MCResult",
+    "MCSpec", "SAMPLE_CHUNK", "SurrogateFit", "VariationModel",
+    "analyze_mc", "analyze_mc_reference", "cross_validate",
+    "design_matrix", "fit_surrogate", "gate_stream", "n_terms",
+    "pick_degree", "run_mc", "sample_blocks", "standard_draws",
+]

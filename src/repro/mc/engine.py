@@ -1,0 +1,217 @@
+"""Sample-axis Monte Carlo STA over the batched timing engine.
+
+:func:`analyze_mc` extends :func:`repro.sta.engine.analyze_batch` with a
+trailing **sample axis**: per-gate Vth draws
+(:class:`~repro.mc.variation.VariationModel`) perturb the aged delay of
+every gate, and the levelized propagation sweeps the whole
+``(gates, corners, samples)`` tensor with the same per-level NumPy
+gather/max/add the deterministic path uses — no per-gate or per-sample
+Python loop anywhere on the hot path.
+
+Memory model
+------------
+A full mult16 tensor at 6 corners x 2000 samples would hold ~50M
+float64 arrivals. The sample axis is therefore processed in **chunked
+sample blocks** (:data:`DEFAULT_BLOCK` samples at a time): each block
+materializes only ``(slots, corners, block)`` arrivals, critical paths
+are reduced per block, and blocks are concatenated in absolute sample
+order. Peak RSS is bounded by the block size while results are
+independent of it — draws are indexed by absolute sample position
+(:mod:`repro.mc.variation`), and each block's propagation touches no
+state outside the block.
+
+Zero-sigma routing
+------------------
+``sigma = 0`` must *equal* the deterministic engine, not approximate
+it: :func:`analyze_mc` then routes through
+:func:`~repro.sta.engine.analyze_batch` (the memoized multiplier path)
+and broadcasts its arrivals across the sample axis, so every value is
+bit-identical (``==``, no epsilon) to the deterministic report. This is
+also the benchmark's correctness gate.
+
+:func:`analyze_mc_reference` is the per-sample scalar-loop oracle — the
+"today's approach" baseline `benchmarks/perf_mc.py` measures against:
+one scalar BTI-model call per (gate, corner, sample), one propagation
+per sample.
+"""
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..aging.bti import DEFAULT_BTI
+from ..obs import metrics as obs_metrics, trace as obs_trace
+from ..sta.engine import (_critical_paths, _propagate, analyze_batch,
+                          compile_timing, corner_delays, corner_label,
+                          corner_stress)
+from .variation import VariationModel
+
+#: Samples propagated per block; bounds peak arrival-tensor memory.
+#: Divides :data:`repro.mc.variation.SAMPLE_CHUNK` (or vice versa) so
+#: block boundaries align with draw chunks and nothing is re-generated.
+DEFAULT_BLOCK = 256
+
+
+def sample_blocks(samples, block=DEFAULT_BLOCK):
+    """``(start, count)`` partition of the sample axis into blocks."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1, got %r" % (samples,))
+    if block < 1:
+        raise ValueError("block must be >= 1, got %r" % (block,))
+    return [(start, min(block, samples - start))
+            for start in range(0, samples, block)]
+
+
+@dataclass
+class MCReport:
+    """Sampled critical paths of one netlist under a corner grid.
+
+    ``critical_path_ps`` is ``(C, S)``; ``arrivals`` (``(slots, C, S)``)
+    is kept only on request — it is the block-memory model's whole point
+    that full runs never materialize it.
+    """
+
+    program: object
+    corners: Tuple
+    labels: Tuple[str, ...]
+    variation: VariationModel
+    samples: int
+    critical_path_ps: np.ndarray
+    arrivals: Optional[np.ndarray] = None
+
+    def corner_index(self, label):
+        try:
+            return self.labels.index(label)
+        except ValueError:
+            raise KeyError("corner %r not analyzed (have %s)"
+                           % (label, list(self.labels)))
+
+    def _corner(self, corner):
+        return self.corner_index(corner) if isinstance(corner, str) \
+            else corner
+
+    def quantile_ps(self, q, corner=0):
+        """Critical-path quantile (linear interpolation) of one corner."""
+        return float(np.quantile(
+            self.critical_path_ps[self._corner(corner)], q))
+
+    def mean_ps(self, corner=0):
+        return float(self.critical_path_ps[self._corner(corner)].mean())
+
+    def yield_fraction(self, clock_ps, corner=0):
+        """P(sampled critical path <= clock) under one corner."""
+        cp = self.critical_path_ps[self._corner(corner)]
+        return float(np.count_nonzero(cp <= clock_ps) / cp.size)
+
+
+def analyze_mc(netlist, library, corners, variation, samples,
+               bti=DEFAULT_BTI, program=None, block=DEFAULT_BLOCK,
+               keep_arrivals=False):
+    """Monte Carlo STA: *samples* variation draws across *corners*.
+
+    Parameters
+    ----------
+    corners:
+        Corner grid as in :func:`repro.sta.engine.analyze_batch`.
+    variation:
+        :class:`~repro.mc.variation.VariationModel`; ``sigma = 0``
+        reproduces the deterministic engine exactly (see module doc).
+    samples:
+        Number of Monte Carlo draws (>= 1).
+    block:
+        Sample-block size bounding peak memory; never affects results.
+    keep_arrivals:
+        Materialize the full ``(slots, C, S)`` arrival tensor (tests
+        and small netlists only).
+
+    Returns
+    -------
+    MCReport
+    """
+    corners = tuple(corners)
+    if not corners:
+        raise ValueError("analyze_mc needs at least one corner")
+    blocks = sample_blocks(samples, block)
+    if program is None:
+        program = compile_timing(netlist, library)
+    labels = tuple(corner_label(c) for c in corners)
+    started = time.perf_counter()
+    with obs_trace.span("mc.analyze", design=netlist.name,
+                        corners=len(corners), samples=int(samples),
+                        gates=program.n_gates):
+        if variation.is_zero:
+            batch = analyze_batch(netlist, library, corners, bti=bti,
+                                  program=program)
+            cp = np.repeat(batch.critical_path_ps[:, None], samples,
+                           axis=1)
+            arrivals = (np.repeat(batch.arrivals[:, :, None], samples,
+                                  axis=2) if keep_arrivals else None)
+        else:
+            uids = program.gate_uids
+            parts = []
+            kept = []
+            for start, count in blocks:
+                dvth = variation.gate_dvth(uids, start, count)
+                delays = corner_delays(program, corners, bti=bti,
+                                       dvth=dvth)
+                arr = _propagate(program, delays)
+                parts.append(_critical_paths(program, arr))
+                if keep_arrivals:
+                    kept.append(arr)
+            cp = np.concatenate(parts, axis=1)
+            arrivals = np.concatenate(kept, axis=2) if keep_arrivals \
+                else None
+    elapsed = time.perf_counter() - started
+    if elapsed > 0.0:
+        obs_metrics.set_gauge(obs_metrics.MC_SAMPLES_PER_SEC,
+                              samples / elapsed)
+    obs_metrics.inc(obs_metrics.MC_SAMPLES, int(samples))
+    obs_metrics.inc(obs_metrics.MC_BLOCKS, len(blocks))
+    return MCReport(program=program, corners=corners, labels=labels,
+                    variation=variation, samples=int(samples),
+                    critical_path_ps=cp, arrivals=arrivals)
+
+
+def analyze_mc_reference(netlist, library, corners, variation, samples,
+                         bti=DEFAULT_BTI, program=None):
+    """Per-sample scalar-loop oracle: ``(C, S)`` critical paths.
+
+    Computes every gate delay with one scalar
+    :meth:`~repro.aging.bti.BTIModel.delay_multiplier_from_dvth` /
+    :meth:`~repro.aging.bti.BTIModel.delta_vth` call per (gate, corner,
+    sample) and propagates one sample at a time — the pre-vectorization
+    approach. Draw-for-draw identical inputs to :func:`analyze_mc`
+    (same Philox streams), so the two agree to float tolerance; the
+    benchmark and the tier-1 suite compare them at ``rtol = 1e-12``.
+    """
+    corners = tuple(corners)
+    if program is None:
+        program = compile_timing(netlist, library)
+    sp, sn, years = corner_stress(program, corners)
+    wp = np.asarray([cell.wp for cell in program.cells],
+                    dtype=np.float64)[program.cell_index] \
+        if program.n_gates else np.zeros(0)
+    wn = np.asarray([cell.wn for cell in program.cells],
+                    dtype=np.float64)[program.cell_index] \
+        if program.n_gates else np.zeros(0)
+    dvth = variation.gate_dvth(program.gate_uids, 0, samples)
+    n, C = program.n_gates, len(corners)
+    cp = np.empty((C, samples), dtype=np.float64)
+    delays = np.empty((n, C), dtype=np.float64)
+    for s in range(samples):
+        for g in range(n):
+            dv = float(dvth[g, s])
+            for c in range(C):
+                mp = bti.delay_multiplier_from_dvth(
+                    bti.delta_vth(float(sp[g, c]), float(years[c])) + dv,
+                    allow_speedup=True)
+                mn = bti.delay_multiplier_from_dvth(
+                    bti.delta_vth(float(sn[g, c]), float(years[c])) + dv,
+                    allow_speedup=True)
+                mult = (1.0 + wp[g] * (mp - 1.0) + wn[g] * (mn - 1.0))
+                delays[g, c] = program.base_delay_ps[g] * mult
+        arr = _propagate(program, delays)
+        cp[:, s] = _critical_paths(program, arr)
+    return cp

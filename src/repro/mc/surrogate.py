@@ -1,0 +1,155 @@
+"""Least-squares polynomial surrogate for aged-delay quantiles.
+
+Full sampled STA of one (precision, corner) point costs thousands of
+propagations; across a truncation sweep most of those points are far
+from any feasibility boundary and their exact quantiles do not change
+any decision. Following the workload-dependent aging-prediction line of
+work (PAPERS.md), a cheap regression from **(netlist stats, stress
+moments, lifetime, sigma)** to the aged-delay quantiles screens the
+sweep: anchor points are evaluated exactly, a polynomial least-squares
+model is fit (:func:`fit_surrogate`) and cross-validated
+(:func:`cross_validate`) on them, and only candidates whose predicted
+quantile lands within the model's validated error band of a clock
+target get the full sampled treatment (see
+:mod:`repro.mc.yield_curves`).
+
+Everything is plain NumPy: a normalized polynomial design matrix and
+``np.linalg.lstsq`` — no learned-framework dependency, deterministic
+fits (same rows -> same coefficients), and k-fold validation with a
+fixed round-robin split so served and local runs agree bit-for-bit.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def design_matrix(X, degree):
+    """Polynomial design matrix of *X* (rows = points).
+
+    Degree 1: ``[1, x_i]``; degree 2 adds every product ``x_i * x_j``
+    with ``i <= j``. Higher degrees are rejected — with the handful of
+    anchor rows a screen can afford, anything past quadratic is pure
+    overfit.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D (points, features), got %r"
+                         % (X.shape,))
+    if degree not in (1, 2):
+        raise ValueError("degree must be 1 or 2, got %r" % (degree,))
+    cols = [np.ones(len(X), dtype=np.float64)]
+    cols.extend(X.T)
+    if degree == 2:
+        for i in range(X.shape[1]):
+            for j in range(i, X.shape[1]):
+                cols.append(X[:, i] * X[:, j])
+    return np.stack(cols, axis=1)
+
+
+def n_terms(n_features, degree):
+    """Number of design-matrix columns for *n_features* at *degree*."""
+    terms = 1 + n_features
+    if degree == 2:
+        terms += n_features * (n_features + 1) // 2
+    return terms
+
+
+@dataclass
+class SurrogateFit:
+    """A fitted polynomial map ``features -> targets``.
+
+    Features are standardized with the training mean/scale (constant
+    columns keep scale 1.0, so e.g. a run-constant sigma feature stays
+    harmless); coefficients come from one ``np.linalg.lstsq`` solve.
+    """
+
+    feature_names: Tuple[str, ...]
+    target_names: Tuple[str, ...]
+    degree: int
+    mean: np.ndarray
+    scale: np.ndarray
+    coef: np.ndarray  # (terms, targets)
+
+    def predict(self, X):
+        """Predicted targets, ``(points, targets)`` float64."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                "expected (points, %d) features, got %r"
+                % (len(self.feature_names), (X.shape,)))
+        Xn = (X - self.mean) / self.scale
+        return design_matrix(Xn, self.degree) @ self.coef
+
+
+def fit_surrogate(X, Y, feature_names, target_names, degree=1):
+    """Fit a :class:`SurrogateFit` by normalized least squares."""
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    if Y.ndim == 1:
+        Y = Y[:, None]
+    if len(X) != len(Y):
+        raise ValueError("X and Y row counts differ: %d vs %d"
+                         % (len(X), len(Y)))
+    if not len(X):
+        raise ValueError("cannot fit a surrogate on zero points")
+    mean = X.mean(axis=0)
+    scale = X.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    Xn = (X - mean) / scale
+    A = design_matrix(Xn, degree)
+    coef, *_ = np.linalg.lstsq(A, Y, rcond=None)
+    return SurrogateFit(feature_names=tuple(feature_names),
+                        target_names=tuple(target_names), degree=degree,
+                        mean=mean, scale=scale, coef=coef)
+
+
+def pick_degree(n_points, n_features):
+    """Quadratic only when the anchor set can support it (>= 2 rows
+    per coefficient), linear otherwise."""
+    if n_points >= 2 * n_terms(n_features, 2):
+        return 2
+    return 1
+
+
+def cross_validate(X, Y, feature_names, target_names, degree=1, folds=4):
+    """Deterministic k-fold cross-validation of the surrogate.
+
+    Rows are assigned to folds round-robin by index (no RNG — served
+    and local runs must agree). Returns per-target held-out error
+    statistics::
+
+        {"folds": k, "degree": d,
+         "targets": {name: {"max_abs_err": ..., "rmse": ...}}}
+
+    With fewer than two rows per fold the split degenerates; folds are
+    clamped to ``len(X)`` and a single fold falls back to in-sample
+    error (better a pessimistic screen than a crash on tiny sweeps).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    if Y.ndim == 1:
+        Y = Y[:, None]
+    folds = max(1, min(int(folds), len(X)))
+    errors = np.empty_like(Y)
+    if folds == 1:
+        fit = fit_surrogate(X, Y, feature_names, target_names,
+                            degree=degree)
+        errors[:] = fit.predict(X) - Y
+    else:
+        assignment = np.arange(len(X)) % folds
+        for fold in range(folds):
+            held = assignment == fold
+            fit = fit_surrogate(X[~held], Y[~held], feature_names,
+                                target_names, degree=degree)
+            errors[held] = fit.predict(X[held]) - Y[held]
+    targets = {}
+    for t, name in enumerate(target_names):
+        err = errors[:, t]
+        targets[name] = {
+            "max_abs_err": float(np.abs(err).max()),
+            "rmse": float(np.sqrt(np.mean(err * err))),
+        }
+    return {"folds": int(folds), "degree": int(degree),
+            "targets": targets}

@@ -71,6 +71,7 @@ STA_BATCH_RUNS = "sta.batch.runs"
 STA_BATCH_CORNERS = "sta.batch.corners"
 STA_INCREMENTAL_RUNS = "sta.incremental.runs"
 STA_INCREMENTAL_CONE_FRACTION = "sta.incremental.cone_fraction"
+STA_CONE_PLAN_HITS = "sta.cone_plan_hits"
 TIMING_MEMO_HITS = "cache.timing_memo_hits"
 STRESS_EXTRACTIONS = "stress.extractions"
 OBS_TS_SAMPLES = "obs.ts.samples"
@@ -87,6 +88,14 @@ INJECT_FAULTS = "inject.faults"
 INJECT_FAULTED_VECTORS = "inject.faulted_vectors"
 INJECT_VECTORS_PER_SEC = "inject.vectors_per_sec"
 INJECT_VIOLATING_FRACTION = "inject.violating_gate_fraction"
+MC_RUNS = "mc.runs"
+MC_POINTS = "mc.points"
+MC_SAMPLES = "mc.samples"
+MC_BLOCKS = "mc.blocks"
+MC_SAMPLES_PER_SEC = "mc.samples_per_sec"
+MC_YIELD_FRACTION = "mc.yield_fraction"
+MC_SURROGATE_FITS = "mc.surrogate.fits"
+MC_SURROGATE_SKIPPED = "mc.surrogate.skipped_points"
 
 #: Bucket edges for fraction-valued histograms (e.g. cone fractions in
 #: [0, 1]); the decade-wide defaults would lump everything together.

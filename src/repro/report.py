@@ -307,6 +307,83 @@ def verify_report_text(report):
     return "\n".join(lines)
 
 
+def mc_report_text(result):
+    """Yield curves + yield-constrained K of a Monte Carlo analysis.
+
+    Renders a :class:`repro.mc.MCResult`: per scenario x clock the
+    precision ladder with sampled yield and quantiles (``mode`` marks
+    surrogate-screened rows, whose quantiles are regression estimates),
+    then the yield-constrained max precision K next to its
+    deterministic counterpart.
+    """
+    spec = result.spec
+    lines = ["monte carlo yield analysis: %s (%d gates, %d samples, "
+             "sigma %g mV, seed %d)"
+             % (result.component, result.gates, result.samples,
+                spec.sigma_mv, spec.seed),
+             "fresh clock: %.3f ps; min yield: %g"
+             % (result.fresh_clock_ps, spec.min_yield)]
+    order = []
+    grouped = {}
+    for row in result.rows:
+        key = (row["scenario"], row["clock_scale"])
+        if key not in grouped:
+            order.append(key)
+            grouped[key] = []
+        grouped[key].append(row)
+    for scenario, scale in order:
+        rows = grouped[(scenario, scale)]
+        lines.append("")
+        lines.append("%s @ clock x%.3g (%.2f ps):"
+                     % (scenario, scale, rows[0]["clock_ps"]))
+        headers = ["precision", "det_ps", "p50_ps", "mean_ps",
+                   "q%g_ps" % (spec.min_yield * 100), "p99_ps",
+                   "yield", "mode"]
+        table = []
+        for row in rows:
+            if row["exact"]:
+                table.append([
+                    row["precision"], "%.2f" % row["det_cp_ps"],
+                    "%.2f" % row["p50_ps"], "%.2f" % row["mean_ps"],
+                    "%.2f" % row["q_ps"], "%.2f" % row["p99_ps"],
+                    "%.4f" % row["yield_fraction"], "exact"])
+            else:
+                table.append([
+                    row["precision"], "%.2f" % row["det_cp_ps"],
+                    "%.2f" % row["p50_ps"], "-",
+                    "%.2f" % row["q_ps"], "-", "-", "est"])
+        lines.append(format_table(headers, table))
+    lines.append("")
+    lines.append("yield-constrained max precision K:")
+    headers = ["scenario", "clock", "clock_ps", "det_K", "yield_K",
+               "yield_at_K"]
+    table = []
+    for row in result.k_rows:
+        table.append([
+            row["scenario"], "x%.3g" % row["clock_scale"],
+            "%.2f" % row["clock_ps"],
+            "-" if row["det_precision"] is None
+            else row["det_precision"],
+            "-" if row["yield_precision"] is None
+            else row["yield_precision"],
+            "-" if row["yield_at_k"] is None
+            else "%.4f" % row["yield_at_k"]])
+    lines.append(format_table(headers, table))
+    if result.surrogate:
+        info = result.surrogate
+        lines.append("")
+        lines.append(
+            "surrogate screen: degree %d fit on anchors %s; margin "
+            "%.3f ps; evaluated %s; skipped %s"
+            % (info["degree"], info["anchors"], info["margin_ps"],
+               info["evaluated"], info["skipped"]))
+        worst = max(t["max_abs_err"]
+                    for t in info["cv"]["targets"].values())
+        lines.append("cross-validation (%d folds): worst held-out "
+                     "|err| %.3f ps" % (info["cv"]["folds"], worst))
+    return "\n".join(lines)
+
+
 def inject_report_text(result):
     """Error-rate ladder + comparison arms of a fault-injection campaign.
 

@@ -183,6 +183,14 @@ class ServeClient:
         """
         return await self.request("POST", "/v1/inject", spec)
 
+    async def mc(self, spec):
+        """POST one Monte Carlo spec dict to ``/v1/mc``.
+
+        Returns the response dict; its ``"mc"`` entry is the served
+        :meth:`repro.mc.MCResult.to_dict`.
+        """
+        return await self.request("POST", "/v1/mc", spec)
+
     async def batch(self, query):
         """POST one query to ``/v1/batch``; yield records as streamed.
 

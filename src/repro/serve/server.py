@@ -37,6 +37,12 @@ Endpoints
     a pool worker and answers with the full
     :meth:`~repro.inject.CampaignResult.to_dict` — bit-identical to an
     in-process ``run_campaign`` of the same spec.
+``POST /v1/mc``
+    A Monte Carlo yield-analysis spec
+    (:meth:`repro.mc.MCSpec.to_dict`); runs the sampled sweep in a
+    pool worker and answers with the full
+    :meth:`~repro.mc.MCResult.to_dict` — bit-identical to an
+    in-process ``run_mc`` of the same spec.
 ``GET /v1/stats``
     Serving counters: requests, in-flight dedup hits, tier hit ratios,
     queue depth, latency percentiles (p50/p95/p99), cache stats, SLO
@@ -522,6 +528,9 @@ class CharacterizationServer:
         elif path == "/v1/inject":
             self._require(request, "POST")
             keep = await self._inject(request, writer, keep)
+        elif path == "/v1/mc":
+            self._require(request, "POST")
+            keep = await self._mc(request, writer, keep)
         elif path == "/v1/shutdown":
             self._require(request, "POST")
             self._respond(writer, 200, {"status": "shutting down"},
@@ -719,6 +728,41 @@ class CharacterizationServer:
         self._respond(writer, 200, {
             "protocol": protocol.PROTOCOL_VERSION,
             "campaign": result["campaign"],
+        }, keep=keep)
+        return keep
+
+    async def _mc(self, request, writer, keep):
+        """``/v1/mc``: one Monte Carlo yield analysis per request.
+
+        The whole run executes in a single pool worker
+        (:func:`repro.mc.yield_curves._mc_job`); the result is
+        deterministic from the spec (per-gate Philox streams indexed by
+        absolute sample position), so the served answer is bit-identical
+        to an in-process ``run_mc`` at any ``--jobs``.
+        """
+        from ..core.specs import SpecError
+        from ..mc import MCSpec
+        from ..mc.yield_curves import _mc_job
+
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise protocol.ProtocolError("request body is not valid JSON")
+        try:
+            # Validate on the event loop so bad specs answer 400.
+            spec = MCSpec.from_dict(payload)
+        except SpecError as exc:
+            raise protocol.ProtocolError(str(exc))
+        ctx = obs_trace.propagation_context()
+        task = {"spec": spec.to_dict(), "trace": ctx}
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self.pool.executor, _mc_job, task)
+        result = await asyncio.shield(future)
+        obs_trace.adopt(result["trace"])
+        self._registry.merge(result["obs_metrics"])
+        self._respond(writer, 200, {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "mc": result["mc"],
         }, keep=keep)
         return keep
 

@@ -15,7 +15,14 @@ then:
 * :func:`analyze_incremental` re-analyzes a truncation (``K`` LSB inputs
   tied low) by re-propagating only the structural fan-out cone of the
   tied primary inputs against the cached baseline arrivals, dropping
-  gates whose inputs all become constant.
+  gates whose inputs all become constant. The cone is captured once per
+  tied set as a structural :class:`ConePlan` (memoized on the program)
+  and replayed by :func:`replay_cone`;
+* both :func:`_propagate` and :func:`replay_cone` are dimension-agnostic
+  past the gate axis: :func:`corner_delays` with per-gate Vth draws
+  (``dvth=``) emits a ``(gates, corners, samples)`` tensor and the same
+  level loop propagates thousands of Monte Carlo variation samples in
+  one pass (see :mod:`repro.mc`).
 
 Both paths are **bit-identical** to the scalar engine: base delays come
 from the same ``cell.delay_ps(load)`` calls, aging multipliers from the
@@ -226,7 +233,69 @@ def corner_label(scenario):
     return "fresh" if scenario is None else scenario.label
 
 
-def corner_delays(program, corners, bti=DEFAULT_BTI, degradation=None):
+def corner_stress(program, corners):
+    """Stress/lifetime arrays of a corner grid.
+
+    Returns ``(sp, sn, years)``: per-gate pMOS/nMOS stress duty factors
+    shaped ``(n_gates, C)`` plus per-corner lifetimes shaped ``(C,)``.
+    Fresh corners contribute zero stress and zero years. This is the
+    array form the sampled (Monte Carlo) delay path feeds to the
+    vectorized BTI model instead of the per-key memo.
+    """
+    n = program.n_gates
+    C = len(corners)
+    sp = np.zeros((n, C), dtype=np.float64)
+    sn = np.zeros((n, C), dtype=np.float64)
+    years = np.zeros(C, dtype=np.float64)
+    for col, scenario in enumerate(corners):
+        if scenario is None or scenario.is_fresh:
+            continue
+        years[col] = float(scenario.years)
+        if isinstance(scenario.stress, UniformStress):
+            sp[:, col] = sn[:, col] = float(scenario.stress.s)
+        else:
+            for row, gate in enumerate(program.gates):
+                p, q = scenario.gate_stress(gate)
+                sp[row, col] = p
+                sn[row, col] = q
+    return sp, sn, years
+
+
+def _sampled_corner_delays(program, corners, dvth, bti):
+    """Delay tensor ``(n_gates, C, S)`` for per-gate Vth draws *dvth*.
+
+    ``dvth`` is ``(n_gates, S)`` extra threshold shift per (gate,
+    sample), shared by the p- and n-networks (within-gate variation is
+    fully correlated; gate-to-gate draws are independent). The whole
+    tensor is a handful of broadcast NumPy ops over the ndarray-native
+    BTI model — it never touches the ``(cell, stress, lifetime)``
+    multiplier memo, which variation draws would otherwise flood with
+    per-sample keys (see :mod:`repro.aging.delay`).
+    """
+    dvth = np.asarray(dvth, dtype=np.float64)
+    if dvth.ndim != 2 or dvth.shape[0] != program.n_gates:
+        raise ValueError(
+            "dvth must be (n_gates, samples) = (%d, S), got %r"
+            % (program.n_gates, dvth.shape))
+    sp, sn, years = corner_stress(program, corners)
+    aged_p = bti.delta_vth(sp, years[None, :])     # (G, C)
+    aged_n = bti.delta_vth(sn, years[None, :])
+    var = dvth[:, None, :]                         # (G, 1, S)
+    mp = bti.delay_multiplier_from_dvth(aged_p[:, :, None] + var,
+                                        allow_speedup=True)
+    mn = bti.delay_multiplier_from_dvth(aged_n[:, :, None] + var,
+                                        allow_speedup=True)
+    wp = np.asarray([cell.wp for cell in program.cells],
+                    dtype=np.float64)[program.cell_index]
+    wn = np.asarray([cell.wn for cell in program.cells],
+                    dtype=np.float64)[program.cell_index]
+    mult = (1.0 + wp[:, None, None] * (mp - 1.0)
+            + wn[:, None, None] * (mn - 1.0))
+    return program.base_delay_ps[:, None, None] * mult
+
+
+def corner_delays(program, corners, bti=DEFAULT_BTI, degradation=None,
+                  dvth=None):
     """Per-gate aged delays for every corner: ``(n_gates, C)`` float64.
 
     The per-corner multiplier table is built from the same memoized
@@ -234,7 +303,20 @@ def corner_delays(program, corners, bti=DEFAULT_BTI, degradation=None):
     (:mod:`repro.aging.delay`) — per *distinct cell* under uniform
     stress, per gate under :class:`~repro.aging.stress.ActualStress` —
     so ``base * mult`` is the exact float the scalar loop computes.
+
+    With *dvth* (per-gate Vth variation draws, ``(n_gates, S)``) the
+    result instead carries a trailing sample axis — ``(n_gates, C, S)``
+    — computed by :func:`_sampled_corner_delays` on the vectorized BTI
+    model, bypassing the memo entirely. The ``dvth=None`` path is
+    bit-identical to previous releases. Sampling needs the closed-form
+    model: degradation-aware tables have no per-gate Vth semantics.
     """
+    if dvth is not None:
+        if degradation is not None:
+            raise ValueError(
+                "sampled corner delays need the closed-form BTI model; "
+                "degradation-aware tables have no per-gate Vth semantics")
+        return _sampled_corner_delays(program, corners, dvth, bti)
     n = program.n_gates
     mult = np.ones((n, len(corners)), dtype=np.float64)
     for col, scenario in enumerate(corners):
@@ -260,18 +342,25 @@ def corner_delays(program, corners, bti=DEFAULT_BTI, degradation=None):
 
 
 def _propagate(program, delays):
-    """Levelized arrival propagation; returns ``(slots, C)`` arrivals."""
-    arr = np.zeros((program.slots, delays.shape[1]), dtype=np.float64)
+    """Levelized arrival propagation.
+
+    Dimension-agnostic past the leading gate axis: ``(n_gates, C)``
+    delays yield ``(slots, C)`` arrivals, ``(n_gates, C, S)`` sampled
+    delays yield ``(slots, C, S)`` — the per-level gather/max/add is
+    the same broadcast expression either way, so deterministic corners
+    are literally the samples-free case of the Monte Carlo sweep.
+    """
+    arr = np.zeros((program.slots,) + delays.shape[1:], dtype=np.float64)
     for level in program.levels:
-        at = arr[level.in_slots].max(axis=1)       # (gates, C)
+        at = arr[level.in_slots].max(axis=1)       # (gates, C[, S])
         arr[level.out_slots] = at + delays[level.rows]
     return arr
 
 
 def _critical_paths(program, arrivals):
-    C = arrivals.shape[1]
+    """Max PO arrival per trailing cell: ``(C,)`` or ``(C, S)``."""
     if not len(program.po_slots):
-        return np.zeros(C, dtype=np.float64)
+        return np.zeros(arrivals.shape[1:], dtype=np.float64)
     return np.maximum(arrivals[program.po_slots].max(axis=0), 0.0)
 
 
@@ -435,6 +524,124 @@ class IncrementalTimingReport:
                             scenario_label=self.labels[corner])
 
 
+@dataclass
+class _ConeStep:
+    """One touched level of a cone plan (index arrays + const masks)."""
+
+    rows: np.ndarray       # touched gate rows
+    ins: np.ndarray        # (g, pins) input slots of touched gates
+    outs: np.ndarray       # (g,) output slots
+    in_const: np.ndarray   # (g, pins) bool: input constant after tie
+    all_const: np.ndarray  # (g,) bool: gate drops (all inputs const)
+
+
+@dataclass
+class ConePlan:
+    """Structural fan-out-cone plan of one tied-PI set.
+
+    Which gates are touched, which inputs become constant and which
+    gates drop is a function of netlist *structure* only — independent
+    of corners, delays, or sample draws — so a plan is computed once
+    per ``(program, tied)`` and replayed against any baseline arrival
+    tensor (deterministic ``(slots, C)`` or sampled ``(slots, C, S)``)
+    by :func:`replay_cone`. Plans are memoized on the program (bounded
+    LRU), which turns a precision sweep's per-corner-batch cone walks
+    into array replays.
+    """
+
+    tied: Tuple[int, ...]
+    steps: List
+    dropped: np.ndarray     # (n_gates,) bool
+    const_slots: np.ndarray  # (slots,) bool
+    cone_gates: int
+
+
+#: Per-program bound on memoized cone plans (a sweep touches one plan
+#: per precision point).
+_CONE_MEMO_LIMIT = 32
+
+
+def cone_plan(program, tied_pis):
+    """Memoized :class:`ConePlan` for *tied_pis* tied to constant 0."""
+    tied = tuple(dict.fromkeys(tied_pis))
+    stray = [net for net in tied if net not in program.slot_of
+             or net not in program.netlist.primary_inputs]
+    if stray:
+        raise ValueError("tied nets %s are not primary inputs of %s"
+                         % (stray[:5], program.netlist.name))
+    cache = getattr(program, "_cone_memo", None)
+    if cache is None:
+        cache = {}
+        program._cone_memo = cache
+    plan = cache.get(tied)
+    if plan is None:
+        if len(cache) >= _CONE_MEMO_LIMIT:
+            cache.pop(next(iter(cache)))
+        plan = _build_cone_plan(program, tied)
+        cache[tied] = plan
+    else:
+        cache[tied] = cache.pop(tied)  # refresh LRU position
+        obs_metrics.inc(obs_metrics.STA_CONE_PLAN_HITS)
+    return plan
+
+
+def _build_cone_plan(program, tied):
+    const = np.zeros(program.slots, dtype=bool)
+    const[0] = const[1] = True                 # CONST0 / CONST1
+    changed = np.zeros(program.slots, dtype=bool)
+    # The constant rails seed the cone alongside the tied inputs:
+    # tie_low also sweeps gates that were all-constant *before* the
+    # tie, and bit-exactness against that oracle must not depend on
+    # the netlist having been constant-swept already.
+    changed[0] = changed[1] = True
+    for net in tied:
+        slot = program.slot_of[net]
+        const[slot] = True
+        changed[slot] = True
+    dropped = np.zeros(program.n_gates, dtype=bool)
+    steps = []
+    cone = 0
+    for level in program.levels:
+        touched = changed[level.in_slots].any(axis=1)
+        if not touched.any():
+            continue
+        ins = level.in_slots[touched]
+        outs = level.out_slots[touched]
+        rows = level.rows[touched]
+        cone += len(rows)
+        in_const = const[ins]                  # (g, pins)
+        all_const = in_const.all(axis=1)
+        const[outs] = all_const
+        dropped[rows] = all_const
+        changed[outs] = True
+        steps.append(_ConeStep(rows=rows, ins=ins, outs=outs,
+                               in_const=in_const, all_const=all_const))
+    return ConePlan(tied=tied, steps=steps, dropped=dropped,
+                    const_slots=const, cone_gates=cone)
+
+
+def replay_cone(plan, baseline_arrivals, delays):
+    """Re-propagate a cone plan against baseline arrivals.
+
+    *baseline_arrivals* is ``(slots, ...)`` and *delays*
+    ``(n_gates, ...)`` with matching trailing dims — ``(C,)`` for
+    deterministic batches, ``(C, S)`` for sampled Monte Carlo tensors.
+    Returns a fresh arrival tensor; slots outside the cone keep their
+    baseline values, dropped gates arrive at 0.0. Bit-identical to
+    scalar STA on the :func:`tie_low` transform for the deterministic
+    shape (same gather/where/max/add, same order).
+    """
+    arr = baseline_arrivals.copy()
+    tail = (1,) * (arr.ndim - 1)
+    for step in plan.steps:
+        mask = step.in_const.reshape(step.in_const.shape + tail)
+        vals = np.where(mask, 0.0, arr[step.ins])
+        at = vals.max(axis=1) + delays[step.rows]  # (g, C[, S])
+        at[step.all_const] = 0.0
+        arr[step.outs] = at
+    return arr
+
+
 def analyze_incremental(netlist, library, tied_pis, corners=(None,),
                         bti=DEFAULT_BTI, degradation=None, baseline=None,
                         program=None):
@@ -480,49 +687,20 @@ def analyze_incremental(netlist, library, tied_pis, corners=(None,),
 
     with obs_trace.span("sta.analyze_incremental", design=netlist.name,
                         tied=len(tied), corners=len(labels)):
-        arr = baseline.arrivals.copy()
-        const = np.zeros(program.slots, dtype=bool)
-        const[0] = const[1] = True                 # CONST0 / CONST1
-        changed = np.zeros(program.slots, dtype=bool)
-        # The constant rails seed the cone alongside the tied inputs:
-        # tie_low also sweeps gates that were all-constant *before* the
-        # tie, and bit-exactness against that oracle must not depend on
-        # the netlist having been constant-swept already.
-        changed[0] = changed[1] = True
-        for net in tied:
-            slot = program.slot_of[net]
-            const[slot] = True
-            changed[slot] = True
-        dropped = np.zeros(program.n_gates, dtype=bool)
-        cone = 0
-        delays = baseline.delays
-        for level in program.levels:
-            touched = changed[level.in_slots].any(axis=1)
-            if not touched.any():
-                continue
-            ins = level.in_slots[touched]
-            outs = level.out_slots[touched]
-            rows = level.rows[touched]
-            cone += len(rows)
-            in_const = const[ins]                  # (g, pins)
-            vals = np.where(in_const[:, :, None], 0.0, arr[ins])
-            at = vals.max(axis=1) + delays[rows]   # (g, C)
-            all_const = in_const.all(axis=1)
-            at[all_const] = 0.0
-            arr[outs] = at
-            const[outs] = all_const
-            dropped[rows] = all_const
-            changed[outs] = True
+        plan = cone_plan(program, tied)
+        arr = replay_cone(plan, baseline.arrivals, baseline.delays)
         cp = _critical_paths(program, arr)
-    fraction = cone / max(program.n_gates, 1)
+    fraction = plan.cone_gates / max(program.n_gates, 1)
     obs_metrics.inc(obs_metrics.STA_INCREMENTAL_RUNS)
     obs_metrics.observe(obs_metrics.STA_INCREMENTAL_CONE_FRACTION,
                         fraction,
                         boundaries=obs_metrics.FRACTION_BOUNDARIES)
     return IncrementalTimingReport(program=program, baseline=baseline,
-                                   tied=tied, labels=labels, arrivals=arr,
-                                   critical_path_ps=cp, dropped=dropped,
-                                   const_slots=const, cone_gates=cone)
+                                   tied=plan.tied, labels=labels,
+                                   arrivals=arr, critical_path_ps=cp,
+                                   dropped=plan.dropped,
+                                   const_slots=plan.const_slots,
+                                   cone_gates=plan.cone_gates)
 
 
 # ---------------------------------------------------------------------------

@@ -38,9 +38,9 @@ from .fuzz import (FuzzReport, fuzz_engines, load_corpus, netlist_from_dict,
                    save_corpus_entry)
 from .golden import GoldenMismatch, check_golden, golden_model
 from .invariants import (InvariantResult, check_characterization,
-                         check_error_shape, check_psnr_endpoints,
-                         check_slack_rule, check_sta_engine,
-                         check_synth_sweep)
+                         check_error_shape, check_injection, check_mc,
+                         check_psnr_endpoints, check_slack_rule,
+                         check_sta_engine, check_synth_sweep)
 from .oracles import (ENGINES, Counterexample, EngineMismatch, OracleReport,
                       cross_engine_check, diff_engines, engine_outputs,
                       minimize_counterexample)
@@ -51,7 +51,8 @@ __all__ = [
     "ENGINES", "Counterexample", "EngineMismatch", "FuzzReport",
     "GoldenMismatch", "InvariantResult", "OracleReport",
     "VerificationReport", "check_characterization", "check_error_shape",
-    "check_golden", "check_psnr_endpoints", "check_slack_rule",
+    "check_golden", "check_injection", "check_mc",
+    "check_psnr_endpoints", "check_slack_rule",
     "check_sta_engine", "check_synth_sweep",
     "cross_engine_check", "diff_engines", "engine_outputs", "fuzz_engines",
     "golden_model", "load_corpus", "minimize_counterexample",

@@ -548,3 +548,128 @@ def check_injection(component, library, years=(1.0, 10.0),
         "clean_path_agrees=%s)" % (label, scales[-1], len(masks),
                                    clean_agree)))
     return results
+
+
+def check_mc(component, library, years=(1.0, 10.0),
+             clock_scales=(1.0, 0.97), sigma_mv=30.0, samples=192,
+             seed=20170618, effort="ultra", sweep_bits=2):
+    """Monte Carlo variation-engine invariants on one component.
+
+    Runs a small :mod:`repro.mc` yield analysis (fresh + worst-case
+    scenarios at *years*) and checks what the stochastic Eq. 2 framing
+    demands:
+
+    * **sigma -> 0 convergence** — the worst deviation of sampled
+      critical paths from the deterministic engine shrinks (weakly) as
+      sigma is quartered, and ``sigma = 0`` is *bit-identical* to
+      :func:`repro.sta.engine.analyze_batch` (``==``, no epsilon);
+    * **yield monotonicity** — per precision, yield is non-increasing
+      in lifetime at a fixed clock and non-increasing as the clock
+      tightens at a fixed lifetime;
+    * **jobs determinism** — ``run_mc`` under ``jobs=1`` and ``jobs=2``
+      produce equal ``to_dict()`` results;
+    * **quantile sandwich** — ``p50 <= mean <= p99`` on every exactly
+      evaluated row (critical paths are maxima over many gate sums, a
+      right-skewed family).
+    """
+    from ..core.specs import parse_scenario
+    from ..inject.campaign import component_spec
+    from ..mc import MCSpec, VariationModel, analyze_mc, run_mc
+    from ..sta.engine import analyze_batch, corner_label
+    from ..synth.synthesize import synthesize_netlist
+
+    years = sorted(years)
+    scales = sorted(clock_scales, reverse=True)
+    scenarios = tuple(["fresh"] + ["worst%gy" % y for y in years])
+    spec = MCSpec(component=component_spec(component),
+                  width=component.width, scenarios=scenarios,
+                  clock_scales=tuple(scales), sigma_mv=sigma_mv,
+                  samples=samples, seed=seed, sweep_bits=sweep_bits,
+                  effort=effort)
+    r1 = run_mc(spec, library=library, jobs=1)
+    r2 = run_mc(spec, library=library, jobs=2)
+    results = [_result(
+        "mc_jobs_deterministic", r1.to_dict() == r2.to_dict(),
+        "run_mc bit-identical across --jobs 1 / --jobs 2 (%d samples)"
+        % samples,
+        "run_mc results differ between --jobs 1 and --jobs 2")]
+
+    netlist = synthesize_netlist(component, library, effort=effort)
+    corners = tuple(parse_scenario(s) for s in scenarios)
+    batch = analyze_batch(netlist, library, corners)
+    det = batch.critical_path_ps[:, None]
+    deviations = []
+    for factor in (1.0, 0.25, 0.0625):
+        rep = analyze_mc(netlist, library, corners,
+                         VariationModel(sigma_mv=sigma_mv * factor,
+                                        seed=seed),
+                         samples=min(64, samples))
+        deviations.append(float(np.abs(rep.critical_path_ps - det).max()))
+    shrinking = all(hi >= lo - DELAY_EPS_PS for hi, lo in
+                    zip(deviations, deviations[1:]))
+    results.append(_result(
+        "mc_sigma_converges_to_deterministic", shrinking,
+        "max |sampled - deterministic| CP shrinks with sigma: %s ps"
+        % ["%.4g" % d for d in deviations],
+        "deviation does not shrink as sigma -> 0: %s ps"
+        % ["%.4g" % d for d in deviations]))
+
+    zero = analyze_mc(netlist, library, corners,
+                      VariationModel(sigma_mv=0.0, seed=seed), samples=8)
+    results.append(_result(
+        "mc_sigma_zero_bit_identical",
+        bool((zero.critical_path_ps == det).all()),
+        "sigma = 0 sampled CPs == deterministic batch CPs (exact)",
+        "sigma = 0 sampled CPs differ from the deterministic engine"))
+
+    exact = {(row["precision"], row["scenario"], row["clock_scale"]): row
+             for row in r1.rows if row["exact"]}
+    labels = [corner_label(parse_scenario(s)) for s in scenarios]
+    bad = []
+    for precision in r1.precisions:
+        for scale in scales:
+            ladder = [exact[(precision, label, scale)]["yield_fraction"]
+                      for label in labels
+                      if (precision, label, scale) in exact]
+            if any(lo < hi for lo, hi in zip(ladder, ladder[1:])):
+                bad.append("precision %d @ x%g: %s"
+                           % (precision, scale, ladder))
+    results.append(_result(
+        "mc_yield_monotone_in_lifetime", not bad,
+        "yield non-increasing over %s at every precision/clock" % labels,
+        "yield increases with lifetime: %s" % "; ".join(bad)))
+
+    bad = []
+    for precision in r1.precisions:
+        for label in labels:
+            ladder = [exact[(precision, label, scale)]["yield_fraction"]
+                      for scale in scales
+                      if (precision, label, scale) in exact]
+            if any(lo < hi for lo, hi in zip(ladder, ladder[1:])):
+                bad.append("precision %d @ %s: %s"
+                           % (precision, label, ladder))
+    results.append(_result(
+        "mc_yield_monotone_in_clock", not bad,
+        "yield non-increasing as the clock tightens %s" % (list(scales),),
+        "yield increases as the clock tightens: %s" % "; ".join(bad)))
+
+    # Finite-sample tolerance: with S draws the sample median wanders
+    # around the sample mean by O(spread / sqrt(S)) even on a perfectly
+    # symmetric distribution, so the sandwich is enforced up to a few
+    # standard errors of the (p99 - p50) spread. Gross violations
+    # (swapped quantiles, broken block reductions) exceed this by far.
+    bad = []
+    for key, row in sorted(exact.items(), key=repr):
+        tol = 4.0 * (row["p99_ps"] - row["p50_ps"]) \
+            / max(1.0, float(samples)) ** 0.5 + DELAY_EPS_PS
+        if not (row["p50_ps"] <= row["mean_ps"] + tol
+                and row["mean_ps"] <= row["p99_ps"] + tol):
+            bad.append("%s: p50=%.4f mean=%.4f p99=%.4f"
+                       % (key, row["p50_ps"], row["mean_ps"],
+                          row["p99_ps"]))
+    results.append(_result(
+        "mc_quantile_sandwich", not bad,
+        "p50 <= mean <= p99 (finite-sample tolerance) on all %d exact "
+        "rows" % len(exact),
+        "quantile sandwich broken: %s" % "; ".join(bad[:3])))
+    return results

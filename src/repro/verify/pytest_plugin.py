@@ -14,6 +14,9 @@ Activated from ``tests/conftest.py`` via
 * ``assert_injection_invariants`` — a callable fixture running the
   fault-injection campaign invariants
   (:func:`repro.verify.invariants.check_injection`) on a component;
+* ``assert_mc_invariants`` — a callable fixture running the Monte
+  Carlo variation-engine invariants
+  (:func:`repro.verify.invariants.check_mc`) on a component;
 * ``corpus_dir`` — the committed regression corpus directory.
 """
 
@@ -77,6 +80,23 @@ def assert_injection_invariants(verify_library):
         failed = [r for r in results if not r.passed]
         if failed:
             pytest.fail("injection invariants broken:\n"
+                        + "\n".join(r.describe() for r in failed))
+        return results
+
+    return _check
+
+
+@pytest.fixture
+def assert_mc_invariants(verify_library):
+    """Callable: run the Monte Carlo invariants, fail on any breach."""
+    from repro.verify.invariants import check_mc
+
+    def _check(component, library=None, **kwargs):
+        results = check_mc(component, library or verify_library,
+                           **kwargs)
+        failed = [r for r in results if not r.passed]
+        if failed:
+            pytest.fail("mc invariants broken:\n"
                         + "\n".join(r.describe() for r in failed))
         return results
 

@@ -33,7 +33,7 @@ from ..obs import logs, trace as obs_trace
 from .fuzz import FuzzReport, fuzz_engines
 from .golden import GoldenMismatch, check_golden
 from .invariants import (InvariantResult, check_characterization,
-                         check_error_shape, check_injection,
+                         check_error_shape, check_injection, check_mc,
                          check_sta_engine, check_synth_sweep)
 from .oracles import ENGINES, EVENT_VECTOR_CAP, OracleReport, \
     cross_engine_check
@@ -169,6 +169,9 @@ def verify_component(component, library, scenarios, vectors=96,
             report.invariants += check_synth_sweep(
                 component, library, efforts=(effort,))
             report.invariants += check_injection(
+                component, library, years=error_shape_years,
+                effort=effort)
+            report.invariants += check_mc(
                 component, library, years=error_shape_years,
                 effort=effort)
         failed = [r.name for r in report.invariants if not r.passed]

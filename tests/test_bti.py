@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -127,3 +128,89 @@ class TestCustomModels:
     def test_frozen(self):
         with pytest.raises(Exception):
             DEFAULT_BTI.prefactor_v = 1.0
+
+
+class TestArrayParity:
+    """The ndarray-native paths must mirror the scalar ones exactly —
+    values *and* every error path (satellite of the Monte Carlo PR)."""
+
+    def test_delta_vth_elementwise_equals_scalar(self):
+        stress = np.asarray([0.0, 0.25, 0.5, 1.0])
+        years = np.asarray([0.0, 1.0, 10.0, 30.0])
+        grid = DEFAULT_BTI.delta_vth(stress[:, None], years[None, :])
+        assert grid.shape == (4, 4)
+        for i, s in enumerate(stress):
+            for j, y in enumerate(years):
+                assert grid[i, j] == DEFAULT_BTI.delta_vth(
+                    float(s), float(y))
+
+    def test_zero_short_circuit_is_exact(self):
+        # The scalar path returns a literal 0.0 for zero stress or
+        # lifetime; the array path must too (0**0-style edge cases).
+        out = DEFAULT_BTI.delta_vth(np.asarray([0.0, 1.0]),
+                                    np.asarray([5.0, 0.0]))
+        assert out[0] == 0.0 and out[1] == 0.0
+        flat = BTIModel(time_exponent=0.0)
+        assert flat.delta_vth(np.asarray([0.0]), np.asarray([3.0]))[0] \
+            == 0.0
+
+    def test_multiplier_elementwise_equals_scalar(self):
+        dvth = np.linspace(0.0, 0.2, 9)
+        arr = DEFAULT_BTI.delay_multiplier_from_dvth(dvth)
+        for i, dv in enumerate(dvth):
+            assert arr[i] == DEFAULT_BTI.delay_multiplier_from_dvth(
+                float(dv))
+
+    def test_cell_multiplier_broadcasts(self):
+        sp = np.asarray([[0.2], [0.8]])
+        years = np.asarray([1.0, 10.0])
+        grid = DEFAULT_BTI.cell_multiplier(sp, 0.5, years, wp=0.7, wn=0.3)
+        assert grid.shape == (2, 2)
+        assert grid[1, 1] == DEFAULT_BTI.cell_multiplier(
+            0.8, 0.5, 10.0, wp=0.7, wn=0.3)
+
+    def test_stress_range_error_parity(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            DEFAULT_BTI.delta_vth(1.5, 1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            DEFAULT_BTI.delta_vth(np.asarray([0.5, 1.5]), 1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            DEFAULT_BTI.delta_vth(np.asarray([-0.1, 0.5]), 1.0)
+
+    def test_lifetime_error_parity(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DEFAULT_BTI.delta_vth(1.0, -1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            DEFAULT_BTI.delta_vth(1.0, np.asarray([1.0, -1.0]))
+
+    def test_negative_dvth_error_parity(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DEFAULT_BTI.delay_multiplier_from_dvth(-0.01)
+        with pytest.raises(ValueError, match="non-negative"):
+            DEFAULT_BTI.delay_multiplier_from_dvth(
+                np.asarray([0.1, -0.01]))
+
+    def test_allow_speedup_permits_negative_draws(self):
+        fast = DEFAULT_BTI.delay_multiplier_from_dvth(
+            -0.05, allow_speedup=True)
+        assert fast < 1.0
+        arr = DEFAULT_BTI.delay_multiplier_from_dvth(
+            np.asarray([-0.05, 0.0, 0.05]), allow_speedup=True)
+        assert arr[0] == fast and arr[1] == 1.0 and arr[2] > 1.0
+
+    def test_overdrive_error_parity_even_with_speedup(self):
+        # allow_speedup relaxes the sign check, never the headroom one.
+        with pytest.raises(ValueError, match="overdrive"):
+            DEFAULT_BTI.delay_multiplier_from_dvth(
+                DEFAULT_BTI.overdrive, allow_speedup=True)
+        with pytest.raises(ValueError, match="overdrive"):
+            DEFAULT_BTI.delay_multiplier_from_dvth(
+                np.asarray([0.1, DEFAULT_BTI.overdrive]),
+                allow_speedup=True)
+
+    @given(stress=stress_values, years=year_values)
+    def test_scalar_path_taken_for_scalars(self, stress, years):
+        # np.float64 0-d inputs count as scalars and return floats.
+        out = DEFAULT_BTI.delta_vth(np.float64(stress), np.float64(years))
+        assert isinstance(out, float)
+        assert out == DEFAULT_BTI.delta_vth(stress, years)
